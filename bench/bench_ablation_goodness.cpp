@@ -1,0 +1,110 @@
+// Ablation (§3, §4.4, §6.3): what the goodness tie-break buys.
+//
+// Three repair policies on instances containing both a UNIQUE column and a
+// planted right-sized determinant:
+//   A. confidence only (no goodness tie-break)
+//   B. confidence + goodness (the paper's method)
+//   C. confidence + goodness + threshold (the §4.4 extension)
+// Reports which repair each policy suggests first and its goodness.
+#include <iostream>
+
+#include "datagen/synthetic.h"
+#include "fd/repair_search.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace fdevolve;
+
+/// Adds a rowid (UNIQUE) column to a synthetic relation.
+relation::Relation WithRowId(const relation::Relation& base) {
+  std::vector<relation::Attribute> attrs = base.schema().attrs();
+  attrs.push_back({"rowid", relation::DataType::kInt64});
+  relation::Relation rel(base.name() + "_rowid", relation::Schema(attrs));
+  for (size_t t = 0; t < base.tuple_count(); ++t) {
+    std::vector<relation::Value> row;
+    for (int a = 0; a < base.attr_count(); ++a) row.push_back(base.Get(t, a));
+    row.push_back(static_cast<int64_t>(t));
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+/// Policy A: confidence only, ties broken by selectivity (the "more
+/// specific is safer" heuristic a naive implementation would use) — this
+/// is what the goodness criterion replaces.
+int ConfidenceOnlyPick(const relation::Relation& rel, const fd::Fd& f) {
+  query::DistinctEvaluator eval(rel);
+  auto cands = fd::ExtendByOne(eval, f);
+  double best_c = -1;
+  size_t best_specificity = 0;
+  int pick = -1;
+  for (const auto& c : cands) {
+    if (c.measures.confidence > best_c ||
+        (c.measures.confidence == best_c &&
+         c.measures.distinct_x > best_specificity)) {
+      best_c = c.measures.confidence;
+      best_specificity = c.measures.distinct_x;
+      pick = c.attr;
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+int main() {
+  util::TablePrinter t("Goodness ablation: first suggestion per policy");
+  t.SetHeader({"tuples", "A: conf only", "g(A)", "B: paper", "g(B)",
+               "C: threshold", "g(C)"});
+
+  for (size_t tuples : {500u, 2000u, 8000u}) {
+    datagen::SyntheticSpec spec;
+    spec.n_attrs = 6;
+    spec.n_tuples = tuples;
+    spec.repair_length = 1;
+    spec.seed = tuples;
+    spec.antecedent_domain = 30;
+    spec.determinant_domain = 4;
+    auto rel = WithRowId(datagen::MakeSynthetic(spec));
+    fd::Fd f = datagen::SyntheticFd(rel.schema());
+    const auto& s = rel.schema();
+
+    auto goodness_of = [&](int attr) {
+      return fd::ComputeMeasures(rel, f.WithAntecedent(attr)).goodness;
+    };
+
+    // Policy A: confidence only. Ties resolved by scan order, which means
+    // the UNIQUE rowid can win despite its degenerate goodness.
+    int a_pick = ConfidenceOnlyPick(rel, f);
+
+    // Policy B: the paper's ranking.
+    fd::RepairOptions opts_b;
+    opts_b.mode = fd::SearchMode::kFirstRepair;
+    auto res_b = fd::Extend(rel, f, opts_b);
+    int b_pick = res_b.found() ? res_b.repairs[0].added.ToVector()[0] : -1;
+
+    // Policy C: goodness threshold forces a balanced repair.
+    fd::RepairOptions opts_c = opts_b;
+    opts_c.mode = fd::SearchMode::kAllRepairs;
+    opts_c.max_added_attrs = 1;
+    opts_c.goodness_threshold =
+        static_cast<int64_t>(tuples / 10);  // forbid key-like repairs
+    auto res_c = fd::Extend(rel, f, opts_c);
+    int c_pick = res_c.found() ? res_c.repairs[0].added.ToVector()[0] : -1;
+
+    auto name = [&](int a) { return a < 0 ? std::string("-") : s.attr(a).name; };
+    t.AddRow({std::to_string(tuples), name(a_pick),
+              a_pick < 0 ? "-" : std::to_string(goodness_of(a_pick)),
+              name(b_pick),
+              b_pick < 0 ? "-" : std::to_string(goodness_of(b_pick)),
+              name(c_pick),
+              c_pick < 0 ? "-" : std::to_string(goodness_of(c_pick))});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: policy A may pick the UNIQUE rowid "
+               "(goodness ~ tuple count); policies B and C pick the planted "
+               "determinant D1 with goodness near 0 — the §6.3 quality "
+               "claim.\n";
+  return 0;
+}

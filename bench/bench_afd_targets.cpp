@@ -1,0 +1,51 @@
+// Extension (§2's AFD discussion): repair cost and repair length as a
+// function of the confidence target. Exact repair (target 1.0) is the
+// paper's method; lower targets evolve the FD into an approximate FD and
+// typically need fewer added attributes and less search.
+#include <iostream>
+
+#include "datagen/synthetic.h"
+#include "fd/repair_search.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+
+  util::TablePrinter t("AFD repair: confidence target vs repair length/cost "
+                       "(planted 3-attribute exact repair)");
+  t.SetHeader({"target", "found", "attrs added", "achieved c", "candidates",
+               "time ms"});
+
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 10;
+  spec.n_tuples = 8000;
+  spec.repair_length = 3;
+  spec.determinant_domain = 6;
+  spec.seed = 41;
+  auto rel = datagen::MakeSynthetic(spec);
+  fd::Fd f = datagen::SyntheticFd(rel.schema());
+
+  for (double target : {0.5, 0.8, 0.9, 0.95, 0.99, 1.0}) {
+    fd::RepairOptions opts;
+    opts.mode = fd::SearchMode::kFirstRepair;
+    opts.target_confidence = target;
+    util::Timer timer;
+    auto res = fd::Extend(rel, f, opts);
+    double ms = timer.ElapsedMs();
+    char tgt[16];
+    std::snprintf(tgt, sizeof(tgt), "%.2f", target);
+    t.AddRow({tgt, res.found() ? "yes" : (res.already_exact ? "holds" : "NO"),
+              res.found() ? std::to_string(res.repairs[0].added.Count()) : "-",
+              res.found()
+                  ? std::to_string(res.repairs[0].measures.confidence)
+                  : std::to_string(res.original_measures.confidence),
+              std::to_string(res.stats.candidates_evaluated),
+              std::to_string(ms)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: repair length and search cost grow "
+               "monotonically with the target; target 1.0 recovers the "
+               "paper's exact semantics and the full planted repair.\n";
+  return 0;
+}

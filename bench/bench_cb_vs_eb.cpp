@@ -1,0 +1,62 @@
+// Extension experiment (§5): empirical CB-vs-EB comparison the paper
+// could not run (the Chiang-Miller tool was unavailable). Measures, over a
+// synthetic sweep: (i) agreement on the exact-candidate set, (ii) top-pick
+// agreement, (iii) ranking runtime of the two methods.
+#include <iostream>
+
+#include "clustering/eb_repair.h"
+#include "datagen/synthetic.h"
+#include "fd/candidate_ranking.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+
+  util::TablePrinter t("CB vs EB: agreement and ranking runtime");
+  t.SetHeader({"attrs", "tuples", "exact-set match", "top pick match",
+               "CB ms", "EB ms", "EB/CB"});
+
+  for (int attrs : {8, 16, 32}) {
+    for (size_t tuples : {1000u, 10000u, 50000u}) {
+      datagen::SyntheticSpec spec;
+      spec.n_attrs = attrs;
+      spec.n_tuples = tuples;
+      spec.repair_length = 1;
+      spec.seed = static_cast<uint64_t>(attrs) * 1000 + tuples;
+      auto rel = datagen::MakeSynthetic(spec);
+      fd::Fd f = datagen::SyntheticFd(rel.schema());
+
+      util::Timer cb_timer;
+      query::DistinctEvaluator eval(rel);
+      auto cb = fd::ExtendByOne(eval, f);
+      double cb_ms = cb_timer.ElapsedMs();
+
+      util::Timer eb_timer;
+      auto eb = clustering::RankEb(rel, f);
+      double eb_ms = eb_timer.ElapsedMs();
+
+      bool sets_match = true;
+      for (const auto& c : cb) {
+        for (const auto& e : eb) {
+          if (c.attr == e.attr && c.measures.exact != e.homogeneous()) {
+            sets_match = false;
+          }
+        }
+      }
+      bool top_match = !cb.empty() && !eb.empty() && cb[0].attr == eb[0].attr;
+
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                    cb_ms > 0 ? eb_ms / cb_ms : 0.0);
+      t.AddRow({std::to_string(attrs), std::to_string(tuples),
+                sets_match ? "yes" : "NO", top_match ? "yes" : "NO",
+                std::to_string(cb_ms), std::to_string(eb_ms), ratio});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (§5): full agreement on exact sets and top "
+               "picks; CB faster since it only counts cluster cardinalities "
+               "while EB also builds joint distributions.\n";
+  return 0;
+}

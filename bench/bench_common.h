@@ -1,0 +1,26 @@
+// Shared knobs for the reproduction benches.
+//
+// FDEVOLVE_BENCH_FAST=1 in the environment shrinks workloads (~4x) for CI;
+// the default sizes target a ~1-minute full-suite run on a laptop core.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace fdevolve::bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("FDEVOLVE_BENCH_FAST");
+  return v != nullptr && std::string(v) != "0";
+}
+
+/// Divisor applied to the paper's TPC-H cardinalities.
+inline size_t TpchDivisor() { return FastMode() ? 400 : 100; }
+
+/// Divisor applied to the large real datasets (Image/PageLinks/Veterans).
+inline size_t RealDivisor() { return FastMode() ? 40 : 10; }
+
+/// Divisor applied to the Table 7/8 tuple grid (paper: 10K..70K).
+inline size_t VeteransDivisor() { return FastMode() ? 40 : 10; }
+
+}  // namespace fdevolve::bench

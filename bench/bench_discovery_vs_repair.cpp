@@ -1,0 +1,75 @@
+// §2 reproduction: the three ways to re-establish consistency, compared.
+//
+//   1. Direct constraint repair (the paper's method): Extend, first repair.
+//   2. Discover-then-relax ([16]-style): discover all minimal FDs, search
+//      them for extensions of the declared FD. Slower, and the extension
+//      set can come back empty — the failure the paper reports.
+//   3. Data repair (CQA-style tuple deletion): fast, but destroys data.
+#include <iostream>
+
+#include "datagen/synthetic.h"
+#include "discovery/data_repair.h"
+#include "discovery/discover.h"
+#include "fd/repair_search.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+
+  util::TablePrinter t("Constraint repair vs discover-then-relax vs data "
+                       "repair (planted 2-attribute evolution)");
+  t.SetHeader({"attrs", "tuples", "repair ms", "repair found", "discovery ms",
+               "FDs found", "extension found", "deletion ms", "data lost"});
+
+  for (int attrs : {6, 8, 10}) {
+    for (size_t tuples : {1000u, 5000u, 20000u}) {
+      datagen::SyntheticSpec spec;
+      spec.n_attrs = attrs;
+      spec.n_tuples = tuples;
+      spec.repair_length = 2;
+      spec.seed = static_cast<uint64_t>(attrs) * 131 + tuples;
+      auto rel = datagen::MakeSynthetic(spec);
+      fd::Fd declared = datagen::SyntheticFd(rel.schema());
+
+      // 1. Direct repair.
+      fd::RepairOptions ropts;
+      ropts.mode = fd::SearchMode::kFirstRepair;
+      util::Timer t1;
+      auto repair = fd::Extend(rel, declared, ropts);
+      double repair_ms = t1.ElapsedMs();
+
+      // 2. Discover everything, then look for extensions.
+      discovery::DiscoveryOptions dopts;
+      dopts.max_lhs = 3;
+      util::Timer t2;
+      auto discovered = discovery::DiscoverFds(rel, dopts);
+      auto extensions = discovery::FindExtensions(discovered.fds, declared);
+      double discovery_ms = t2.ElapsedMs();
+
+      // 3. Tuple deletion.
+      util::Timer t3;
+      auto deletion = discovery::RepairByDeletion(rel, declared);
+      double deletion_ms = t3.ElapsedMs();
+
+      char lost[32];
+      std::snprintf(lost, sizeof(lost), "%.1f%%",
+                    deletion.loss_fraction * 100.0);
+      t.AddRow({std::to_string(attrs), std::to_string(tuples),
+                std::to_string(repair_ms), repair.found() ? "yes" : "NO",
+                std::to_string(discovery_ms),
+                std::to_string(discovered.fds.size()),
+                extensions.empty() ? "NO" : "yes", std::to_string(deletion_ms),
+                lost});
+    }
+  }
+  t.Print(std::cout);
+  std::cout
+      << "\nExpected shape (§2): direct repair is far cheaper than full "
+         "discovery and always returns the planted evolution; the "
+         "discover-then-relax pipeline often finds no extension of the "
+         "declared FD (minimal discovered FDs subsume it); tuple deletion "
+         "is fast but discards a large data fraction instead of evolving "
+         "the schema.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: measure computation through the SQL path (parse + execute the
+// paper's Q1/Q2 COUNT DISTINCT statements per FD) vs the in-core memoising
+// evaluator. Quantifies what the paper's Java+MySQL prototype pays per
+// candidate relative to an embedded engine.
+#include <iostream>
+
+#include "datagen/synthetic.h"
+#include "fd/candidate_ranking.h"
+#include "sql/sql_measures.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+
+  util::TablePrinter t("Measure computation: SQL path vs core evaluator "
+                       "(full ExtendByOne pass)");
+  t.SetHeader({"attrs", "tuples", "candidates", "core ms", "sql ms",
+               "sql/core"});
+
+  for (int attrs : {8, 16}) {
+    for (size_t tuples : {1000u, 10000u, 50000u}) {
+      datagen::SyntheticSpec spec;
+      spec.n_attrs = attrs;
+      spec.n_tuples = tuples;
+      spec.repair_length = 1;
+      spec.seed = static_cast<uint64_t>(attrs) + tuples;
+      sql::Database db;
+      db.AddRelation(datagen::MakeSynthetic(spec));
+      const auto& rel = db.Get("synthetic");
+      fd::Fd f = datagen::SyntheticFd(rel.schema());
+      auto pool = fd::CandidatePool(rel, f);
+
+      util::Timer core_timer;
+      query::DistinctEvaluator eval(rel);
+      auto cands = fd::ExtendByOne(eval, f, pool);
+      double core_ms = core_timer.ElapsedMs();
+
+      util::Timer sql_timer;
+      size_t sql_candidates = 0;
+      for (int a : pool.ToVector()) {
+        fd::Fd extended = f.WithAntecedent(a);
+        (void)sql::ComputeMeasuresViaSql(db, "synthetic", extended);
+        ++sql_candidates;
+      }
+      double sql_ms = sql_timer.ElapsedMs();
+
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                    core_ms > 0 ? sql_ms / core_ms : 0.0);
+      t.AddRow({std::to_string(attrs), std::to_string(tuples),
+                std::to_string(cands.size()), std::to_string(core_ms),
+                std::to_string(sql_ms), ratio});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: the SQL path re-scans the table per query "
+               "(3 statements per candidate) while the evaluator refines "
+               "one cached grouping per candidate — the gap widens with "
+               "candidate count.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 5: FindFDRepairs processing time for the eight Table 5 FDs across
+// the three database scales (find-all mode, depth-bounded — see
+// EXPERIMENTS.md for how the bound preserves the paper's trends).
+#include <iostream>
+
+#include "bench_common.h"
+#include "datagen/tpch.h"
+#include "fd/repair_search.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+  const size_t divisor = bench::TpchDivisor();
+
+  util::TablePrinter t("Table 5: FindFDRepairs processing times (find all, "
+                       "depth <= 2; cardinalities = paper / " +
+                       std::to_string(divisor) + ")");
+  t.SetHeader({"table", "FD", "100MB", "250MB", "1GB", "status"});
+
+  struct Cell {
+    std::string text;
+  };
+  // One row per table; iterate scales inside.
+  for (const auto& name : datagen::TpchTableNames()) {
+    std::vector<std::string> row = {name, ""};
+    std::string status;
+    for (auto scale : {datagen::TpchScale::kSmall, datagen::TpchScale::kMedium,
+                       datagen::TpchScale::kLarge}) {
+      datagen::TpchOptions o;
+      o.scale = scale;
+      o.scale_divisor = divisor;
+      auto db = datagen::MakeTpch(o);
+      const auto& table = db.Get(name);
+      fd::Fd f = datagen::TpchTable5Fd(table);
+      if (row[1].empty()) row[1] = f.ToString(table.schema());
+
+      fd::RepairOptions opts;
+      opts.mode = fd::SearchMode::kAllRepairs;
+      opts.max_added_attrs = 2;
+      util::Timer timer;
+      auto res = fd::Extend(table, f, opts);
+      row.push_back(util::FormatDurationMs(timer.ElapsedMs()));
+      if (scale == datagen::TpchScale::kLarge) {
+        if (res.already_exact) {
+          status = "exact (check only)";
+        } else {
+          status = res.found()
+                       ? std::to_string(res.repairs.size()) + " repair(s)"
+                       : "no repair <= depth 2";
+        }
+      }
+    }
+    row.push_back(status);
+    t.AddRow(row);
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper): lineitem >> orders > partsupp > "
+               "customer ~ part >> supplier >> nation ~ region; time grows "
+               "with scale for violated FDs, stays flat for exact ones.\n";
+  return 0;
+}

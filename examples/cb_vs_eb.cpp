@@ -1,0 +1,71 @@
+// Domain scenario 3: comparing the paper's confidence-based (CB) ranking
+// with the entropy-based (EB) baseline of Chiang & Miller (§5) — the
+// experiment the paper could not run because the EB tool was unavailable.
+//
+//   $ ./cb_vs_eb
+#include <iostream>
+
+#include "clustering/eb_repair.h"
+#include "clustering/equivalence.h"
+#include "datagen/places.h"
+#include "fd/candidate_ranking.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace fdevolve;
+
+  auto rel = datagen::MakePlaces();
+  const auto& schema = rel.schema();
+  fd::Fd f1 = datagen::PlacesF1(schema);
+
+  std::cout << "Candidate rankings for " << f1.ToString(schema) << "\n\n";
+
+  query::DistinctEvaluator eval(rel);
+  util::Timer cb_timer;
+  auto cb = fd::ExtendByOne(eval, f1);
+  double cb_ms = cb_timer.ElapsedMs();
+
+  util::Timer eb_timer;
+  auto eb = clustering::RankEb(rel, f1);
+  double eb_ms = eb_timer.ElapsedMs();
+
+  util::TablePrinter table("CB (confidence/goodness) vs EB (entropies)");
+  table.SetHeader({"rank", "CB pick", "c", "g", "EB pick", "H(XY|XA)",
+                   "H(A|XY)", "eps_CB", "eps_VI"});
+  for (size_t i = 0; i < cb.size(); ++i) {
+    relation::AttrSet cb_added = relation::AttrSet::Of({cb[i].attr});
+    auto point = clustering::CompareMeasures(rel, f1, cb_added);
+    table.AddRow({std::to_string(i + 1), schema.attr(cb[i].attr).name,
+                  std::to_string(cb[i].measures.confidence),
+                  std::to_string(cb[i].measures.goodness),
+                  schema.attr(eb[i].attr).name,
+                  std::to_string(eb[i].h_xy_given_xa),
+                  std::to_string(eb[i].h_a_given_xy),
+                  std::to_string(point.epsilon_cb),
+                  std::to_string(point.epsilon_vi)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nBoth methods pick '" << schema.attr(cb[0].attr).name
+            << "' first"
+            << (cb[0].attr == eb[0].attr ? " (full agreement)." : " vs '" +
+               schema.attr(eb[0].attr).name + "' (disagreement).")
+            << "\n";
+  std::cout << "CB ranking time: " << cb_ms << " ms; EB ranking time: "
+            << eb_ms << " ms (EB inspects cluster structure; CB only counts)."
+            << "\n\n";
+
+  std::cout << "Theorem 1 null-set check on every candidate:\n";
+  for (const auto& c : cb) {
+    auto p = clustering::CompareMeasures(rel, f1,
+                                         relation::AttrSet::Of({c.attr}));
+    std::cout << "  " << schema.attr(c.attr).name << ": eps_CB="
+              << p.epsilon_cb << " eps_VI=" << p.epsilon_vi
+              << (p.cb_null && p.vi_null
+                      ? "  <- common null point (bijective repair)"
+                      : "")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Domain scenario 5: conditional-FD discovery (the §7 extension).
+//
+// A multi-country address table breaks the classic [zip] -> [city] FD
+// because postal codes collide across countries. Instead of widening the
+// antecedent globally, condition refinement recovers the set of CFDs under
+// which the dependency still holds — then both repair styles are compared.
+//
+//   $ ./cfd_discovery
+#include <iostream>
+
+#include "fd/conditional.h"
+#include "fd/repair_report.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fdevolve;
+  using relation::DataType;
+  using relation::Value;
+
+  // Synthetic multi-country address book: within a country, zip -> city;
+  // across countries zip ranges collide.
+  relation::Schema schema({{"country", DataType::kString},
+                           {"zip", DataType::kInt64},
+                           {"city", DataType::kString},
+                           {"carrier", DataType::kString},
+                           {"street", DataType::kString}});
+  relation::Relation rel("addresses", schema);
+  util::Rng rng(7);
+  const char* countries[] = {"US", "DE", "NG", "JP"};
+  for (int i = 0; i < 2000; ++i) {
+    int c = static_cast<int>(rng.Below(4));
+    auto zip = static_cast<int64_t>(rng.Below(50));  // collides across countries
+    // city is a function of (country, zip).
+    std::string city = "city_" + std::to_string(c) + "_" + std::to_string(zip / 5);
+    rel.AppendRow({countries[c], zip, city,
+                   "carrier_" + std::to_string(rng.Below(6)),
+                   "street_" + std::to_string(rng.Below(400))});
+  }
+
+  fd::Fd zip_city = fd::Fd::Parse("zip -> city", schema);
+  fd::ConditionalFd broken(zip_city, {});
+  auto base = fd::ComputeCfdMeasures(rel, broken);
+  std::cout << "Global FD " << zip_city.ToString(schema) << ": confidence "
+            << base.fd_measures.confidence << " (violated)\n\n";
+
+  // Style 1: the paper's antecedent extension.
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  auto extension = fd::Extend(rel, zip_city, opts);
+  std::cout << "Repair style 1 — antecedent extension:\n"
+            << fd::DescribeResult(extension, schema) << "\n";
+
+  // Style 2: condition refinement into CFDs.
+  std::cout << "Repair style 2 — condition refinement into CFDs:\n";
+  fd::ConditionRepairOptions copts;
+  copts.min_selected = 50;
+  auto refinements = fd::RefineByCondition(rel, broken, copts);
+  util::TablePrinter t("Valid CFDs discovered");
+  t.SetHeader({"CFD", "tuples", "support"});
+  for (const auto& r : refinements) {
+    t.AddRow({r.refined.ToString(schema), std::to_string(r.selected_tuples),
+              std::to_string(r.support)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nInterpretation: the four country conditions jointly cover "
+               "the whole instance — the designer can either evolve the FD "
+               "to [country, zip] -> [city] or adopt the four CFDs.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "clustering/clustering.h"
+
+namespace fdevolve::clustering {
+
+Clustering::Clustering(const relation::Relation& rel,
+                       const relation::AttrSet& attrs)
+    : Clustering(query::GroupBy(rel, attrs)) {}
+
+Clustering::Clustering(query::Grouping grouping)
+    : grouping_(std::move(grouping)) {
+  sizes_.assign(grouping_.group_count, 0);
+  for (uint32_t id : grouping_.ids) ++sizes_[id];
+}
+
+std::vector<std::vector<uint32_t>> Clustering::Members() const {
+  std::vector<std::vector<uint32_t>> out(cluster_count());
+  for (size_t c = 0; c < cluster_count(); ++c) out[c].reserve(sizes_[c]);
+  for (size_t t = 0; t < tuple_count(); ++t) {
+    out[grouping_.ids[t]].push_back(static_cast<uint32_t>(t));
+  }
+  return out;
+}
+
+bool IsHomogeneous(const Clustering& a, const Clustering& b) {
+  // a refines b  <=>  joining a with b creates no new blocks beyond a's.
+  query::Grouping ga{a.ids(), a.cluster_count()};
+  query::Grouping gb{b.ids(), b.cluster_count()};
+  return query::JointGroupCount(ga, gb) == a.cluster_count();
+}
+
+bool IsComplete(const Clustering& a, const Clustering& b) {
+  return IsHomogeneous(b, a);
+}
+
+bool SamePartition(const Clustering& a, const Clustering& b) {
+  if (a.cluster_count() != b.cluster_count()) return false;
+  return IsHomogeneous(a, b) && IsHomogeneous(b, a);
+}
+
+}  // namespace fdevolve::clustering

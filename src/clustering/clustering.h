@@ -1,0 +1,48 @@
+// X-clusterings (Definition 5) and the structural predicates of §3/§5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/group_ids.h"
+#include "relation/relation.h"
+
+namespace fdevolve::clustering {
+
+/// A partition of a relation's tuples by equality on an attribute set,
+/// materialised as dense cluster ids plus per-cluster sizes.
+class Clustering {
+ public:
+  /// Builds the X-clustering of `rel` for X = `attrs`.
+  Clustering(const relation::Relation& rel, const relation::AttrSet& attrs);
+
+  /// Wraps an existing grouping (shared with the query layer).
+  explicit Clustering(query::Grouping grouping);
+
+  size_t cluster_count() const { return grouping_.group_count; }
+  size_t tuple_count() const { return grouping_.ids.size(); }
+  uint32_t cluster_of(size_t tuple) const { return grouping_.ids[tuple]; }
+  const std::vector<uint32_t>& ids() const { return grouping_.ids; }
+
+  /// Size of each cluster (indexed by cluster id).
+  const std::vector<size_t>& sizes() const { return sizes_; }
+
+  /// Tuples of one cluster (materialised on demand, O(n) total).
+  std::vector<std::vector<uint32_t>> Members() const;
+
+ private:
+  query::Grouping grouping_;
+  std::vector<size_t> sizes_;
+};
+
+/// Definition 6 / §5: every class of `a` is contained in exactly one class
+/// of `b` (i.e. `a` refines `b`; "a is homogeneous w.r.t. b").
+bool IsHomogeneous(const Clustering& a, const Clustering& b);
+
+/// §5 completeness: every class of `b` is contained in one class of `a`.
+bool IsComplete(const Clustering& a, const Clustering& b);
+
+/// True if the two partitions are identical (same blocks).
+bool SamePartition(const Clustering& a, const Clustering& b);
+
+}  // namespace fdevolve::clustering

@@ -1,0 +1,59 @@
+#include "clustering/eb_repair.h"
+
+#include <algorithm>
+
+namespace fdevolve::clustering {
+
+std::vector<EbCandidate> RankEb(const relation::Relation& rel,
+                                const fd::Fd& fd,
+                                const relation::AttrSet& pool,
+                                EbVariant variant) {
+  // Ground truth: C_XY (§5). Built once; each candidate costs one
+  // refinement of C_X plus two entropy passes.
+  const Clustering ground_truth(rel, fd.AllAttrs());
+  const query::Grouping base_x = query::GroupBy(rel, fd.lhs());
+
+  std::vector<EbCandidate> out;
+  out.reserve(static_cast<size_t>(pool.Count()));
+  for (int a : pool.ToVector()) {
+    EbCandidate c;
+    c.attr = a;
+    Clustering c_xa(query::RefineBy(rel, base_x, a));
+    relation::AttrSet only_a;
+    only_a.Add(a);
+    Clustering c_a(rel, only_a);
+    c.h_xy_given_xa = ConditionalEntropy(ground_truth, c_xa);
+    c.h_a_given_xy = ConditionalEntropy(c_a, ground_truth);
+    c.vi = VariationOfInformation(ground_truth, c_xa);
+    out.push_back(c);
+  }
+
+  auto original_less = [](const EbCandidate& a, const EbCandidate& b) {
+    if (a.h_xy_given_xa != b.h_xy_given_xa) {
+      return a.h_xy_given_xa < b.h_xy_given_xa;
+    }
+    if (a.h_a_given_xy != b.h_a_given_xy) {
+      return a.h_a_given_xy < b.h_a_given_xy;
+    }
+    return a.attr < b.attr;
+  };
+  auto vi_less = [](const EbCandidate& a, const EbCandidate& b) {
+    if (a.vi != b.vi) return a.vi < b.vi;
+    return a.attr < b.attr;
+  };
+  if (variant == EbVariant::kOriginal) {
+    std::sort(out.begin(), out.end(), original_less);
+  } else {
+    std::sort(out.begin(), out.end(), vi_less);
+  }
+  return out;
+}
+
+std::vector<EbCandidate> RankEb(const relation::Relation& rel,
+                                const fd::Fd& fd,
+                                const fd::PoolOptions& opts,
+                                EbVariant variant) {
+  return RankEb(rel, fd, fd::CandidatePool(rel, fd, opts), variant);
+}
+
+}  // namespace fdevolve::clustering

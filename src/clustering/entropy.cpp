@@ -1,0 +1,74 @@
+#include "clustering/entropy.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fdevolve::clustering {
+namespace {
+
+/// Joint counts n_{k,k'} over the two id vectors.
+std::unordered_map<uint64_t, size_t> JointCounts(const Clustering& a,
+                                                 const Clustering& b) {
+  if (a.tuple_count() != b.tuple_count()) {
+    throw std::invalid_argument("entropy: clusterings over different instances");
+  }
+  std::unordered_map<uint64_t, size_t> joint;
+  joint.reserve(a.cluster_count() + b.cluster_count());
+  for (size_t t = 0; t < a.tuple_count(); ++t) {
+    uint64_t key =
+        (static_cast<uint64_t>(a.cluster_of(t)) << 32) | b.cluster_of(t);
+    ++joint[key];
+  }
+  return joint;
+}
+
+}  // namespace
+
+double ConditionalEntropy(const Clustering& c, const Clustering& given) {
+  const double n = static_cast<double>(c.tuple_count());
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [key, cnt] : JointCounts(c, given)) {
+    uint32_t given_id = static_cast<uint32_t>(key & 0xffffffffULL);
+    double p_joint = static_cast<double>(cnt) / n;
+    double p_given = static_cast<double>(given.sizes()[given_id]) / n;
+    // P(k|k') = p_joint / p_given.
+    h -= p_joint * std::log(p_joint / p_given);
+  }
+  // Clamp tiny negative round-off.
+  return h < 0.0 ? 0.0 : h;
+}
+
+double Entropy(const Clustering& c) {
+  const double n = static_cast<double>(c.tuple_count());
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (size_t sz : c.sizes()) {
+    if (sz == 0) continue;
+    double p = static_cast<double>(sz) / n;
+    h -= p * std::log(p);
+  }
+  return h < 0.0 ? 0.0 : h;
+}
+
+double VariationOfInformation(const Clustering& a, const Clustering& b) {
+  return ConditionalEntropy(a, b) + ConditionalEntropy(b, a);
+}
+
+double MutualInformation(const Clustering& a, const Clustering& b) {
+  const double n = static_cast<double>(a.tuple_count());
+  if (n == 0) return 0.0;
+  double mi = 0.0;
+  for (const auto& [key, cnt] : JointCounts(a, b)) {
+    uint32_t ida = static_cast<uint32_t>(key >> 32);
+    uint32_t idb = static_cast<uint32_t>(key & 0xffffffffULL);
+    double p_joint = static_cast<double>(cnt) / n;
+    double pa = static_cast<double>(a.sizes()[ida]) / n;
+    double pb = static_cast<double>(b.sizes()[idb]) / n;
+    mi += p_joint * std::log(p_joint / (pa * pb));
+  }
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace fdevolve::clustering

@@ -1,0 +1,27 @@
+// Conditional entropy and Variation of Information between clusterings
+// (Meilă 2007; §5 of the paper).
+//
+// Logarithms are natural; the choice of base scales all entropies by a
+// constant, so null sets, orderings and tie structure are unaffected.
+#pragma once
+
+#include "clustering/clustering.h"
+
+namespace fdevolve::clustering {
+
+/// H(C | C') = − Σ_{k,k'} P(k,k') · log P(k|k').
+/// Zero iff C' refines C (each class of C' lies in one class of C).
+double ConditionalEntropy(const Clustering& c, const Clustering& given);
+
+/// H(C) = − Σ_k P(k) log P(k). Entropy of one clustering.
+double Entropy(const Clustering& c);
+
+/// VI(C, C') = H(C|C') + H(C'|C). Symmetric; zero iff the partitions are
+/// identical.
+double VariationOfInformation(const Clustering& a, const Clustering& b);
+
+/// Mutual information I(C;C') = H(C) + H(C') − H(C,C') (for tests: VI can
+/// also be written H(C,C')·2 − H(C) − H(C')).
+double MutualInformation(const Clustering& a, const Clustering& b);
+
+}  // namespace fdevolve::clustering

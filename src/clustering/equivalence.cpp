@@ -1,0 +1,30 @@
+#include "clustering/equivalence.h"
+
+namespace fdevolve::clustering {
+
+double EpsilonCb(const relation::Relation& rel, const fd::Fd& base,
+                 const relation::AttrSet& added) {
+  fd::Fd extended = base.WithAntecedent(added);
+  fd::FdMeasures m = fd::ComputeMeasures(rel, extended);
+  return m.epsilon_cb();
+}
+
+double EpsilonVi(const relation::Relation& rel, const fd::Fd& base,
+                 const relation::AttrSet& added) {
+  Clustering ground_truth(rel, base.AllAttrs());
+  Clustering extended(rel, base.lhs().Union(added));
+  return VariationOfInformation(ground_truth, extended);
+}
+
+EquivalencePoint CompareMeasures(const relation::Relation& rel,
+                                 const fd::Fd& base,
+                                 const relation::AttrSet& added) {
+  EquivalencePoint p;
+  p.epsilon_cb = EpsilonCb(rel, base, added);
+  p.epsilon_vi = EpsilonVi(rel, base, added);
+  p.cb_null = p.epsilon_cb == 0.0;
+  p.vi_null = p.epsilon_vi <= 1e-12;
+  return p;
+}
+
+}  // namespace fdevolve::clustering

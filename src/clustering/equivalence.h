@@ -1,0 +1,41 @@
+// The ε_CB and ε_VI measures of §5 and empirical checks of Theorem 1.
+//
+// Theorem 1 claims ε_CB and ε_VI are equivalent measures (same null sets)
+// over candidate extensions FZ : XZ -> Y with ground truth C_XY.
+// The direction ε_CB = 0 ⇒ ε_VI = 0 holds and is property-tested. The
+// converse as literally stated admits counterexamples (see
+// equivalence_test.cpp: a Z with C_XZ = C_XY but |C_XZ| > |C_Y| gives
+// ε_VI = 0 with goodness ≠ 0); we expose both measures so the bench can
+// quantify where they agree in practice.
+#pragma once
+
+#include "clustering/clustering.h"
+#include "clustering/entropy.h"
+#include "fd/fd.h"
+#include "fd/measures.h"
+#include "relation/relation.h"
+
+namespace fdevolve::clustering {
+
+/// ε_CB(FZ) = ic(FZ) + |g(FZ)| computed on the extended FD XZ -> Y.
+double EpsilonCb(const relation::Relation& rel, const fd::Fd& base,
+                 const relation::AttrSet& added);
+
+/// ε_VI(FZ) = VI(C_XY, C_XZ): X,Y from the base FD, XZ the extended
+/// antecedent (the ground-truth form used in Theorem 1's proof).
+double EpsilonVi(const relation::Relation& rel, const fd::Fd& base,
+                 const relation::AttrSet& added);
+
+/// Both measures plus the structural predicates, for reporting.
+struct EquivalencePoint {
+  double epsilon_cb = 0.0;
+  double epsilon_vi = 0.0;
+  bool cb_null = false;  ///< ε_CB == 0
+  bool vi_null = false;  ///< ε_VI == 0 (within 1e-12)
+};
+
+EquivalencePoint CompareMeasures(const relation::Relation& rel,
+                                 const fd::Fd& base,
+                                 const relation::AttrSet& added);
+
+}  // namespace fdevolve::clustering

@@ -1,0 +1,55 @@
+#include "datagen/places.h"
+
+namespace fdevolve::datagen {
+
+using relation::Attribute;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+Relation MakePlaces() {
+  Schema schema({
+      {"District", DataType::kString},
+      {"Region", DataType::kString},
+      {"Municipal", DataType::kString},
+      {"AreaCode", DataType::kInt64},
+      {"PhNo", DataType::kString},
+      {"Street", DataType::kString},
+      {"Zip", DataType::kString},
+      {"City", DataType::kString},
+      {"State", DataType::kString},
+  });
+  return RelationBuilder("Places", schema)
+      //    District      Region        Municipal    Area  PhNo        Street      Zip      City       State
+      .Row({"Brookside", "Granville", "Glendale", int64_t{613}, "974-2345", "Boxwood", "10211", "NY", "NY"})        // t1
+      .Row({"Brookside", "Granville", "Glendale", int64_t{613}, "974-2345", "Boxwood", "10211", "NY", "NY"})        // t2
+      .Row({"Brookside", "Granville", "Glendale", int64_t{613}, "299-1010", "Westlane", "10211", "NY", "MA"})       // t3
+      .Row({"Brookside", "Granville", "Guildwood", int64_t{515}, "220-1200", "Squire", "02215", "Boston", "MA"})    // t4
+      .Row({"Brookside", "Granville", "Guildwood", int64_t{515}, "220-1200", "Squire", "02215", "Boston", "MA"})    // t5
+      .Row({"Alexandria", "Moore Park", "NapaHill", int64_t{415}, "220-1200", "Napa", "60415", "Chicago", "IL"})    // t6
+      .Row({"Alexandria", "Moore Park", "NapaHill", int64_t{415}, "930-2525", "Main", "60415", "Chicago", "IL"})    // t7
+      .Row({"Alexandria", "Moore Park", "NapaHill", int64_t{415}, "555-1234", "Tower", "60415", "Chester", "IL"})   // t8
+      .Row({"Alexandria", "Moore Park", "QueenAnne", int64_t{517}, "888-5152", "Main", "60415", "Chicago", "IL"})   // t9
+      .Row({"Alexandria", "Moore Park", "QueenAnne", int64_t{517}, "888-5152", "Main", "60601", "Chicago", "IL"})   // t10
+      .Row({"Alexandria", "Moore Park", "QueenAnne", int64_t{517}, "888-5152", "Bay", "60601", "Chicago", "IL"})    // t11
+      .Build();
+}
+
+fd::Fd PlacesF1(const relation::Schema& schema) {
+  return fd::Fd::Parse("District, Region -> AreaCode", schema, "F1");
+}
+
+fd::Fd PlacesF2(const relation::Schema& schema) {
+  return fd::Fd::Parse("Zip -> City, State", schema, "F2");
+}
+
+fd::Fd PlacesF3(const relation::Schema& schema) {
+  return fd::Fd::Parse("PhNo, Zip -> Street", schema, "F3");
+}
+
+fd::Fd PlacesF4(const relation::Schema& schema) {
+  return fd::Fd::Parse("District -> PhNo", schema, "F4");
+}
+
+}  // namespace fdevolve::datagen

@@ -1,0 +1,30 @@
+// The paper's running example: relation Places (Figure 1) and FDs F1-F4.
+//
+// The published PDF's Figure 1 does not survive text extraction intact,
+// so the instance here is reconstructed from the paper's own numbers, which
+// fully determine it: every confidence/goodness value in §3, §4.1 and
+// Tables 1-2 is reproduced exactly by this instance (asserted in
+// tests/fd/paper_example_test.cpp). Note Table 6 lists Places with
+// cardinality 10: tuples t1 and t2 are identical as 9-attribute tuples
+// (they differ only in tid), and projections are sets.
+#pragma once
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::datagen {
+
+/// Attribute order: District, Region, Municipal, AreaCode, PhNo, Street,
+/// Zip, City, State (arity 9, 11 stored rows).
+relation::Relation MakePlaces();
+
+/// F1 : [District, Region] -> [AreaCode]   (c = 0.5,  g = -2)
+fd::Fd PlacesF1(const relation::Schema& schema);
+/// F2 : [Zip] -> [City, State]             (c = 0.667, g = -1)
+fd::Fd PlacesF2(const relation::Schema& schema);
+/// F3 : [PhNo, Zip] -> [Street]            (c = 0.889, g = 1)
+fd::Fd PlacesF3(const relation::Schema& schema);
+/// F4 : [District] -> [PhNo]               (c = 0.29,  g = -4; §4.3)
+fd::Fd PlacesF4(const relation::Schema& schema);
+
+}  // namespace fdevolve::datagen

@@ -1,0 +1,65 @@
+// Stand-ins for the real-life datasets of Table 6 (§6.2).
+//
+// The originals (MySQL sample DBs, Wikipedia dumps, KDD Cup 98 "Veterans")
+// are external downloads; we synthesise relations with the same shape
+// parameters the paper's analysis depends on — arity, cardinality (scaled
+// where noted), NULL structure, and the repair length the paper reports
+// (Places and Image need 2 added attributes, Country/Rental/PageLinks 1).
+// DESIGN.md documents each substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::datagen {
+
+/// One Table 6 workload: relation + the FD the paper repairs on it.
+struct RealWorkload {
+  relation::Relation rel;
+  fd::Fd fd;
+  int expected_repair_length = 1;  ///< attributes the repair should add
+  size_t paper_cardinality = 0;    ///< cardinality printed in Table 6
+};
+
+struct RealOptions {
+  /// Divisor applied to the two large tables (Image, PageLinks, Veterans);
+  /// the small ones are generated at full paper cardinality.
+  size_t large_divisor = 10;
+  uint64_t seed = 11;
+};
+
+/// Places: arity 9, card 10 — the exact running example.
+RealWorkload MakePlacesWorkload();
+
+/// Country: arity 15, card 239 (MySQL `world` stand-in), 1-attr repair.
+RealWorkload MakeCountryWorkload(const RealOptions& opts = {});
+
+/// Rental: arity 7, card 16044 (MySQL `sakila` stand-in), 1-attr repair.
+RealWorkload MakeRentalWorkload(const RealOptions& opts = {});
+
+/// Image: arity 14, card 124768/divisor (Wikipedia image metadata), 2-attr
+/// repair — the paper singles this out as slower than the bigger PageLinks.
+RealWorkload MakeImageWorkload(const RealOptions& opts = {});
+
+/// PageLinks: arity 3, card 842159/divisor — only one candidate attribute.
+RealWorkload MakePageLinksWorkload(const RealOptions& opts = {});
+
+/// Veterans: arity 481 (323 NULL-free), card 95412/divisor. The candidate
+/// pool is windowed by the caller (see bench_table6_real).
+RealWorkload MakeVeteransWorkload(const RealOptions& opts = {});
+
+/// All six, in Table 6 order.
+std::vector<RealWorkload> MakeAllRealWorkloads(const RealOptions& opts = {});
+
+/// Veterans-style slice for the Table 7/8 sweeps: `n_attrs` NULL-free
+/// attributes, `n_tuples` rows, planted 2-attribute repair when
+/// `repairable`, no repair otherwise (reproduces Table 8's 10-attribute
+/// anomaly where the search finds nothing and costs as much as find-all).
+relation::Relation MakeVeteransSlice(int n_attrs, size_t n_tuples,
+                                     bool repairable, uint64_t seed = 13);
+
+}  // namespace fdevolve::datagen

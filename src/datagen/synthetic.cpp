@@ -1,0 +1,107 @@
+#include "datagen/synthetic.h"
+
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace fdevolve::datagen {
+
+using relation::Attribute;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+using relation::Value;
+
+relation::Relation MakeSynthetic(const SyntheticSpec& spec) {
+  if (spec.n_attrs < 2 + spec.repair_length) {
+    throw std::invalid_argument(
+        "SyntheticSpec: n_attrs must be >= 2 + repair_length");
+  }
+  if (spec.repair_length < 0) {
+    throw std::invalid_argument("SyntheticSpec: negative repair_length");
+  }
+  if (spec.unrepairable_rate > 0.0 && spec.consequent_domain < 2) {
+    throw std::invalid_argument(
+        "SyntheticSpec: poison twins need consequent_domain >= 2");
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.push_back({"X", DataType::kInt64});
+  attrs.push_back({"Y", DataType::kInt64});
+  for (int d = 0; d < spec.repair_length; ++d) {
+    attrs.push_back({"D" + std::to_string(d + 1), DataType::kInt64});
+  }
+  int n_noise = spec.n_attrs - 2 - spec.repair_length;
+  for (int m = 0; m < n_noise; ++m) {
+    attrs.push_back({"N" + std::to_string(m + 1), DataType::kInt64});
+  }
+
+  Relation rel(spec.name, Schema(std::move(attrs)));
+  util::Rng rng(spec.seed);
+
+  std::vector<Value> prev_row;
+  for (size_t t = 0; t < spec.n_tuples; ++t) {
+    if (!prev_row.empty() && spec.unrepairable_rate > 0.0 &&
+        rng.Chance(spec.unrepairable_rate)) {
+      // Poison twin: identical to the previous tuple everywhere except Y.
+      std::vector<Value> twin = prev_row;
+      int64_t old_y = twin[1].as_int();
+      twin[1] = Value((old_y + 1 + static_cast<int64_t>(rng.Below(
+                           spec.consequent_domain - 1))) %
+                      static_cast<int64_t>(spec.consequent_domain));
+      if (twin[1] == prev_row[1]) {
+        twin[1] = Value((old_y + 1) % static_cast<int64_t>(spec.consequent_domain));
+      }
+      rel.AppendRow(twin);
+      prev_row = std::move(twin);
+      continue;
+    }
+
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(spec.n_attrs));
+
+    auto x = static_cast<int64_t>(rng.Below(spec.antecedent_domain));
+    row.emplace_back(x);
+
+    // Determinants drawn first so Y can be computed from them.
+    std::vector<int64_t> dets(static_cast<size_t>(spec.repair_length));
+    for (auto& d : dets) {
+      d = static_cast<int64_t>(rng.Below(spec.determinant_domain));
+    }
+
+    // Y = h(X, D1..Dk): exact dependency on the planted determinant set.
+    uint64_t h = util::Mix64(static_cast<uint64_t>(x) + 0x51ULL);
+    for (int64_t d : dets) {
+      h = util::HashCombine(h, static_cast<uint64_t>(d));
+    }
+    row.emplace_back(static_cast<int64_t>(h % spec.consequent_domain));
+    for (int64_t d : dets) row.emplace_back(d);
+
+    for (int m = 0; m < n_noise; ++m) {
+      if (spec.noise_null_rate > 0.0 && rng.Chance(spec.noise_null_rate)) {
+        row.emplace_back(Value::Null());
+      } else {
+        row.emplace_back(static_cast<int64_t>(rng.Below(spec.noise_domain)));
+      }
+    }
+    rel.AppendRow(row);
+    prev_row = std::move(row);
+  }
+  return rel;
+}
+
+fd::Fd SyntheticFd(const relation::Schema& schema) {
+  return fd::Fd::Parse("X -> Y", schema, "planted");
+}
+
+relation::AttrSet SyntheticPlantedRepair(const relation::Schema& schema,
+                                         int repair_length) {
+  relation::AttrSet s;
+  for (int d = 0; d < repair_length; ++d) {
+    s.Add(schema.Require("D" + std::to_string(d + 1)));
+  }
+  return s;
+}
+
+}  // namespace fdevolve::datagen

@@ -1,0 +1,63 @@
+// Generic synthetic relation generator with planted FD/repair structure.
+//
+// The Veterans case study (§6.2.1, Tables 7-8) sweeps relations by number
+// of attributes and tuples while the algorithm repairs one FD. This
+// generator produces that workload with controllable ground truth:
+//
+//   * attribute 0 (X) is the FD antecedent, attribute 1 (Y) the consequent;
+//   * attributes 2 .. 1+repair_length are "determinants": Y is a function
+//     of (X, determinants), so  X ∪ determinants -> Y  holds exactly and a
+//     repair of exactly `repair_length` attributes exists (w.h.p. no
+//     shorter one does — asserted probabilistically in tests);
+//   * remaining attributes are independent noise with configurable
+//     cardinality;
+//   * `unrepairable_rate` > 0 re-rolls Y on a fraction of tuples
+//     independently of the determinants, destroying every repair (used to
+//     reproduce Table 8's "no repair exists" anomaly and for failure
+//     injection in tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::datagen {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  int n_attrs = 10;        ///< total attributes (>= 2 + repair_length)
+  size_t n_tuples = 1000;  ///< generated rows
+  uint64_t seed = 42;
+
+  int repair_length = 1;  ///< planted minimal repair size (0 = FD holds)
+
+  size_t antecedent_domain = 50;   ///< distinct values of attribute 0
+  size_t consequent_domain = 200;  ///< codomain size of Y
+  size_t determinant_domain = 20;  ///< distinct values per determinant
+  size_t noise_domain = 100;       ///< distinct values per noise attribute
+
+  /// Fraction of tuples emitted as "poison twins": a copy of the previous
+  /// tuple on every attribute except Y, which is forced to differ. A single
+  /// twin makes the instance unrepairable — no antecedent extension can
+  /// separate two tuples that agree everywhere outside the consequent.
+  double unrepairable_rate = 0.0;
+
+  /// Fraction of NULLs injected into noise attributes (candidate-pool
+  /// filtering exercise; determinants and FD attributes stay NULL-free).
+  double noise_null_rate = 0.0;
+};
+
+/// Generates the relation. Attribute names are "X", "Y", "D1".."Dk",
+/// "N1".."Nm" in schema order.
+relation::Relation MakeSynthetic(const SyntheticSpec& spec);
+
+/// The planted violated FD: [X] -> [Y].
+fd::Fd SyntheticFd(const relation::Schema& schema);
+
+/// The planted repair set {D1..Dk} as an AttrSet (empty if repair_length 0).
+relation::AttrSet SyntheticPlantedRepair(const relation::Schema& schema,
+                                         int repair_length);
+
+}  // namespace fdevolve::datagen

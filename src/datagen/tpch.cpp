@@ -1,0 +1,334 @@
+#include "datagen/tpch.h"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace fdevolve::datagen {
+
+using relation::Attribute;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+using relation::Value;
+
+namespace {
+
+constexpr const char* kNames[] = {"customer", "lineitem", "nation", "orders",
+                                  "part",     "partsupp", "region", "supplier"};
+
+/// Table 4 cardinalities, columns S/M/L.
+const std::unordered_map<std::string, std::array<size_t, 3>>& PaperCards() {
+  static const std::unordered_map<std::string, std::array<size_t, 3>> cards = {
+      {"customer", {15000, 30043, 150249}},
+      {"lineitem", {601045, 1196929, 6005428}},
+      {"nation", {25, 25, 25}},
+      {"orders", {149622, 301174, 1493724}},
+      {"part", {20000, 40098, 199756}},
+      {"partsupp", {80533, 160611, 779546}},
+      {"region", {5, 5, 5}},
+      {"supplier", {1000, 2000, 10000}},
+  };
+  return cards;
+}
+
+size_t ScaleIndex(TpchScale s) {
+  switch (s) {
+    case TpchScale::kSmall:
+      return 0;
+    case TpchScale::kMedium:
+      return 1;
+    case TpchScale::kLarge:
+      return 2;
+  }
+  return 0;
+}
+
+size_t Scaled(size_t paper_card, size_t divisor) {
+  size_t n = paper_card / (divisor == 0 ? 1 : divisor);
+  return n < 5 ? std::min<size_t>(paper_card, 5) : n;
+}
+
+int64_t HashOf(std::initializer_list<uint64_t> parts, uint64_t salt,
+               uint64_t mod) {
+  uint64_t h = util::Mix64(salt);
+  for (uint64_t p : parts) h = util::HashCombine(h, p);
+  return static_cast<int64_t>(h % mod);
+}
+
+Relation MakeRegion(size_t n, util::Rng& rng) {
+  Schema schema({{"r_regionkey", DataType::kInt64},
+                 {"r_name", DataType::kString},
+                 {"r_comment", DataType::kString}});
+  Relation rel("region", schema);
+  for (size_t i = 0; i < n; ++i) {
+    rel.AppendRow({static_cast<int64_t>(i), "REGION_" + std::to_string(i),
+                   "comment " + rng.Ident(8)});
+  }
+  return rel;
+}
+
+Relation MakeNation(size_t n, util::Rng& rng) {
+  Schema schema({{"n_nationkey", DataType::kInt64},
+                 {"n_name", DataType::kString},
+                 {"n_regionkey", DataType::kInt64},
+                 {"n_comment", DataType::kString}});
+  Relation rel("nation", schema);
+  for (size_t i = 0; i < n; ++i) {
+    rel.AppendRow({static_cast<int64_t>(i), "NATION_" + std::to_string(i),
+                   static_cast<int64_t>(i % 5), "comment " + rng.Ident(8)});
+  }
+  return rel;
+}
+
+Relation MakeCustomer(size_t n, util::Rng& rng) {
+  Schema schema({{"c_custkey", DataType::kInt64},
+                 {"c_name", DataType::kString},
+                 {"c_address", DataType::kString},
+                 {"c_nationkey", DataType::kInt64},
+                 {"c_phone", DataType::kString},
+                 {"c_acctbal", DataType::kDouble},
+                 {"c_mktsegment", DataType::kString},
+                 {"c_comment", DataType::kString}});
+  Relation rel("customer", schema);
+  // c_name collides (one name per ~3 customers) so name -> address is
+  // violated; address is a function of (name, phone), planting a 1-attr
+  // repair. c_custkey is UNIQUE, planting the degenerate repair the
+  // goodness criterion should demote.
+  size_t name_card = std::max<size_t>(1, n / 3);
+  size_t phone_card = std::max<size_t>(1, n / 2);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t name_id = rng.Below(name_card);
+    uint64_t phone_id = rng.Below(phone_card);
+    rel.AppendRow(
+        {static_cast<int64_t>(i), "Customer#" + std::to_string(name_id),
+         "addr_" + std::to_string(HashOf({name_id, phone_id}, 0xc5, 1 << 20)),
+         static_cast<int64_t>(rng.Below(25)),
+         "phone_" + std::to_string(phone_id),
+         static_cast<double>(rng.Below(100000)) / 100.0,
+         "SEG_" + std::to_string(rng.Below(5)), "comment " + rng.Ident(6)});
+  }
+  return rel;
+}
+
+Relation MakeSupplier(size_t n, util::Rng& rng) {
+  Schema schema({{"s_suppkey", DataType::kInt64},
+                 {"s_name", DataType::kString},
+                 {"s_address", DataType::kString},
+                 {"s_nationkey", DataType::kInt64},
+                 {"s_phone", DataType::kString},
+                 {"s_acctbal", DataType::kDouble},
+                 {"s_comment", DataType::kString}});
+  Relation rel("supplier", schema);
+  size_t name_card = std::max<size_t>(1, n / 3);
+  size_t phone_card = std::max<size_t>(1, n / 2);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t name_id = rng.Below(name_card);
+    uint64_t phone_id = rng.Below(phone_card);
+    rel.AppendRow(
+        {static_cast<int64_t>(i), "Supplier#" + std::to_string(name_id),
+         "addr_" + std::to_string(HashOf({name_id, phone_id}, 0x55, 1 << 20)),
+         static_cast<int64_t>(rng.Below(25)),
+         "phone_" + std::to_string(phone_id),
+         static_cast<double>(rng.Below(100000)) / 100.0,
+         "comment " + rng.Ident(6)});
+  }
+  return rel;
+}
+
+Relation MakePart(size_t n, util::Rng& rng) {
+  Schema schema({{"p_partkey", DataType::kInt64},
+                 {"p_name", DataType::kString},
+                 {"p_mfgr", DataType::kString},
+                 {"p_brand", DataType::kString},
+                 {"p_type", DataType::kString},
+                 {"p_size", DataType::kInt64},
+                 {"p_container", DataType::kString},
+                 {"p_retailprice", DataType::kDouble},
+                 {"p_comment", DataType::kString}});
+  Relation rel("part", schema);
+  size_t name_card = std::max<size_t>(1, n / 4);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t name_id = rng.Below(name_card);
+    uint64_t brand_id = rng.Below(25);
+    // mfgr = f(name, brand): name -> mfgr violated, repairable by p_brand.
+    rel.AppendRow(
+        {static_cast<int64_t>(i), "part_" + std::to_string(name_id),
+         "Manufacturer#" + std::to_string(HashOf({name_id, brand_id}, 0x9a, 5)),
+         "Brand#" + std::to_string(brand_id),
+         "TYPE_" + std::to_string(rng.Below(150)),
+         static_cast<int64_t>(rng.Below(50) + 1),
+         "CONT_" + std::to_string(rng.Below(40)),
+         static_cast<double>(900 + rng.Below(1200)) / 10.0,
+         "comment " + rng.Ident(5)});
+  }
+  return rel;
+}
+
+Relation MakePartsupp(size_t n, util::Rng& rng) {
+  Schema schema({{"ps_partkey", DataType::kInt64},
+                 {"ps_suppkey", DataType::kInt64},
+                 {"ps_availqty", DataType::kInt64},
+                 {"ps_supplycost", DataType::kDouble},
+                 {"ps_comment", DataType::kString}});
+  Relation rel("partsupp", schema);
+  size_t part_card = std::max<size_t>(1, n / 4);
+  size_t supp_card = std::max<size_t>(1, n / 80);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t part_id = rng.Below(part_card);
+    uint64_t supp_id = rng.Below(supp_card);
+    // availqty = f(suppkey, partkey): suppkey -> availqty violated,
+    // repairable by ps_partkey.
+    rel.AppendRow({static_cast<int64_t>(part_id),
+                   static_cast<int64_t>(supp_id),
+                   HashOf({supp_id, part_id}, 0x75, 9999) + 1,
+                   static_cast<double>(rng.Below(100000)) / 100.0,
+                   "comment " + rng.Ident(5)});
+  }
+  return rel;
+}
+
+Relation MakeOrders(size_t n, util::Rng& rng) {
+  Schema schema({{"o_orderkey", DataType::kInt64},
+                 {"o_custkey", DataType::kInt64},
+                 {"o_orderstatus", DataType::kString},
+                 {"o_totalprice", DataType::kDouble},
+                 {"o_orderdate", DataType::kInt64},
+                 {"o_orderpriority", DataType::kString},
+                 {"o_clerk", DataType::kString},
+                 {"o_shippriority", DataType::kInt64},
+                 {"o_comment", DataType::kString}});
+  Relation rel("orders", schema);
+  size_t cust_card = std::max<size_t>(1, n / 10);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cust = rng.Below(cust_card);
+    uint64_t priority = rng.Below(5);
+    uint64_t clerk = rng.Below(std::max<size_t>(1, n / 100));
+    // status = f(custkey, priority, clerk): custkey -> orderstatus is
+    // violated and needs a 2-attribute repair {o_orderpriority, o_clerk}.
+    rel.AppendRow(
+        {static_cast<int64_t>(i), static_cast<int64_t>(cust),
+         "S" + std::to_string(HashOf({cust, priority, clerk}, 0x0f, 3)),
+         static_cast<double>(rng.Below(500000)) / 100.0,
+         static_cast<int64_t>(19920101 + rng.Below(2500)),
+         "PRIO_" + std::to_string(priority), "Clerk#" + std::to_string(clerk),
+         static_cast<int64_t>(rng.Below(2)), "comment " + rng.Ident(6)});
+  }
+  return rel;
+}
+
+Relation MakeLineitem(size_t n, util::Rng& rng) {
+  Schema schema({{"l_orderkey", DataType::kInt64},
+                 {"l_partkey", DataType::kInt64},
+                 {"l_suppkey", DataType::kInt64},
+                 {"l_linenumber", DataType::kInt64},
+                 {"l_quantity", DataType::kInt64},
+                 {"l_extendedprice", DataType::kDouble},
+                 {"l_discount", DataType::kDouble},
+                 {"l_tax", DataType::kDouble},
+                 {"l_returnflag", DataType::kString},
+                 {"l_linestatus", DataType::kString},
+                 {"l_shipdate", DataType::kInt64},
+                 {"l_commitdate", DataType::kInt64},
+                 {"l_receiptdate", DataType::kInt64},
+                 {"l_shipinstruct", DataType::kString},
+                 {"l_shipmode", DataType::kString},
+                 {"l_comment", DataType::kString}});
+  Relation rel("lineitem", schema);
+  size_t part_card = std::max<size_t>(1, n / 30);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t part = rng.Below(part_card);
+    uint64_t mode = rng.Below(7);
+    uint64_t instr = rng.Below(4);
+    int64_t ship = static_cast<int64_t>(19920101 + rng.Below(2500));
+    // suppkey = f(partkey, shipmode, shipinstruct): the paper's violated
+    // lineitem FD (each part has several suppliers); 2-attribute repair.
+    rel.AppendRow(
+        {static_cast<int64_t>(rng.Below(std::max<size_t>(1, n / 4))),
+         static_cast<int64_t>(part),
+         HashOf({part, mode, instr}, 0x11, std::max<size_t>(1, n / 60) + 4),
+         static_cast<int64_t>(rng.Below(7) + 1),
+         static_cast<int64_t>(rng.Below(50) + 1),
+         static_cast<double>(rng.Below(100000)) / 100.0,
+         static_cast<double>(rng.Below(11)) / 100.0,
+         static_cast<double>(rng.Below(9)) / 100.0,
+         std::string(1, static_cast<char>('A' + rng.Below(3))),
+         std::string(1, static_cast<char>('F' + rng.Below(2))), ship,
+         ship + static_cast<int64_t>(rng.Below(60)),
+         ship + static_cast<int64_t>(rng.Below(90)),
+         "INSTR_" + std::to_string(instr), "MODE_" + std::to_string(mode),
+         "comment " + rng.Ident(4)});
+  }
+  return rel;
+}
+
+}  // namespace
+
+std::string TpchScaleName(TpchScale s) {
+  switch (s) {
+    case TpchScale::kSmall:
+      return "100MB";
+    case TpchScale::kMedium:
+      return "250MB";
+    case TpchScale::kLarge:
+      return "1GB";
+  }
+  return "?";
+}
+
+size_t TpchPaperCardinality(const std::string& table, TpchScale scale) {
+  auto it = PaperCards().find(table);
+  if (it == PaperCards().end()) {
+    throw std::invalid_argument("unknown TPC-H table '" + table + "'");
+  }
+  return it->second[ScaleIndex(scale)];
+}
+
+const relation::Relation& TpchDatabase::Get(const std::string& name) const {
+  for (const auto& t : tables) {
+    if (t.name() == name) return t;
+  }
+  throw std::invalid_argument("TpchDatabase: no table '" + name + "'");
+}
+
+TpchDatabase MakeTpch(const TpchOptions& opts) {
+  TpchDatabase db;
+  util::Rng rng(opts.seed);
+  auto card = [&](const char* t) {
+    return Scaled(TpchPaperCardinality(t, opts.scale), opts.scale_divisor);
+  };
+  db.tables.push_back(MakeCustomer(card("customer"), rng));
+  db.tables.push_back(MakeLineitem(card("lineitem"), rng));
+  db.tables.push_back(MakeNation(card("nation"), rng));
+  db.tables.push_back(MakeOrders(card("orders"), rng));
+  db.tables.push_back(MakePart(card("part"), rng));
+  db.tables.push_back(MakePartsupp(card("partsupp"), rng));
+  db.tables.push_back(MakeRegion(card("region"), rng));
+  db.tables.push_back(MakeSupplier(card("supplier"), rng));
+  return db;
+}
+
+fd::Fd TpchTable5Fd(const relation::Relation& table) {
+  const auto& s = table.schema();
+  const std::string& n = table.name();
+  if (n == "customer") return fd::Fd::Parse("c_name -> c_address", s, n);
+  if (n == "lineitem") return fd::Fd::Parse("l_partkey -> l_suppkey", s, n);
+  if (n == "nation") return fd::Fd::Parse("n_name -> n_regionkey", s, n);
+  if (n == "orders") return fd::Fd::Parse("o_custkey -> o_orderstatus", s, n);
+  if (n == "part") return fd::Fd::Parse("p_name -> p_mfgr", s, n);
+  if (n == "partsupp") return fd::Fd::Parse("ps_suppkey -> ps_availqty", s, n);
+  if (n == "region") return fd::Fd::Parse("r_name -> r_comment", s, n);
+  if (n == "supplier") return fd::Fd::Parse("s_name -> s_address", s, n);
+  throw std::invalid_argument("TpchTable5Fd: unknown table '" + n + "'");
+}
+
+const std::vector<std::string>& TpchTableNames() {
+  static const std::vector<std::string> names(std::begin(kNames),
+                                              std::end(kNames));
+  return names;
+}
+
+}  // namespace fdevolve::datagen

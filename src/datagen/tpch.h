@@ -1,0 +1,62 @@
+// TPC-H-like synthetic database generator (DBGEN stand-in).
+//
+// The paper's §6.1 uses DBGEN at 100 MB / 250 MB / 1 GB. We regenerate the
+// same eight tables with the arities of Table 4 and cardinalities scaled by
+// `scale_divisor` (default 100) so the benches finish on a laptop while
+// preserving the paper's relative structure:
+//   * per-table arity and cardinality ratios match Table 4;
+//   * the Table 5 FDs have the same satisfied/violated status they have in
+//     real TPC-H data (nation/region name keys are exact; partkey ->
+//     suppkey has 4 suppliers per part; custkey -> orderstatus collides;
+//     etc.), so the same tables dominate the runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::datagen {
+
+/// The paper's three database sizes.
+enum class TpchScale {
+  kSmall,   ///< paper's 100 MB column of Table 4
+  kMedium,  ///< paper's 250 MB column
+  kLarge,   ///< paper's   1 GB column
+};
+
+std::string TpchScaleName(TpchScale s);
+
+/// Cardinality of `table` at `scale` as printed in Table 4 (unscaled).
+size_t TpchPaperCardinality(const std::string& table, TpchScale scale);
+
+/// One generated database.
+struct TpchDatabase {
+  std::vector<relation::Relation> tables;
+
+  const relation::Relation& Get(const std::string& name) const;
+};
+
+struct TpchOptions {
+  TpchScale scale = TpchScale::kSmall;
+  /// Generated cardinality = paper cardinality / scale_divisor (min 5).
+  size_t scale_divisor = 100;
+  uint64_t seed = 7;
+};
+
+/// Generates all eight tables.
+TpchDatabase MakeTpch(const TpchOptions& opts);
+
+/// The FD of Table 5 for one table, resolved against its schema:
+///   customer [name]->[address], lineitem [partkey]->[suppkey],
+///   nation [name]->[regionkey], orders [custkey]->[orderstatus],
+///   part [name]->[mfgr], partsupp [suppkey]->[availqty],
+///   region [name]->[comment], supplier [name]->[address].
+fd::Fd TpchTable5Fd(const relation::Relation& table);
+
+/// Table names in Table 4/5 order.
+const std::vector<std::string>& TpchTableNames();
+
+}  // namespace fdevolve::datagen

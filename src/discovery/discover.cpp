@@ -1,0 +1,133 @@
+#include "discovery/discover.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/distinct.h"
+#include "util/timer.h"
+
+namespace fdevolve::discovery {
+namespace {
+
+using relation::AttrSet;
+using relation::AttrSetHash;
+
+/// Per-consequent record of already-found minimal determinants, used to
+/// prune non-minimal candidates: X -> A is non-minimal iff some recorded
+/// determinant of A is a subset of X.
+class MinimalDeterminants {
+ public:
+  bool CoveredBy(int attr, const AttrSet& x) const {
+    auto it = by_attr_.find(attr);
+    if (it == by_attr_.end()) return false;
+    for (const auto& d : it->second) {
+      if (d.SubsetOf(x)) return true;
+    }
+    return false;
+  }
+
+  void Record(int attr, const AttrSet& x) { by_attr_[attr].push_back(x); }
+
+ private:
+  std::unordered_map<int, std::vector<AttrSet>> by_attr_;
+};
+
+}  // namespace
+
+DiscoveryResult DiscoverFds(const relation::Relation& rel,
+                            const DiscoveryOptions& opts) {
+  util::Timer timer;
+  DiscoveryResult result;
+
+  AttrSet universe = opts.restrict_to.Empty()
+                         ? rel.NonNullAttrs()
+                         : rel.NonNullAttrs().Intersect(opts.restrict_to);
+  const std::vector<int> attrs = universe.ToVector();
+  query::DistinctEvaluator eval(rel);
+  const size_t full_distinct = eval.Count(universe);
+  MinimalDeterminants found;
+
+  auto fd_budget_left = [&]() {
+    return opts.max_fds == 0 || result.fds.size() < opts.max_fds;
+  };
+
+  // Level 0: {} -> A for constant columns (the degenerate minimal FDs).
+  for (int a : attrs) {
+    if (!fd_budget_left()) break;
+    ++result.stats.candidates_checked;
+    if (rel.tuple_count() > 0 && rel.column(a).dict_size() <= 1 &&
+        !rel.column(a).has_nulls()) {
+      AttrSet empty;
+      found.Record(a, empty);
+      result.fds.emplace_back(empty, AttrSet::Of({a}));
+    }
+  }
+
+  std::vector<AttrSet> level;
+  for (int a : attrs) {
+    AttrSet s;
+    s.Add(a);
+    level.push_back(s);
+  }
+
+  const int max_lhs = opts.max_lhs < 1 ? 1 : opts.max_lhs;
+  for (int depth = 1; depth <= max_lhs && !level.empty() && fd_budget_left();
+       ++depth) {
+    std::vector<AttrSet> next;
+    std::unordered_set<AttrSet, AttrSetHash> scheduled;
+    for (const AttrSet& x : level) {
+      if (!fd_budget_left()) break;
+      ++result.stats.lattice_nodes;
+      size_t distinct_x = eval.Count(x);
+
+      if (opts.prune_superkeys && distinct_x == full_distinct &&
+          rel.tuple_count() > 0) {
+        // X already separates every (projected) tuple: all X -> A hold;
+        // none below it can be *newly* minimal through this branch.
+        ++result.stats.superkeys_pruned;
+        continue;
+      }
+
+      for (int a : attrs) {
+        if (x.Contains(a)) continue;
+        if (found.CoveredBy(a, x)) continue;  // non-minimal
+        ++result.stats.candidates_checked;
+        size_t distinct_xa = eval.Count(x.With(a));
+        if (distinct_x == distinct_xa) {
+          found.Record(a, x);
+          result.fds.emplace_back(x, AttrSet::Of({a}));
+          if (!fd_budget_left()) break;
+        }
+      }
+
+      if (depth < max_lhs) {
+        // Expand by attributes above max(X) to enumerate each set once.
+        int max_in_x = x.ToVector().back();
+        for (int b : attrs) {
+          if (b <= max_in_x || x.Contains(b)) continue;
+          AttrSet grown = x.With(b);
+          if (scheduled.insert(grown).second) next.push_back(grown);
+        }
+      }
+    }
+    level = std::move(next);
+  }
+
+  result.stats.complete = fd_budget_left();
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+std::vector<fd::Fd> FindExtensions(const std::vector<fd::Fd>& discovered,
+                                   const fd::Fd& declared) {
+  std::vector<fd::Fd> out;
+  for (const auto& f : discovered) {
+    if (f.rhs() == declared.rhs() && declared.lhs().SubsetOf(f.lhs()) &&
+        !(f.lhs() == declared.lhs())) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace fdevolve::discovery

@@ -1,0 +1,57 @@
+// Levelwise discovery of minimal exact FDs (TANE-style), the substrate of
+// the paper's §2 comparison: updating constraints by (i) discovering all
+// FDs from data and then (ii) relaxing the declared set — the pipeline the
+// paper argues is impractical next to direct repair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::discovery {
+
+struct DiscoveryOptions {
+  /// Maximum antecedent size explored (lattice level cap).
+  int max_lhs = 3;
+
+  /// Restrict the attribute universe (both sides); empty = all NULL-free
+  /// attributes (FD attributes may not contain NULLs, §6.2.1).
+  relation::AttrSet restrict_to;
+
+  /// Stop after this many minimal FDs (0 = unlimited).
+  size_t max_fds = 0;
+
+  /// Skip antecedents that are superkeys: every X -> A with X a key is
+  /// trivially exact and rarely interesting for schema semantics.
+  bool prune_superkeys = true;
+};
+
+struct DiscoveryStats {
+  size_t candidates_checked = 0;  ///< (X, A) exactness tests performed
+  size_t lattice_nodes = 0;       ///< antecedent sets visited
+  size_t superkeys_pruned = 0;
+  bool complete = true;           ///< false if max_fds stopped the search
+  double elapsed_ms = 0.0;
+};
+
+struct DiscoveryResult {
+  std::vector<fd::Fd> fds;  ///< minimal exact FDs, level order
+  DiscoveryStats stats;
+};
+
+/// Discovers all minimal exact FDs X -> A with |X| <= max_lhs.
+/// Minimality: no proper subset of X determines A on this instance.
+DiscoveryResult DiscoverFds(const relation::Relation& rel,
+                            const DiscoveryOptions& opts = {});
+
+/// The "relax" step of the discover-then-relax pipeline: for a declared,
+/// violated FD, the discovered set is searched for *extensions* — minimal
+/// exact FDs with the same consequent whose antecedent contains the
+/// declared one. Returns them; empty means the pipeline failed to produce
+/// a repair for this FD (the failure mode the paper observed with [16]).
+std::vector<fd::Fd> FindExtensions(const std::vector<fd::Fd>& discovered,
+                                   const fd::Fd& declared);
+
+}  // namespace fdevolve::discovery

@@ -1,0 +1,45 @@
+#include "fd/candidate_ranking.h"
+
+#include <algorithm>
+
+#include "query/column_stats.h"
+
+namespace fdevolve::fd {
+
+relation::AttrSet CandidatePool(const relation::Relation& rel, const Fd& fd,
+                                const PoolOptions& opts) {
+  relation::AttrSet pool = rel.schema().AllAttrs().Minus(fd.AllAttrs());
+  if (opts.exclude_nulls) {
+    pool = pool.Intersect(rel.NonNullAttrs());
+  }
+  if (opts.exclude_unique) {
+    pool = pool.Minus(query::UniqueAttrs(rel));
+  }
+  if (!opts.restrict_to.Empty()) {
+    pool = pool.Intersect(opts.restrict_to);
+  }
+  return pool;
+}
+
+std::vector<Candidate> ExtendByOne(query::DistinctEvaluator& eval,
+                                   const Fd& fd,
+                                   const relation::AttrSet& pool) {
+  std::vector<Candidate> out;
+  out.reserve(static_cast<size_t>(pool.Count()));
+  for (int a : pool.ToVector()) {
+    Candidate c;
+    c.attr = a;
+    c.extended = fd.WithAntecedent(a);
+    c.measures = ComputeMeasures(eval, c.extended);
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), Candidate::RankLess);
+  return out;
+}
+
+std::vector<Candidate> ExtendByOne(query::DistinctEvaluator& eval,
+                                   const Fd& fd, const PoolOptions& opts) {
+  return ExtendByOne(eval, fd, CandidatePool(eval.rel(), fd, opts));
+}
+
+}  // namespace fdevolve::fd

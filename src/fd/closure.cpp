@@ -1,0 +1,142 @@
+#include "fd/closure.h"
+
+#include <algorithm>
+
+namespace fdevolve::fd {
+
+relation::AttrSet AttributeClosure(const relation::AttrSet& attrs,
+                                   const std::vector<Fd>& fds) {
+  relation::AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& f : fds) {
+      if (f.lhs().SubsetOf(closure) && !f.rhs().SubsetOf(closure)) {
+        closure = closure.Union(f.rhs());
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<Fd>& fds, const Fd& candidate) {
+  return candidate.rhs().SubsetOf(AttributeClosure(candidate.lhs(), fds));
+}
+
+std::vector<relation::AttrSet> CandidateKeys(const relation::AttrSet& universe,
+                                             const std::vector<Fd>& fds,
+                                             int max_key_size) {
+  std::vector<relation::AttrSet> keys;
+  const auto attrs = universe.ToVector();
+  const int cap = max_key_size > 0
+                      ? std::min<int>(max_key_size, universe.Count())
+                      : universe.Count();
+
+  auto is_superkey = [&](const relation::AttrSet& s) {
+    return universe.SubsetOf(AttributeClosure(s, fds));
+  };
+  auto covered = [&](const relation::AttrSet& s) {
+    for (const auto& k : keys) {
+      if (k.SubsetOf(s)) return true;
+    }
+    return false;
+  };
+
+  // Levelwise from small to large: the first superkeys found per branch
+  // are minimal; supersets of known keys are skipped.
+  std::vector<relation::AttrSet> level = {relation::AttrSet()};
+  for (int size = 1; size <= cap; ++size) {
+    std::vector<relation::AttrSet> next;
+    for (const auto& base : level) {
+      int max_in = base.Empty() ? -1 : base.ToVector().back();
+      for (int a : attrs) {
+        if (a <= max_in) continue;
+        relation::AttrSet grown = base.With(a);
+        if (covered(grown)) continue;
+        if (is_superkey(grown)) {
+          keys.push_back(grown);
+        } else {
+          next.push_back(grown);
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  return keys;
+}
+
+bool IsBcnf(const relation::AttrSet& universe, const std::vector<Fd>& fds) {
+  for (const Fd& f : fds) {
+    if (!universe.SubsetOf(AttributeClosure(f.lhs(), fds))) return false;
+  }
+  return true;
+}
+
+bool Is3nf(const relation::AttrSet& universe, const std::vector<Fd>& fds) {
+  relation::AttrSet prime;
+  for (const auto& key : CandidateKeys(universe, fds)) {
+    prime = prime.Union(key);
+  }
+  for (const Fd& f : fds) {
+    if (universe.SubsetOf(AttributeClosure(f.lhs(), fds))) continue;
+    // Every consequent attribute outside the antecedent must be prime.
+    if (!f.rhs().Minus(f.lhs()).SubsetOf(prime)) return false;
+  }
+  return true;
+}
+
+std::vector<Fd> MinimalCover(const std::vector<Fd>& fds) {
+  // 1. Singleton consequents.
+  std::vector<Fd> cover;
+  for (const Fd& f : fds) {
+    for (Fd& part : f.Decompose()) {
+      cover.push_back(std::move(part));
+    }
+  }
+
+  // 2. Remove extraneous antecedent attributes.
+  for (auto& f : cover) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (int a : f.lhs().ToVector()) {
+        relation::AttrSet smaller = f.lhs();
+        smaller.Remove(a);
+        if (smaller.Intersects(f.rhs())) continue;
+        if (Implies(cover, Fd(smaller, f.rhs()))) {
+          f = Fd(smaller, f.rhs(), f.label());
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Drop redundant FDs (implied by the rest).
+  for (size_t i = 0; i < cover.size();) {
+    std::vector<Fd> rest;
+    rest.reserve(cover.size() - 1);
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) rest.push_back(cover[j]);
+    }
+    if (Implies(rest, cover[i])) {
+      cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // 4. De-duplicate.
+  std::vector<Fd> out;
+  for (const auto& f : cover) {
+    bool dup = false;
+    for (const auto& g : out) {
+      if (f == g) dup = true;
+    }
+    if (!dup) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,45 @@
+// Classical FD inference: attribute closure, implication, candidate keys,
+// and normal-form checks. Backs the §3 remark that the method matters
+// precisely when schemas are NOT in a higher normal form: the checks here
+// let callers (and tests) verify that claim on concrete instances, and let
+// the designer see what an accepted evolution does to the schema's keys.
+#pragma once
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/schema.h"
+
+namespace fdevolve::fd {
+
+/// Closure of `attrs` under `fds` (Armstrong axioms, standard fixpoint).
+relation::AttrSet AttributeClosure(const relation::AttrSet& attrs,
+                                   const std::vector<Fd>& fds);
+
+/// True iff `fds` logically imply `candidate` (closure membership test).
+/// Note: trivial FDs (Y ⊆ X) cannot arise — Fd's constructor rejects
+/// overlapping sides — so the normal-form checks below need no
+/// triviality filtering.
+bool Implies(const std::vector<Fd>& fds, const Fd& candidate);
+
+/// All candidate keys of a relation with attribute set `universe` under
+/// `fds`: minimal attribute sets whose closure is the whole universe.
+/// Exponential in the worst case; `max_key_size` bounds the search
+/// (0 = |universe|).
+std::vector<relation::AttrSet> CandidateKeys(const relation::AttrSet& universe,
+                                             const std::vector<Fd>& fds,
+                                             int max_key_size = 0);
+
+/// Boyce-Codd normal form: every non-trivial declared FD has a superkey
+/// antecedent.
+bool IsBcnf(const relation::AttrSet& universe, const std::vector<Fd>& fds);
+
+/// Third normal form: every non-trivial FD has a superkey antecedent or a
+/// prime (member-of-some-key) consequent attribute.
+bool Is3nf(const relation::AttrSet& universe, const std::vector<Fd>& fds);
+
+/// A minimal cover of `fds`: singleton consequents, no redundant FDs, no
+/// extraneous antecedent attributes. Deterministic for a given input order.
+std::vector<Fd> MinimalCover(const std::vector<Fd>& fds);
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,133 @@
+#include "fd/conditional.h"
+
+#include <algorithm>
+
+namespace fdevolve::fd {
+
+bool PatternCondition::Matches(const relation::Relation& rel,
+                               size_t row) const {
+  return rel.Get(row, attr) == value;
+}
+
+std::string PatternCondition::ToString(const relation::Schema& schema) const {
+  std::string v = value.is_string() ? "'" + value.as_string() + "'"
+                                    : value.ToString();
+  return schema.attr(attr).name + " = " + v;
+}
+
+std::string ConditionalFd::ToString(const relation::Schema& schema) const {
+  std::string out = fd_.ToString(schema);
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    out += (i == 0 ? " WHEN " : " AND ");
+    out += pattern_[i].ToString(schema);
+  }
+  return out;
+}
+
+relation::Relation SelectByPattern(
+    const relation::Relation& rel,
+    const std::vector<PatternCondition>& pattern) {
+  relation::Relation out(rel.name() + "_sel", rel.schema());
+  for (size_t row = 0; row < rel.tuple_count(); ++row) {
+    bool pass = true;
+    for (const auto& c : pattern) {
+      if (!c.Matches(rel, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::vector<relation::Value> values;
+    values.reserve(static_cast<size_t>(rel.attr_count()));
+    for (int a = 0; a < rel.attr_count(); ++a) values.push_back(rel.Get(row, a));
+    out.AppendRow(values);
+  }
+  return out;
+}
+
+CfdMeasures ComputeCfdMeasures(const relation::Relation& rel,
+                               const ConditionalFd& cfd) {
+  CfdMeasures m;
+  if (cfd.IsPlainFd()) {
+    m.fd_measures = ComputeMeasures(rel, cfd.embedded());
+    m.selected_tuples = rel.tuple_count();
+    m.support = rel.tuple_count() == 0 ? 0.0 : 1.0;
+    return m;
+  }
+  relation::Relation selected = SelectByPattern(rel, cfd.pattern());
+  m.fd_measures = ComputeMeasures(selected, cfd.embedded());
+  m.selected_tuples = selected.tuple_count();
+  m.support = rel.tuple_count() == 0
+                  ? 0.0
+                  : static_cast<double>(selected.tuple_count()) /
+                        static_cast<double>(rel.tuple_count());
+  return m;
+}
+
+RepairResult ExtendConditional(const relation::Relation& rel,
+                               const ConditionalFd& cfd,
+                               const RepairOptions& opts) {
+  if (cfd.IsPlainFd()) return Extend(rel, cfd.embedded(), opts);
+  relation::Relation selected = SelectByPattern(rel, cfd.pattern());
+  RepairOptions local = opts;
+  // Condition attributes are constant on the subset; they cannot help and
+  // adding them would be vacuous — exclude them from the pool.
+  relation::AttrSet excluded;
+  for (const auto& c : cfd.pattern()) excluded.Add(c.attr);
+  relation::AttrSet pool =
+      selected.schema().AllAttrs().Minus(excluded);
+  local.pool.restrict_to = local.pool.restrict_to.Empty()
+                               ? pool
+                               : local.pool.restrict_to.Intersect(pool);
+  return Extend(selected, cfd.embedded(), local);
+}
+
+std::vector<ConditionRepair> RefineByCondition(
+    const relation::Relation& rel, const ConditionalFd& cfd,
+    const ConditionRepairOptions& opts) {
+  relation::Relation base = cfd.IsPlainFd()
+                                ? relation::Relation(rel.name(), rel.schema())
+                                : SelectByPattern(rel, cfd.pattern());
+  const relation::Relation& subset = cfd.IsPlainFd() ? rel : base;
+
+  relation::AttrSet candidates =
+      subset.schema().AllAttrs().Minus(cfd.embedded().AllAttrs());
+  for (const auto& c : cfd.pattern()) candidates.Remove(c.attr);
+  if (!opts.restrict_to.Empty()) {
+    candidates = candidates.Intersect(opts.restrict_to);
+  }
+
+  std::vector<ConditionRepair> out;
+  for (int attr : candidates.ToVector()) {
+    const auto& col = subset.column(attr);
+    size_t value_count = col.dict_size();
+    if (opts.max_values_per_attr != 0) {
+      value_count = std::min(value_count, opts.max_values_per_attr);
+    }
+    for (uint32_t code = 0; code < value_count; ++code) {
+      PatternCondition cond{attr, col.DictValue(code)};
+      relation::Relation selected = SelectByPattern(subset, {cond});
+      if (selected.tuple_count() < opts.min_selected) continue;
+      FdMeasures m = ComputeMeasures(selected, cfd.embedded());
+      if (!m.exact) continue;
+      ConditionRepair r;
+      r.condition = cond;
+      std::vector<PatternCondition> pattern = cfd.pattern();
+      pattern.push_back(cond);
+      r.refined = ConditionalFd(cfd.embedded(), std::move(pattern));
+      r.selected_tuples = selected.tuple_count();
+      r.support = subset.tuple_count() == 0
+                      ? 0.0
+                      : static_cast<double>(selected.tuple_count()) /
+                            static_cast<double>(subset.tuple_count());
+      out.push_back(std::move(r));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConditionRepair& a, const ConditionRepair& b) {
+                     return a.support > b.support;
+                   });
+  return out;
+}
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,99 @@
+// Conditional functional dependencies (CFDs) — the §7 future-work
+// extension, following the related-work formulation (§2, [4]): an embedded
+// FD X -> Y that must hold only on the tuples selected by a pattern of
+// (attribute = constant) conditions.
+//
+// Two repair styles are supported when a CFD (or a plain FD, as the
+// all-wildcard CFD) is violated:
+//   1. antecedent extension — the paper's method, applied to the selected
+//      subset of tuples;
+//   2. condition refinement — keep the FD, find the conditions under which
+//      it already holds (turning a broken global FD into a set of valid
+//      CFDs), ranked by support.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/fd.h"
+#include "fd/measures.h"
+#include "fd/repair_search.h"
+#include "relation/relation.h"
+
+namespace fdevolve::fd {
+
+/// One pattern conjunct: attribute = constant.
+struct PatternCondition {
+  int attr = -1;
+  relation::Value value;
+
+  bool Matches(const relation::Relation& rel, size_t row) const;
+  std::string ToString(const relation::Schema& schema) const;
+};
+
+/// A CFD: embedded FD + conjunctive constant pattern.
+class ConditionalFd {
+ public:
+  ConditionalFd() = default;
+  ConditionalFd(Fd fd, std::vector<PatternCondition> pattern)
+      : fd_(std::move(fd)), pattern_(std::move(pattern)) {}
+
+  const Fd& embedded() const { return fd_; }
+  const std::vector<PatternCondition>& pattern() const { return pattern_; }
+
+  /// All-wildcard CFD == plain FD.
+  bool IsPlainFd() const { return pattern_.empty(); }
+
+  /// "[A] -> [B] WHEN C = 'x' AND D = 3".
+  std::string ToString(const relation::Schema& schema) const;
+
+ private:
+  Fd fd_;
+  std::vector<PatternCondition> pattern_;
+};
+
+/// Materialises σ_pattern(rel) as a relation (same schema, fewer rows).
+relation::Relation SelectByPattern(const relation::Relation& rel,
+                                   const std::vector<PatternCondition>& pattern);
+
+/// Measures of the embedded FD on the selected subset, plus support.
+struct CfdMeasures {
+  FdMeasures fd_measures;   ///< over σ_pattern(rel)
+  size_t selected_tuples = 0;
+  double support = 0.0;     ///< selected / total (1 for plain FDs)
+};
+
+CfdMeasures ComputeCfdMeasures(const relation::Relation& rel,
+                               const ConditionalFd& cfd);
+
+/// Repair style 1: extend the embedded FD's antecedent so it holds on the
+/// selected subset (the paper's Extend, run on σ_pattern(rel)).
+RepairResult ExtendConditional(const relation::Relation& rel,
+                               const ConditionalFd& cfd,
+                               const RepairOptions& opts = {});
+
+/// Repair style 2: condition refinement.
+struct ConditionRepair {
+  PatternCondition condition;  ///< added to the pattern
+  ConditionalFd refined;       ///< the resulting CFD (exact on its subset)
+  size_t selected_tuples = 0;
+  double support = 0.0;        ///< fraction of the *violating* CFD's subset
+};
+
+struct ConditionRepairOptions {
+  /// Candidate condition attributes: all attrs outside XY by default.
+  relation::AttrSet restrict_to;
+  /// Skip condition values selecting fewer tuples than this (noise floor).
+  size_t min_selected = 2;
+  /// Cap on distinct values tried per attribute (0 = no cap).
+  size_t max_values_per_attr = 64;
+};
+
+/// Finds single-condition refinements (attr = value) under which the
+/// embedded FD becomes exact; sorted by descending support.
+std::vector<ConditionRepair> RefineByCondition(
+    const relation::Relation& rel, const ConditionalFd& cfd,
+    const ConditionRepairOptions& opts = {});
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,66 @@
+#include "fd/fd.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace fdevolve::fd {
+
+Fd::Fd(relation::AttrSet lhs, relation::AttrSet rhs, std::string label)
+    : lhs_(lhs), rhs_(rhs), label_(std::move(label)) {
+  if (rhs_.Empty()) {
+    throw std::invalid_argument("Fd: empty consequent");
+  }
+  if (lhs_.Intersects(rhs_)) {
+    throw std::invalid_argument("Fd: antecedent and consequent overlap");
+  }
+}
+
+Fd Fd::WithAntecedent(int attr) const {
+  Fd f = *this;
+  if (f.rhs_.Contains(attr)) {
+    throw std::invalid_argument("Fd::WithAntecedent: attr is in consequent");
+  }
+  f.lhs_.Add(attr);
+  return f;
+}
+
+Fd Fd::WithAntecedent(const relation::AttrSet& attrs) const {
+  Fd f = *this;
+  if (f.rhs_.Intersects(attrs)) {
+    throw std::invalid_argument("Fd::WithAntecedent: attrs overlap consequent");
+  }
+  f.lhs_ = f.lhs_.Union(attrs);
+  return f;
+}
+
+std::vector<Fd> Fd::Decompose() const {
+  std::vector<Fd> out;
+  for (int a : rhs_.ToVector()) {
+    relation::AttrSet y;
+    y.Add(a);
+    out.emplace_back(lhs_, y, label_);
+  }
+  return out;
+}
+
+Fd Fd::Parse(const std::string& text, const relation::Schema& schema,
+             std::string label) {
+  auto pos = text.find("->");
+  if (pos == std::string::npos) {
+    throw std::invalid_argument("Fd::Parse: missing '->' in '" + text + "'");
+  }
+  auto lhs_names = util::SplitTrimmed(text.substr(0, pos), ',');
+  auto rhs_names = util::SplitTrimmed(text.substr(pos + 2), ',');
+  if (rhs_names.empty()) {
+    throw std::invalid_argument("Fd::Parse: empty consequent in '" + text + "'");
+  }
+  return Fd(schema.Resolve(lhs_names), schema.Resolve(rhs_names),
+            std::move(label));
+}
+
+std::string Fd::ToString(const relation::Schema& schema) const {
+  return schema.Describe(lhs_) + " -> " + schema.Describe(rhs_);
+}
+
+}  // namespace fdevolve::fd

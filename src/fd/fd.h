@@ -1,0 +1,59 @@
+// Functional dependency representation and parsing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/schema.h"
+
+namespace fdevolve::fd {
+
+/// A functional dependency X -> Y over some schema (attributes by index).
+///
+/// Following the paper (§1), FDs are normally decomposed so that the
+/// consequent is a single attribute; the class supports set-valued
+/// consequents for completeness, and `Decompose()` splits them.
+class Fd {
+ public:
+  Fd() = default;
+
+  /// Throws std::invalid_argument if lhs/rhs overlap or rhs is empty.
+  Fd(relation::AttrSet lhs, relation::AttrSet rhs, std::string label = "");
+
+  const relation::AttrSet& lhs() const { return lhs_; }
+  const relation::AttrSet& rhs() const { return rhs_; }
+  const std::string& label() const { return label_; }
+
+  /// X ∪ Y — the attribute set of the whole FD; |F| in the paper.
+  relation::AttrSet AllAttrs() const { return lhs_.Union(rhs_); }
+
+  /// Number of attributes in the FD (|F| = |XY|).
+  int Size() const { return AllAttrs().Count(); }
+
+  /// A copy with `attr` added to the antecedent.
+  Fd WithAntecedent(int attr) const;
+
+  /// A copy with a whole set added to the antecedent.
+  Fd WithAntecedent(const relation::AttrSet& attrs) const;
+
+  /// Splits Y = {A1..Ak} into k FDs X -> Ai (paper's normal form).
+  std::vector<Fd> Decompose() const;
+
+  /// Parses "A, B -> C" / "A,B->C,D" against a schema.
+  /// Throws std::invalid_argument on syntax errors or unknown attributes.
+  static Fd Parse(const std::string& text, const relation::Schema& schema,
+                  std::string label = "");
+
+  /// Renders as "[A, B] -> [C]" using the schema's attribute names.
+  std::string ToString(const relation::Schema& schema) const;
+
+  bool operator==(const Fd& o) const { return lhs_ == o.lhs_ && rhs_ == o.rhs_; }
+
+ private:
+  relation::AttrSet lhs_;
+  relation::AttrSet rhs_;
+  std::string label_;
+};
+
+}  // namespace fdevolve::fd

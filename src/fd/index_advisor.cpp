@@ -1,0 +1,61 @@
+#include "fd/index_advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fdevolve::fd {
+
+std::string IndexRecommendation::ToString(
+    const relation::Schema& schema) const {
+  std::ostringstream os;
+  os << "INDEX ON " << schema.Describe(key);
+  if (invertible) {
+    os << " (invertible: also serves lookups by " << schema.Describe(covers)
+       << ")";
+  } else {
+    os << " (serves " << schema.Describe(covers) << " lookups)";
+  }
+  return os.str();
+}
+
+IndexRecommendation AdviseIndex(const relation::Relation& rel, const Fd& fd) {
+  FdMeasures m = ComputeMeasures(rel, fd);
+  if (!m.exact) {
+    throw std::invalid_argument(
+        "AdviseIndex: FD is violated on the instance; repair it first");
+  }
+  IndexRecommendation rec;
+  rec.key = fd.lhs();
+  rec.covers = fd.rhs();
+  rec.invertible = m.goodness == 0;
+  rec.selectivity =
+      rel.tuple_count() == 0
+          ? 0.0
+          : static_cast<double>(m.distinct_x) /
+                static_cast<double>(rel.tuple_count());
+  std::ostringstream why;
+  why << "exact FD with goodness " << m.goodness << "; " << m.distinct_x
+      << " distinct keys over " << rel.tuple_count() << " tuples";
+  rec.rationale = why.str();
+  return rec;
+}
+
+std::vector<IndexRecommendation> AdviseFromRepairs(
+    const relation::Relation& rel, const RepairResult& result) {
+  std::vector<IndexRecommendation> out;
+  if (result.already_exact) {
+    out.push_back(AdviseIndex(rel, result.original));
+    return out;
+  }
+  for (const auto& r : result.repairs) {
+    out.push_back(AdviseIndex(rel, r.repaired));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const IndexRecommendation& a,
+                      const IndexRecommendation& b) {
+                     return a.invertible > b.invertible;
+                   });
+  return out;
+}
+
+}  // namespace fdevolve::fd

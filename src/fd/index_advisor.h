@@ -1,0 +1,39 @@
+// Index recommendations from repaired FDs — the §6.3 claim that the
+// goodness criterion "supports indexing and query optimization": when a
+// repair reaches goodness 0, the FD is invertible (a bijection between
+// antecedent and consequent clusters), so an index on the antecedent also
+// serves lookups by the consequent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fd/measures.h"
+#include "fd/repair_search.h"
+#include "relation/relation.h"
+
+namespace fdevolve::fd {
+
+/// One index suggestion derived from an exact FD.
+struct IndexRecommendation {
+  relation::AttrSet key;      ///< columns of the suggested index (X)
+  relation::AttrSet covers;   ///< consequent it serves (Y)
+  bool invertible = false;    ///< goodness == 0: Y-side lookups too
+  /// Distinct keys / tuples — 1.0 means a unique index.
+  double selectivity = 0.0;
+  std::string rationale;
+
+  std::string ToString(const relation::Schema& schema) const;
+};
+
+/// Derives a recommendation for one exact FD; returns invertible == true
+/// iff the goodness is 0. Throws std::invalid_argument if the FD is not
+/// exact on the instance (indexes from violated FDs would lie).
+IndexRecommendation AdviseIndex(const relation::Relation& rel, const Fd& fd);
+
+/// Collects recommendations from the accepted repairs of a search result,
+/// invertible ones first (the §6.3 preference).
+std::vector<IndexRecommendation> AdviseFromRepairs(
+    const relation::Relation& rel, const RepairResult& result);
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,78 @@
+#include "fd/repair_report.h"
+
+#include <sstream>
+
+namespace fdevolve::fd {
+namespace {
+
+std::string Round3(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ExplainRepair(const Repair& repair,
+                          const relation::Schema& schema) {
+  std::ostringstream os;
+  os << "adds " << schema.Describe(repair.added) << "; confidence "
+     << Round3(repair.measures.confidence) << ", goodness "
+     << repair.measures.goodness;
+  if (repair.measures.goodness == 0) {
+    os << " (bijective mapping between antecedent and consequent clusters)";
+  } else if (repair.measures.goodness > 0) {
+    os << " (antecedent " << repair.measures.goodness
+       << " clusters more specific than consequent)";
+  } else {
+    os << " (antecedent " << -repair.measures.goodness
+       << " clusters less specific than consequent)";
+  }
+  if (!repair.within_goodness_threshold) {
+    os << " [outside goodness threshold]";
+  }
+  return os.str();
+}
+
+std::string DescribeResult(const RepairResult& result,
+                           const relation::Schema& schema) {
+  std::ostringstream os;
+  os << "FD " << result.original.ToString(schema) << ": confidence "
+     << Round3(result.original_measures.confidence) << ", goodness "
+     << result.original_measures.goodness << "\n";
+  if (result.already_exact) {
+    os << "  already exact; nothing to repair\n";
+    return os.str();
+  }
+  if (result.repairs.empty()) {
+    os << "  no repair found";
+    if (!result.stats.exhausted) os << " (search budget exhausted)";
+    os << "\n";
+    return os.str();
+  }
+  int i = 1;
+  for (const auto& r : result.repairs) {
+    os << "  " << i++ << ". " << r.repaired.ToString(schema) << " — "
+       << ExplainRepair(r, schema) << "\n";
+  }
+  return os.str();
+}
+
+std::string DescribeOutcome(const FindRepairsOutcome& outcome,
+                            const relation::Schema& schema) {
+  std::ostringstream os;
+  os << "Repair order (rank O_F):\n";
+  for (const auto& of : outcome.order) {
+    os << "  " << of.fd.ToString(schema) << "  rank=" << Round3(of.rank)
+       << " (ic=" << Round3(of.measures.inconsistency())
+       << ", cf=" << Round3(of.conflict) << ")\n";
+  }
+  os << "\n";
+  for (const auto& r : outcome.results) {
+    os << DescribeResult(r, schema);
+  }
+  return os.str();
+}
+
+}  // namespace fdevolve::fd

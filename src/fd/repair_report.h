@@ -1,0 +1,25 @@
+// Designer-facing rendering of repair outcomes ("semi-automatic" surface).
+#pragma once
+
+#include <string>
+
+#include "fd/repair_search.h"
+#include "relation/schema.h"
+
+namespace fdevolve::fd {
+
+/// Renders one repair result as readable text:
+/// original FD, its confidence/goodness, and the ranked repair list.
+std::string DescribeResult(const RepairResult& result,
+                           const relation::Schema& schema);
+
+/// Renders an Algorithm-1 outcome: the repair order with ranks, then each
+/// FD's result.
+std::string DescribeOutcome(const FindRepairsOutcome& outcome,
+                            const relation::Schema& schema);
+
+/// One-line explanation of why a repair was ranked where it is, e.g.
+/// "adds [Municipal]; confidence 1, goodness 0 (bijective mapping)".
+std::string ExplainRepair(const Repair& repair, const relation::Schema& schema);
+
+}  // namespace fdevolve::fd

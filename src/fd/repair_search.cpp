@@ -1,0 +1,216 @@
+#include "fd/repair_search.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace fdevolve::fd {
+namespace {
+
+/// Frontier node: a candidate antecedent extension awaiting expansion.
+struct Node {
+  relation::AttrSet added;
+  double confidence = 0.0;
+  uint64_t abs_goodness = 0;
+  int64_t goodness = 0;
+  size_t distinct_x = 0;
+  size_t distinct_xy = 0;
+  size_t distinct_y = 0;
+  uint64_t seq = 0;  ///< insertion order, final determinism tie-break
+};
+
+/// Priority: fewer added attributes first (minimality), then the §4.2 rank
+/// (confidence descending, |goodness| ascending), then insertion order.
+struct NodeWorse {
+  bool operator()(const Node& a, const Node& b) const {
+    int ca = a.added.Count();
+    int cb = b.added.Count();
+    if (ca != cb) return ca > cb;
+    if (a.confidence != b.confidence) return a.confidence < b.confidence;
+    if (a.abs_goodness != b.abs_goodness) return a.abs_goodness > b.abs_goodness;
+    return a.seq > b.seq;
+  }
+};
+
+FdMeasures MeasuresOf(const Node& n) {
+  FdMeasures m;
+  m.distinct_x = n.distinct_x;
+  m.distinct_xy = n.distinct_xy;
+  m.distinct_y = n.distinct_y;
+  m.confidence = n.confidence;
+  m.goodness = n.goodness;
+  m.exact = n.distinct_x == n.distinct_xy;
+  return m;
+}
+
+}  // namespace
+
+RepairResult Extend(const relation::Relation& rel, const Fd& fd,
+                    const RepairOptions& opts) {
+  util::Timer timer;
+  RepairResult result;
+  result.original = fd;
+
+  const double target =
+      opts.target_confidence > 1.0 ? 1.0 : opts.target_confidence;
+  auto satisfies_target = [target](size_t x, size_t xy, double confidence) {
+    // target == 1 means exactness, decided on integers (no FP tolerance).
+    return target >= 1.0 ? x == xy : confidence >= target;
+  };
+
+  query::DistinctEvaluator eval(rel);
+  result.original_measures = ComputeMeasures(eval, fd);
+  if (satisfies_target(result.original_measures.distinct_x,
+                       result.original_measures.distinct_xy,
+                       result.original_measures.confidence)) {
+    result.already_exact = true;
+    result.stats.elapsed_ms = timer.ElapsedMs();
+    return result;
+  }
+
+  const relation::AttrSet pool = CandidatePool(rel, fd, opts.pool);
+  const int max_depth =
+      opts.max_added_attrs > 0
+          ? std::min(opts.max_added_attrs, pool.Count())
+          : pool.Count();
+
+  std::priority_queue<Node, std::vector<Node>, NodeWorse> frontier;
+  std::unordered_set<relation::AttrSet, relation::AttrSetHash> visited;
+  std::vector<relation::AttrSet> found_sets;
+  uint64_t seq = 0;
+
+  auto evaluate_and_push = [&](const relation::AttrSet& added) -> bool {
+    if (opts.max_evaluations != 0 &&
+        result.stats.candidates_evaluated >= opts.max_evaluations) {
+      result.stats.exhausted = false;
+      return false;
+    }
+    if (!visited.insert(added).second) return true;  // duplicate set
+    Fd candidate = fd.WithAntecedent(added);
+    FdMeasures m = ComputeMeasures(eval, candidate);
+    ++result.stats.candidates_evaluated;
+    Node n;
+    n.added = added;
+    n.confidence = m.confidence;
+    n.abs_goodness = m.abs_goodness();
+    n.goodness = m.goodness;
+    n.distinct_x = m.distinct_x;
+    n.distinct_xy = m.distinct_xy;
+    n.distinct_y = m.distinct_y;
+    n.seq = seq++;
+    frontier.push(std::move(n));
+    result.stats.frontier_peak =
+        std::max(result.stats.frontier_peak, frontier.size());
+    return true;
+  };
+
+  // Seed the frontier with every single-attribute extension (Algorithm 3
+  // line 1: ExtendByOne on the original FD).
+  for (int a : pool.ToVector()) {
+    relation::AttrSet one;
+    one.Add(a);
+    if (!evaluate_and_push(one)) break;
+  }
+
+  const bool has_threshold = opts.goodness_threshold >= 0;
+  const auto threshold = static_cast<uint64_t>(
+      has_threshold ? opts.goodness_threshold : 0);
+  bool have_within_threshold = false;
+
+  auto done = [&]() {
+    switch (opts.mode) {
+      case SearchMode::kFirstRepair:
+        // With a goodness threshold, a repair outside it is only a
+        // fallback; keep searching for one within.
+        return has_threshold ? have_within_threshold : !result.repairs.empty();
+      case SearchMode::kTopK:
+        return result.repairs.size() >= opts.top_k;
+      case SearchMode::kAllRepairs:
+        return false;
+    }
+    return false;
+  };
+
+  while (!frontier.empty() && !done()) {
+    Node node = frontier.top();
+    frontier.pop();
+
+    // Supersets of an already-found repair are exact but not minimal.
+    bool superset = false;
+    for (const auto& found : found_sets) {
+      if (found.SubsetOf(node.added)) {
+        superset = true;
+        break;
+      }
+    }
+    if (superset) {
+      ++result.stats.pruned_supersets;
+      continue;
+    }
+
+    if (satisfies_target(node.distinct_x, node.distinct_xy,
+                         node.confidence)) {  // accepted: a minimal repair
+      Repair r;
+      r.added = node.added;
+      r.repaired = fd.WithAntecedent(node.added);
+      r.measures = MeasuresOf(node);
+      r.within_goodness_threshold =
+          !has_threshold || r.measures.abs_goodness() <= threshold;
+      have_within_threshold |= r.within_goodness_threshold;
+      found_sets.push_back(node.added);
+      result.repairs.push_back(std::move(r));
+      continue;  // do not expand an exact node (Algorithm 3 line 5-6)
+    }
+
+    ++result.stats.nodes_expanded;
+    if (node.added.Count() >= max_depth) continue;
+
+    bool keep_going = true;
+    for (int a : pool.Minus(node.added).ToVector()) {
+      if (!evaluate_and_push(node.added.With(a))) {
+        keep_going = false;
+        break;
+      }
+    }
+    if (!keep_going) break;
+  }
+
+  if (!frontier.empty() &&
+      (opts.mode == SearchMode::kAllRepairs) && !done()) {
+    // We left the loop with work remaining only if a limit fired.
+  }
+  if (opts.max_evaluations != 0 &&
+      result.stats.candidates_evaluated >= opts.max_evaluations) {
+    result.stats.exhausted = false;
+  }
+
+  // With a goodness threshold, order within-threshold repairs first,
+  // preserving rank order inside each class.
+  if (has_threshold) {
+    std::stable_sort(result.repairs.begin(), result.repairs.end(),
+                     [](const Repair& a, const Repair& b) {
+                       return a.within_goodness_threshold >
+                              b.within_goodness_threshold;
+                     });
+  }
+
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+FindRepairsOutcome FindFdRepairs(const relation::Relation& rel,
+                                 const std::vector<Fd>& fds,
+                                 const RepairOptions& opts,
+                                 const OrderingOptions& ordering) {
+  FindRepairsOutcome outcome;
+  outcome.order = OrderFds(rel, fds, ordering);
+  outcome.results.reserve(outcome.order.size());
+  for (const OrderedFd& of : outcome.order) {
+    outcome.results.push_back(Extend(rel, of.fd, opts));
+  }
+  return outcome;
+}
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,111 @@
+// Extend (§4.3–4.4, Algorithm 3) and FindFDRepairs (Algorithm 1).
+//
+// Best-first search over antecedent extensions. The frontier is ordered by
+// (number of added attributes ascending, candidate rank descending), so the
+// first exact FD popped is a *minimal* repair; exhausting the frontier
+// enumerates all minimal repairs. Supersets of already-found repairs are
+// pruned — they are exact too, but never minimal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fd/candidate_ranking.h"
+#include "fd/fd.h"
+#include "fd/measures.h"
+#include "fd/ordering.h"
+#include "relation/relation.h"
+
+namespace fdevolve::fd {
+
+/// How much of the repair space to explore.
+enum class SearchMode {
+  kFirstRepair,  ///< stop at the first (minimal) repair found
+  kAllRepairs,   ///< enumerate all minimal repairs (exponential worst case)
+  kTopK,         ///< stop after `top_k` repairs
+};
+
+/// Tuning knobs for one Extend run.
+struct RepairOptions {
+  SearchMode mode = SearchMode::kAllRepairs;
+  size_t top_k = 3;  ///< used by SearchMode::kTopK
+
+  /// Maximum number of attributes to add to the antecedent (search depth).
+  /// 0 means "up to the whole pool". The paper's algorithm is unbounded;
+  /// benches bound it to keep the exponential frontier tractable.
+  int max_added_attrs = 0;
+
+  /// Safety valve on total candidate evaluations; 0 = unlimited.
+  size_t max_evaluations = 0;
+
+  /// §4.4 extension: when set (>= 0), repairs with |goodness| <= threshold
+  /// are preferred. In kFirstRepair mode the search keeps going past a
+  /// repair that violates the threshold (recording it as a fallback) until
+  /// a within-threshold repair or exhaustion; in other modes the threshold
+  /// only affects result ordering.
+  int64_t goodness_threshold = -1;
+
+  /// AFD extension (§2's approximate FDs): a candidate is accepted when
+  /// its confidence reaches this target. 1.0 (default) demands exactness
+  /// (Definition 4); e.g. 0.95 evolves the FD into an approximate FD that
+  /// tolerates 5% residual inconsistency — typically a shorter repair.
+  double target_confidence = 1.0;
+
+  PoolOptions pool;
+};
+
+/// One exact repair: the attribute set added to the original antecedent.
+struct Repair {
+  relation::AttrSet added;  ///< U such that XU -> Y is exact
+  Fd repaired;              ///< XU -> Y
+  FdMeasures measures;      ///< confidence (==1) and goodness of XU -> Y
+  /// True if the |g| <= goodness_threshold preference was met (always true
+  /// when no threshold is configured).
+  bool within_goodness_threshold = true;
+};
+
+/// Search instrumentation.
+struct SearchStats {
+  size_t nodes_expanded = 0;        ///< frontier pops that were not exact
+  size_t candidates_evaluated = 0;  ///< measure computations performed
+  size_t frontier_peak = 0;         ///< max queue size
+  size_t pruned_supersets = 0;      ///< skipped supersets of found repairs
+  bool exhausted = true;            ///< false if a limit stopped the search
+  double elapsed_ms = 0.0;
+};
+
+/// Result of Extend on one FD.
+struct RepairResult {
+  Fd original;
+  FdMeasures original_measures;
+  bool already_exact = false;
+  std::vector<Repair> repairs;  ///< minimal repairs in discovery rank order
+  SearchStats stats;
+
+  bool found() const { return !repairs.empty(); }
+  /// The designer-facing suggestion: best repair or nullopt.
+  std::optional<Repair> best() const {
+    if (repairs.empty()) return std::nullopt;
+    return repairs.front();
+  }
+};
+
+/// Runs Algorithm 3 on a single FD.
+RepairResult Extend(const relation::Relation& rel, const Fd& fd,
+                    const RepairOptions& opts = {});
+
+/// Outcome of Algorithm 1 over a whole declared FD set.
+struct FindRepairsOutcome {
+  std::vector<OrderedFd> order;        ///< repair order actually used
+  std::vector<RepairResult> results;   ///< one per FD, in `order` sequence
+};
+
+/// Runs Algorithm 1: orders the FDs by O_F, then repairs each violated one.
+FindRepairsOutcome FindFdRepairs(const relation::Relation& rel,
+                                 const std::vector<Fd>& fds,
+                                 const RepairOptions& opts = {},
+                                 const OrderingOptions& ordering = {});
+
+}  // namespace fdevolve::fd

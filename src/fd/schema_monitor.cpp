@@ -1,0 +1,75 @@
+#include "fd/schema_monitor.h"
+
+#include <stdexcept>
+
+namespace fdevolve::fd {
+
+SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
+                             size_t check_interval)
+    : rel_(std::move(initial)),
+      check_interval_(check_interval == 0 ? 1 : check_interval) {
+  monitored_.reserve(fds.size());
+  for (auto& f : fds) {
+    MonitoredFd m;
+    m.fd = std::move(f);
+    m.measures = ComputeMeasures(rel_, m.fd);
+    m.was_exact_at_registration = m.measures.exact;
+    m.violated = !m.measures.exact;
+    if (m.violated) m.first_violation_at = rel_.tuple_count();
+    monitored_.push_back(std::move(m));
+  }
+}
+
+void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
+  rel_.AppendRow(row);
+  if (++inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ = 0;
+    CheckNow();
+  }
+}
+
+std::vector<size_t> SchemaMonitor::CheckNow() {
+  std::vector<size_t> violated;
+  query::DistinctEvaluator eval(rel_);
+  for (size_t i = 0; i < monitored_.size(); ++i) {
+    MonitoredFd& m = monitored_[i];
+    bool was_violated = m.violated;
+    m.measures = ComputeMeasures(eval, m.fd);
+    m.violated = !m.measures.exact;
+    if (m.violated) {
+      violated.push_back(i);
+      if (!was_violated) {
+        m.first_violation_at = rel_.tuple_count();
+        DriftEvent ev;
+        ev.fd_index = i;
+        ev.tuple_count = rel_.tuple_count();
+        ev.measures = m.measures;
+        drift_log_.push_back(ev);
+        if (on_drift_) on_drift_(ev);
+      }
+    }
+  }
+  return violated;
+}
+
+std::vector<RepairResult> SchemaMonitor::SuggestRepairs(
+    const RepairOptions& opts) {
+  std::vector<RepairResult> out;
+  for (const auto& m : monitored_) {
+    if (m.violated) {
+      out.push_back(Extend(rel_, m.fd, opts));
+    }
+  }
+  return out;
+}
+
+void SchemaMonitor::AcceptRepair(size_t fd_index, const Repair& repair) {
+  MonitoredFd& m = monitored_.at(fd_index);
+  m.fd = repair.repaired;
+  m.measures = ComputeMeasures(rel_, m.fd);
+  m.violated = !m.measures.exact;
+  m.was_exact_at_registration = m.measures.exact;
+  m.first_violation_at = m.violated ? rel_.tuple_count() : 0;
+}
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,75 @@
+// Continuous FD validation over an evolving instance (§1's "periodic or
+// continuous checks of FD validity").
+//
+// The monitor owns a relation that receives inserts; every `check_interval`
+// inserts it re-validates the declared FDs and records which of them
+// drifted from exact to violated. The designer then asks for repair
+// suggestions on the drifted set.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fd/repair_search.h"
+#include "relation/relation.h"
+
+namespace fdevolve::fd {
+
+/// State of one declared FD at the latest check.
+struct MonitoredFd {
+  Fd fd;
+  FdMeasures measures;
+  bool was_exact_at_registration = false;
+  bool violated = false;
+  /// Tuple count at which the FD first became violated (0 if never).
+  size_t first_violation_at = 0;
+};
+
+/// Event emitted when a previously-exact FD becomes violated.
+struct DriftEvent {
+  size_t fd_index = 0;
+  size_t tuple_count = 0;
+  FdMeasures measures;
+};
+
+/// Periodic validation loop.
+class SchemaMonitor {
+ public:
+  /// `check_interval`: re-validate after this many inserts (>=1).
+  SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
+                size_t check_interval = 1);
+
+  const relation::Relation& rel() const { return rel_; }
+  const std::vector<MonitoredFd>& fds() const { return monitored_; }
+  const std::vector<DriftEvent>& drift_log() const { return drift_log_; }
+
+  /// Optional callback invoked on each new drift event.
+  void OnDrift(std::function<void(const DriftEvent&)> cb) {
+    on_drift_ = std::move(cb);
+  }
+
+  /// Ingests one tuple; runs a check when the interval elapses.
+  void Insert(const std::vector<relation::Value>& row);
+
+  /// Forces a validation pass; returns indices of currently violated FDs.
+  std::vector<size_t> CheckNow();
+
+  /// Suggests repairs for every currently violated FD.
+  std::vector<RepairResult> SuggestRepairs(const RepairOptions& opts = {});
+
+  /// Designer accepts a repair: the declared FD is replaced by the repaired
+  /// one and its drift state resets. Throws std::out_of_range on bad index.
+  void AcceptRepair(size_t fd_index, const Repair& repair);
+
+ private:
+  relation::Relation rel_;
+  std::vector<MonitoredFd> monitored_;
+  std::vector<DriftEvent> drift_log_;
+  std::function<void(const DriftEvent&)> on_drift_;
+  size_t check_interval_;
+  size_t inserts_since_check_ = 0;
+};
+
+}  // namespace fdevolve::fd

@@ -1,0 +1,30 @@
+#include "query/column_stats.h"
+
+namespace fdevolve::query {
+
+std::vector<ColumnStats> ComputeColumnStats(const relation::Relation& rel) {
+  std::vector<ColumnStats> out;
+  out.reserve(static_cast<size_t>(rel.attr_count()));
+  for (int i = 0; i < rel.attr_count(); ++i) {
+    const auto& col = rel.column(i);
+    ColumnStats s;
+    s.name = rel.schema().attr(i).name;
+    s.null_count = col.null_count();
+    s.distinct_count = col.dict_size();
+    s.is_unique = col.dict_size() + col.null_count() == col.size() &&
+                  col.size() > 0 && col.null_count() == 0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+relation::AttrSet UniqueAttrs(const relation::Relation& rel) {
+  relation::AttrSet s;
+  auto stats = ComputeColumnStats(rel);
+  for (int i = 0; i < rel.attr_count(); ++i) {
+    if (stats[static_cast<size_t>(i)].is_unique) s.Add(i);
+  }
+  return s;
+}
+
+}  // namespace fdevolve::query

@@ -1,0 +1,27 @@
+// Per-column statistics used for candidate-pool selection and reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace fdevolve::query {
+
+/// Summary of one column.
+struct ColumnStats {
+  std::string name;
+  size_t distinct_count = 0;  ///< distinct non-NULL values
+  size_t null_count = 0;
+  bool is_unique = false;  ///< every non-NULL value occurs exactly once
+};
+
+/// Computes stats for every column of `rel`.
+std::vector<ColumnStats> ComputeColumnStats(const relation::Relation& rel);
+
+/// Attributes whose columns are UNIQUE over the instance (candidate keys of
+/// size one). The paper's §3/§6.3 discussion singles these out: adding a
+/// UNIQUE attribute trivially repairs any FD but is a degenerate choice.
+relation::AttrSet UniqueAttrs(const relation::Relation& rel);
+
+}  // namespace fdevolve::query

@@ -1,0 +1,73 @@
+#include "query/distinct.h"
+
+#include <algorithm>
+
+namespace fdevolve::query {
+namespace {
+
+size_t SortDistinct(const relation::Relation& rel,
+                    const relation::AttrSet& attrs) {
+  size_t n = rel.tuple_count();
+  if (n == 0) return 0;
+  auto cols = attrs.ToVector();
+  if (cols.empty()) return 1;
+
+  // Materialize composite keys, sort, count boundaries. This mirrors what a
+  // sort-based COUNT DISTINCT plan does in a DBMS.
+  std::vector<std::vector<uint32_t>> keys(n);
+  for (size_t t = 0; t < n; ++t) {
+    keys[t].reserve(cols.size());
+    for (int c : cols) keys[t].push_back(rel.column(c).code(t));
+  }
+  std::sort(keys.begin(), keys.end());
+  size_t distinct = 1;
+  for (size_t t = 1; t < n; ++t) {
+    if (keys[t] != keys[t - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace
+
+size_t DistinctCount(const relation::Relation& rel,
+                     const relation::AttrSet& attrs,
+                     DistinctStrategy strategy) {
+  if (strategy == DistinctStrategy::kSort) return SortDistinct(rel, attrs);
+  return GroupBy(rel, attrs).group_count;
+}
+
+size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
+  return GroupFor(attrs).group_count;
+}
+
+const Grouping& DistinctEvaluator::GroupFor(const relation::AttrSet& attrs) {
+  auto it = cache_.find(attrs);
+  if (it != cache_.end()) return it->second;
+  ++misses_;
+
+  // Find the largest cached subset to refine from; fall back to scratch.
+  // A linear scan over the cache is fine: the cache holds one entry per
+  // *evaluated* attribute set, and each lookup saves a full O(n·|attrs|)
+  // regroup when it hits.
+  const relation::AttrSet* best_key = nullptr;
+  const Grouping* best = nullptr;
+  int best_count = -1;
+  for (const auto& [key, grouping] : cache_) {
+    if (key.SubsetOf(attrs)) {
+      int c = key.Count();
+      if (c > best_count) {
+        best_count = c;
+        best_key = &key;
+        best = &grouping;
+      }
+    }
+  }
+
+  Grouping g = (best != nullptr)
+                   ? RefineBy(rel_, *best, attrs.Minus(*best_key))
+                   : GroupBy(rel_, attrs);
+  auto [ins, _] = cache_.emplace(attrs, std::move(g));
+  return ins->second;
+}
+
+}  // namespace fdevolve::query

@@ -1,0 +1,55 @@
+// COUNT(DISTINCT attrs) — the only "SQL" the paper's algorithm needs.
+//
+// The paper implements confidence/goodness with COUNT(DISTINCT ...) queries
+// against MySQL and notes the cost is a sort (O(n log n)) or hash count.
+// We provide both strategies; the hash path is the default and the sort path
+// exists for the ablation bench that validates the complexity claim.
+#pragma once
+
+#include <cstddef>
+
+#include "query/group_ids.h"
+#include "relation/relation.h"
+
+namespace fdevolve::query {
+
+/// Strategy used by DistinctCount.
+enum class DistinctStrategy {
+  kHash,  ///< partition refinement with hash tables (default)
+  kSort,  ///< sort composite keys, then count boundaries
+};
+
+/// |π_attrs(rel)| — the number of distinct projected tuples.
+/// Empty attrs yields 1 on non-empty relations, 0 on empty ones.
+size_t DistinctCount(const relation::Relation& rel,
+                     const relation::AttrSet& attrs,
+                     DistinctStrategy strategy = DistinctStrategy::kHash);
+
+/// Batched evaluator with a per-instance memo. The repair search asks for
+/// |π_X|, |π_XY|, |π_XA|, |π_XAY| over many overlapping sets; memoising the
+/// groupings turns each new query into one refinement pass.
+class DistinctEvaluator {
+ public:
+  explicit DistinctEvaluator(const relation::Relation& rel) : rel_(rel) {}
+
+  /// |π_attrs(rel)| with memoisation.
+  size_t Count(const relation::AttrSet& attrs);
+
+  /// Memoised grouping for an attribute set (shared with clustering code).
+  const Grouping& GroupFor(const relation::AttrSet& attrs);
+
+  /// Number of memoised groupings (exposed for tests / instrumentation).
+  size_t cache_size() const { return cache_.size(); }
+
+  /// Total number of grouping computations performed (cache misses).
+  size_t miss_count() const { return misses_; }
+
+  const relation::Relation& rel() const { return rel_; }
+
+ private:
+  const relation::Relation& rel_;
+  std::unordered_map<relation::AttrSet, Grouping, relation::AttrSetHash> cache_;
+  size_t misses_ = 0;
+};
+
+}  // namespace fdevolve::query

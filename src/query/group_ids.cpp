@@ -1,0 +1,78 @@
+#include "query/group_ids.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace fdevolve::query {
+namespace {
+
+/// One refinement pass: combine current ids with a column's codes.
+Grouping RefineByCodes(const Grouping& base, const std::vector<uint32_t>& codes) {
+  Grouping out;
+  out.ids.resize(base.ids.size());
+  // (id, code) -> new dense id.
+  std::unordered_map<uint64_t, uint32_t> next;
+  next.reserve(base.group_count * 2 + 16);
+  uint32_t fresh = 0;
+  for (size_t t = 0; t < base.ids.size(); ++t) {
+    uint64_t key = (static_cast<uint64_t>(base.ids[t]) << 32) | codes[t];
+    auto [it, inserted] = next.emplace(key, fresh);
+    if (inserted) ++fresh;
+    out.ids[t] = it->second;
+  }
+  out.group_count = fresh;
+  return out;
+}
+
+Grouping TrivialGrouping(size_t n) {
+  Grouping g;
+  g.ids.assign(n, 0);
+  g.group_count = n == 0 ? 0 : 1;
+  return g;
+}
+
+}  // namespace
+
+Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs) {
+  Grouping g = TrivialGrouping(rel.tuple_count());
+  for (int a : attrs.ToVector()) {
+    g = RefineByCodes(g, rel.column(a).codes());
+  }
+  return g;
+}
+
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  int attr) {
+  if (base.ids.size() != rel.tuple_count()) {
+    throw std::invalid_argument("RefineBy: grouping size mismatch");
+  }
+  return RefineByCodes(base, rel.column(attr).codes());
+}
+
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  const relation::AttrSet& attrs) {
+  Grouping g = base;
+  for (int a : attrs.ToVector()) {
+    g = RefineByCodes(g, rel.column(a).codes());
+  }
+  return g;
+}
+
+size_t JointGroupCount(const Grouping& a, const Grouping& b) {
+  if (a.ids.size() != b.ids.size()) {
+    throw std::invalid_argument("JointGroupCount: size mismatch");
+  }
+  std::unordered_map<uint64_t, uint32_t> seen;
+  seen.reserve(a.group_count + b.group_count);
+  uint32_t fresh = 0;
+  for (size_t t = 0; t < a.ids.size(); ++t) {
+    uint64_t key = (static_cast<uint64_t>(a.ids[t]) << 32) | b.ids[t];
+    auto [it, inserted] = seen.emplace(key, fresh);
+    if (inserted) ++fresh;
+  }
+  return fresh;
+}
+
+}  // namespace fdevolve::query

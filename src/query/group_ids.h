@@ -1,0 +1,45 @@
+// Dense group-id assignment: the shared primitive behind distinct counting
+// (CB method) and clustering construction (EB baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace fdevolve::query {
+
+/// Partition of the tuples of a relation by equality on an attribute set.
+/// `ids[t]` is a dense cluster id in [0, group_count); ids are assigned in
+/// order of first appearance, so they are deterministic for a given relation.
+struct Grouping {
+  std::vector<uint32_t> ids;
+  size_t group_count = 0;
+};
+
+/// Groups all tuples of `rel` by the attributes in `attrs`.
+///
+/// Empty `attrs` puts every tuple in one group (the projection on zero
+/// attributes has exactly one distinct value), matching relational semantics.
+/// NULLs compare equal to each other for grouping purposes; the FD layer
+/// never passes NULL-able attributes here, but the clustering layer may.
+///
+/// Cost: O(tuples * |attrs|) expected, via per-attribute partition
+/// refinement with a hash table keyed on (current id, next code).
+Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs);
+
+/// Refines an existing grouping by one extra attribute. This is the
+/// incremental step the repair search uses so that evaluating candidate
+/// FA : XA -> Y reuses the X grouping instead of regrouping from scratch.
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  int attr);
+
+/// Refines an existing grouping by a whole attribute set.
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  const relation::AttrSet& attrs);
+
+/// Number of groups induced jointly by two precomputed groupings, i.e.
+/// |C_{A ∪ B}| given C_A and C_B — without touching column data.
+size_t JointGroupCount(const Grouping& a, const Grouping& b);
+
+}  // namespace fdevolve::query

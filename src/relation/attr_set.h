@@ -1,0 +1,137 @@
+// Fixed-capacity attribute set, the unit of bookkeeping in the repair search.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace fdevolve::relation {
+
+/// Set of attribute indices in [0, kMaxAttrs). Implemented as a 512-bit
+/// bitmask so that queue de-duplication and subset tests in the repair
+/// search are a handful of word operations. 512 covers the widest relation
+/// in the paper's evaluation (Veterans, 481 attributes).
+class AttrSet {
+ public:
+  static constexpr int kMaxAttrs = 512;
+  static constexpr int kWords = kMaxAttrs / 64;
+
+  AttrSet() : words_{} {}
+
+  /// Builds from explicit indices; throws on out-of-range.
+  static AttrSet Of(std::initializer_list<int> idx) {
+    AttrSet s;
+    for (int i : idx) s.Add(i);
+    return s;
+  }
+  static AttrSet FromVector(const std::vector<int>& idx) {
+    AttrSet s;
+    for (int i : idx) s.Add(i);
+    return s;
+  }
+
+  void Add(int i) {
+    CheckIndex(i);
+    words_[static_cast<size_t>(i) >> 6] |= 1ULL << (i & 63);
+  }
+  void Remove(int i) {
+    CheckIndex(i);
+    words_[static_cast<size_t>(i) >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool Contains(int i) const {
+    CheckIndex(i);
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_)
+      if (w) return false;
+    return true;
+  }
+
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  AttrSet Union(const AttrSet& o) const {
+    AttrSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] | o.words_[w];
+    return r;
+  }
+  AttrSet Intersect(const AttrSet& o) const {
+    AttrSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & o.words_[w];
+    return r;
+  }
+  AttrSet Minus(const AttrSet& o) const {
+    AttrSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & ~o.words_[w];
+    return r;
+  }
+
+  /// True if this set is a subset of `o`.
+  bool SubsetOf(const AttrSet& o) const {
+    for (int w = 0; w < kWords; ++w) {
+      if (words_[w] & ~o.words_[w]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const AttrSet& o) const {
+    for (int w = 0; w < kWords; ++w) {
+      if (words_[w] & o.words_[w]) return true;
+    }
+    return false;
+  }
+
+  /// With-element copy, convenient in the search loop.
+  AttrSet With(int i) const {
+    AttrSet r = *this;
+    r.Add(i);
+    return r;
+  }
+
+  /// Ascending list of member indices.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (int w = 0; w < kWords; ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int b = __builtin_ctzll(bits);
+        out.push_back(w * 64 + b);
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const AttrSet& o) const { return words_ == o.words_; }
+  bool operator!=(const AttrSet& o) const { return !(*this == o); }
+
+  uint64_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) h = util::HashCombine(h, w);
+    return h;
+  }
+
+ private:
+  static void CheckIndex(int i) {
+    if (i < 0 || i >= kMaxAttrs) {
+      throw std::out_of_range("AttrSet index out of range");
+    }
+  }
+
+  std::array<uint64_t, kWords> words_;
+};
+
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const { return s.Hash(); }
+};
+
+}  // namespace fdevolve::relation

@@ -1,0 +1,143 @@
+#include "relation/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fdevolve::relation {
+namespace {
+
+std::optional<DataType> ParseType(std::string_view s) {
+  if (s == "int64" || s == "int") return DataType::kInt64;
+  if (s == "double" || s == "float") return DataType::kDouble;
+  if (s == "string" || s == "str") return DataType::kString;
+  return std::nullopt;
+}
+
+std::optional<Value> ParseCell(const std::string& field, DataType type) {
+  if (field.empty() && type != DataType::kString) return Value::Null();
+  if (field == "\\N") return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (ec != std::errc() || ptr != field.data() + field.size()) {
+        return std::nullopt;
+      }
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      try {
+        size_t pos = 0;
+        double v = std::stod(field, &pos);
+        if (pos != field.size()) return std::nullopt;
+        return Value(v);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+    case DataType::kString:
+      return Value(field);
+  }
+  return std::nullopt;
+}
+
+std::string RenderCell(const Value& v) {
+  if (v.is_null()) return "\\N";
+  return v.ToString();
+}
+
+}  // namespace
+
+CsvResult ReadCsv(std::istream& in, const std::string& name) {
+  CsvResult result;
+  std::string line;
+  if (!std::getline(in, line)) {
+    result.error = "empty input";
+    return result;
+  }
+
+  std::vector<Attribute> attrs;
+  for (const auto& field : util::Split(line, ',')) {
+    auto parts = util::Split(field, ':');
+    if (parts.size() != 2) {
+      result.error = "bad header field '" + field + "' (want name:type)";
+      return result;
+    }
+    auto type = ParseType(util::Trim(parts[1]));
+    if (!type) {
+      result.error = "unknown type '" + parts[1] + "'";
+      return result;
+    }
+    attrs.push_back({std::string(util::Trim(parts[0])), *type});
+  }
+
+  Relation rel(name, Schema(std::move(attrs)));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = util::Split(line, ',');
+    if (fields.size() != static_cast<size_t>(rel.attr_count())) {
+      result.error = "line " + std::to_string(line_no) + ": arity mismatch";
+      return result;
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto cell = ParseCell(fields[i], rel.schema().attr(static_cast<int>(i)).type);
+      if (!cell) {
+        result.error = "line " + std::to_string(line_no) + ": bad value '" +
+                       fields[i] + "'";
+        return result;
+      }
+      row.push_back(std::move(*cell));
+    }
+    rel.AppendRow(row);
+  }
+  result.relation = std::move(rel);
+  return result;
+}
+
+CsvResult ReadCsvFile(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) {
+    CsvResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  return ReadCsv(in, name);
+}
+
+void WriteCsv(const Relation& rel, std::ostream& out) {
+  const Schema& s = rel.schema();
+  for (int i = 0; i < s.size(); ++i) {
+    if (i > 0) out << ",";
+    out << s.attr(i).name << ":" << DataTypeName(s.attr(i).type);
+  }
+  out << "\n";
+  for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    for (int i = 0; i < s.size(); ++i) {
+      if (i > 0) out << ",";
+      out << RenderCell(rel.Get(t, i));
+    }
+    out << "\n";
+  }
+}
+
+bool WriteCsvFile(const Relation& rel, const std::string& path,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  WriteCsv(rel, out);
+  return out.good();
+}
+
+}  // namespace fdevolve::relation

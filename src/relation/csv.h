@@ -1,0 +1,36 @@
+// Minimal CSV import/export for relations.
+//
+// Format: first line is "name:type,..." header; empty field = NULL for
+// typed columns, and the literal token "\N" = NULL for string columns.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace fdevolve::relation {
+
+/// Result of a CSV read: either a relation or an error message.
+struct CsvResult {
+  std::optional<Relation> relation;
+  std::string error;
+
+  bool ok() const { return relation.has_value(); }
+};
+
+/// Reads a relation from a stream. `name` becomes the relation name.
+CsvResult ReadCsv(std::istream& in, const std::string& name);
+
+/// Reads a relation from a file path.
+CsvResult ReadCsvFile(const std::string& path, const std::string& name);
+
+/// Writes a relation (header + rows) to a stream.
+void WriteCsv(const Relation& rel, std::ostream& out);
+
+/// Writes to a file; returns false (and fills `error`) on I/O failure.
+bool WriteCsvFile(const Relation& rel, const std::string& path,
+                  std::string* error);
+
+}  // namespace fdevolve::relation

@@ -1,0 +1,28 @@
+// Attribute data types supported by the relation layer.
+#pragma once
+
+#include <string>
+
+namespace fdevolve::relation {
+
+/// Logical column type. The repair algorithms only care about value
+/// *equality*, so a small closed set of types is sufficient.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+inline std::string DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+}  // namespace fdevolve::relation

@@ -1,0 +1,86 @@
+#include "relation/relation.h"
+
+#include <stdexcept>
+
+namespace fdevolve::relation {
+
+const Value Column::kNullValue = Value::Null();
+
+const Value& Column::DictValue(uint32_t code) const {
+  if (code == kNullCode) return kNullValue;
+  return dict_.at(code);
+}
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    codes_.push_back(kNullCode);
+    ++null_count_;
+    return;
+  }
+  if (!v.MatchesType(type_)) {
+    throw std::invalid_argument("Column: value type mismatch, expected " +
+                                DataTypeName(type_) + " got " + v.ToString());
+  }
+  auto it = dict_index_.find(v);
+  if (it != dict_index_.end()) {
+    codes_.push_back(it->second);
+    return;
+  }
+  auto code = static_cast<uint32_t>(dict_.size());
+  if (code == kNullCode) {
+    throw std::length_error("Column: dictionary overflow");
+  }
+  dict_.push_back(v);
+  dict_index_.emplace(v, code);
+  codes_.push_back(code);
+}
+
+Value Column::Get(size_t t) const {
+  uint32_t c = codes_.at(t);
+  return c == kNullCode ? Value::Null() : dict_.at(c);
+}
+
+Relation::Relation(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.size()));
+  for (const auto& a : schema_.attrs()) columns_.emplace_back(a.type);
+}
+
+void Relation::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != static_cast<size_t>(schema_.size())) {
+    throw std::invalid_argument("Relation::AppendRow: arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].Append(row[i]);
+  }
+  ++tuple_count_;
+}
+
+AttrSet Relation::NonNullAttrs() const {
+  AttrSet s;
+  for (int i = 0; i < attr_count(); ++i) {
+    if (!column(i).has_nulls()) s.Add(i);
+  }
+  return s;
+}
+
+bool Relation::AnyNulls(const AttrSet& attrs) const {
+  for (int i : attrs.ToVector()) {
+    if (column(i).has_nulls()) return true;
+  }
+  return false;
+}
+
+size_t Relation::EstimatedBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) {
+    bytes += col.size() * sizeof(uint32_t);
+    for (size_t c = 0; c < col.dict_size(); ++c) {
+      const Value& v = col.DictValue(static_cast<uint32_t>(c));
+      bytes += v.is_string() ? v.as_string().size() + 16 : 8;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace fdevolve::relation

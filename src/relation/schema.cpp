@@ -1,0 +1,61 @@
+#include "relation/schema.h"
+
+#include <stdexcept>
+
+namespace fdevolve::relation {
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  if (attrs_.size() > static_cast<size_t>(AttrSet::kMaxAttrs)) {
+    throw std::invalid_argument("Schema: too many attributes (max " +
+                                std::to_string(AttrSet::kMaxAttrs) + ")");
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name.empty()) {
+      throw std::invalid_argument("Schema: empty attribute name");
+    }
+    auto [it, inserted] = index_.emplace(attrs_[i].name, static_cast<int>(i));
+    if (!inserted) {
+      throw std::invalid_argument("Schema: duplicate attribute name '" +
+                                  attrs_[i].name + "'");
+    }
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int Schema::Require(const std::string& name) const {
+  int i = IndexOf(name);
+  if (i < 0) {
+    throw std::invalid_argument("Schema: unknown attribute '" + name + "'");
+  }
+  return i;
+}
+
+AttrSet Schema::AllAttrs() const {
+  AttrSet s;
+  for (int i = 0; i < size(); ++i) s.Add(i);
+  return s;
+}
+
+AttrSet Schema::Resolve(const std::vector<std::string>& names) const {
+  AttrSet s;
+  for (const auto& n : names) s.Add(Require(n));
+  return s;
+}
+
+std::string Schema::Describe(const AttrSet& set) const {
+  std::string out = "[";
+  bool first = true;
+  for (int i : set.ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += i < size() ? attr(i).name : ("#" + std::to_string(i));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fdevolve::relation

@@ -1,0 +1,52 @@
+// Relation schema: named, typed attributes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/data_type.h"
+
+namespace fdevolve::relation {
+
+/// One attribute declaration.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// Ordered list of attributes with unique names; attribute index is its
+/// position in declaration order.
+class Schema {
+ public:
+  Schema() = default;
+  /// Throws std::invalid_argument on duplicate names or >AttrSet::kMaxAttrs
+  /// attributes.
+  explicit Schema(std::vector<Attribute> attrs);
+
+  int size() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(int i) const { return attrs_.at(static_cast<size_t>(i)); }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute with the given name, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Index of the attribute; throws std::invalid_argument if absent.
+  int Require(const std::string& name) const;
+
+  /// Set of all attribute indices.
+  AttrSet AllAttrs() const;
+
+  /// Resolves a list of names to an AttrSet; throws on unknown name.
+  AttrSet Resolve(const std::vector<std::string>& names) const;
+
+  /// Renders an AttrSet as "[A, B, C]" using this schema's names.
+  std::string Describe(const AttrSet& set) const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace fdevolve::relation

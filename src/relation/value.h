@@ -1,0 +1,57 @@
+// A single nullable, typed cell value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "relation/data_type.h"
+
+namespace fdevolve::relation {
+
+/// Immutable cell value: NULL, int64, double, or string.
+///
+/// Values are used at the API boundary (building relations, reading cells,
+/// dictionaries). Hot paths operate on dictionary codes, not Values.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}           // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Accessors; throw std::bad_variant_access on type mismatch.
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// The DataType this value would have in a column; NULL has no type and
+  /// is accepted by any column.
+  bool MatchesType(DataType t) const;
+
+  /// Total order used by dictionaries: NULL < ints/doubles (numeric order)
+  /// < strings (lexicographic). Equality is exact (no int/double coercion
+  /// across types with different representations).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const;
+
+  /// Stable hash consistent with operator==.
+  uint64_t Hash() const;
+
+  /// Human-readable rendering ("NULL", "42", "3.5", "abc").
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace fdevolve::relation

@@ -1,0 +1,58 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace fdevolve::sql {
+namespace {
+
+std::string RenderLiteral(const relation::Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.is_string()) {
+    // Re-escape single quotes.
+    std::string out = "'";
+    for (char c : v.as_string()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string Condition::ToString() const {
+  switch (op) {
+    case Op::kEq:
+      return column + " = " + RenderLiteral(literal);
+    case Op::kNeq:
+      return column + " <> " + RenderLiteral(literal);
+    case Op::kIsNull:
+      return column + " IS NULL";
+    case Op::kIsNotNull:
+      return column + " IS NOT NULL";
+  }
+  return column;
+}
+
+std::string CountQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT COUNT(";
+  if (distinct) {
+    os << "DISTINCT ";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << columns[i];
+    }
+  } else {
+    os << "*";
+  }
+  os << ") FROM " << table;
+  for (size_t i = 0; i < where.size(); ++i) {
+    os << (i == 0 ? " WHERE " : " AND ") << where[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace fdevolve::sql

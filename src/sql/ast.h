@@ -1,0 +1,43 @@
+// AST for the mini-SQL dialect.
+//
+// Grammar (enough to express everything §4.4 issues, plus simple
+// selections for the conditional-FD extension):
+//
+//   query      := SELECT COUNT '(' (DISTINCT columns | '*') ')'
+//                 FROM identifier [WHERE condition (AND condition)*]
+//   columns    := identifier (',' identifier)*
+//   condition  := identifier ('=' | '<>') literal
+//               | identifier IS [NOT] NULL
+//   literal    := number | string
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace fdevolve::sql {
+
+/// One WHERE conjunct.
+struct Condition {
+  enum class Op { kEq, kNeq, kIsNull, kIsNotNull };
+
+  std::string column;
+  Op op = Op::kEq;
+  relation::Value literal;  // unused for IS [NOT] NULL
+
+  std::string ToString() const;
+};
+
+/// SELECT COUNT(DISTINCT ...) / COUNT(*) FROM table [WHERE ...].
+struct CountQuery {
+  bool distinct = false;                // COUNT(*) when false
+  std::vector<std::string> columns;     // empty for COUNT(*)
+  std::string table;
+  std::vector<Condition> where;         // conjunction
+
+  std::string ToString() const;
+};
+
+}  // namespace fdevolve::sql

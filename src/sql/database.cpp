@@ -1,0 +1,167 @@
+#include "sql/database.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "relation/csv.h"
+#include "util/strings.h"
+
+namespace fdevolve::sql {
+
+const relation::Relation& Database::AddRelation(relation::Relation rel) {
+  if (Has(rel.name())) {
+    throw std::invalid_argument("Database: duplicate relation '" + rel.name() +
+                                "'");
+  }
+  relations_.push_back(
+      std::make_unique<relation::Relation>(std::move(rel)));
+  return *relations_.back();
+}
+
+const relation::Relation& Database::Get(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r->name() == name) return *r;
+  }
+  throw std::invalid_argument("Database: no relation '" + name + "'");
+}
+
+relation::Relation& Database::GetMutable(const std::string& name) {
+  for (auto& r : relations_) {
+    if (r->name() == name) return *r;
+  }
+  throw std::invalid_argument("Database: no relation '" + name + "'");
+}
+
+bool Database::Has(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& r : relations_) out.push_back(r->name());
+  return out;
+}
+
+const DeclaredFd& Database::DeclareFd(const std::string& table,
+                                      const std::string& fd_text,
+                                      std::string label) {
+  const relation::Relation& rel = Get(table);
+  fds_.push_back({table, fd::Fd::Parse(fd_text, rel.schema(), std::move(label))});
+  return fds_.back();
+}
+
+std::vector<DeclaredFd> Database::Fds(const std::string& table) const {
+  std::vector<DeclaredFd> out;
+  for (const auto& d : fds_) {
+    if (table.empty() || d.table == table) out.push_back(d);
+  }
+  return out;
+}
+
+void Database::ReplaceFd(const std::string& table, const fd::Fd& old_fd,
+                         const fd::Fd& new_fd) {
+  for (auto& d : fds_) {
+    if (d.table == table && d.fd == old_fd) {
+      d.fd = new_fd;
+      return;
+    }
+  }
+  throw std::invalid_argument("Database::ReplaceFd: FD not declared on '" +
+                              table + "'");
+}
+
+bool SaveCatalog(const Database& db, const std::string& dir,
+                 std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error) *error = "cannot create '" + dir + "': " + ec.message();
+    return false;
+  }
+  for (const auto& name : db.TableNames()) {
+    if (!relation::WriteCsvFile(db.Get(name), dir + "/" + name + ".csv",
+                                error)) {
+      return false;
+    }
+  }
+  std::ofstream fds(dir + "/fds.txt");
+  if (!fds) {
+    if (error) *error = "cannot write fds.txt";
+    return false;
+  }
+  for (const auto& d : db.Fds()) {
+    const auto& schema = db.Get(d.table).schema();
+    // "table: A, B -> C" — re-parsable by LoadCatalog.
+    std::string lhs;
+    for (int a : d.fd.lhs().ToVector()) {
+      if (!lhs.empty()) lhs += ", ";
+      lhs += schema.attr(a).name;
+    }
+    std::string rhs;
+    for (int a : d.fd.rhs().ToVector()) {
+      if (!rhs.empty()) rhs += ", ";
+      rhs += schema.attr(a).name;
+    }
+    fds << d.table << ": " << lhs << " -> " << rhs << "\n";
+  }
+  return fds.good();
+}
+
+bool LoadCatalog(const std::string& dir, Database* db, std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error) *error = "'" + dir + "' is not a directory";
+    return false;
+  }
+  std::vector<fs::path> csvs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".csv") csvs.push_back(entry.path());
+  }
+  std::sort(csvs.begin(), csvs.end());
+  for (const auto& path : csvs) {
+    auto result = relation::ReadCsvFile(path.string(), path.stem().string());
+    if (!result.ok()) {
+      if (error) *error = path.string() + ": " + result.error;
+      return false;
+    }
+    db->AddRelation(std::move(*result.relation));
+  }
+  std::ifstream fds(dir + "/fds.txt");
+  if (fds) {
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(fds, line)) {
+      ++line_no;
+      auto trimmed = util::Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      auto colon = trimmed.find(':');
+      if (colon == std::string_view::npos) {
+        if (error) {
+          *error = "fds.txt line " + std::to_string(line_no) + ": missing ':'";
+        }
+        return false;
+      }
+      std::string table(util::Trim(trimmed.substr(0, colon)));
+      std::string fd_text(util::Trim(trimmed.substr(colon + 1)));
+      try {
+        db->DeclareFd(table, fd_text);
+      } catch (const std::invalid_argument& e) {
+        if (error) {
+          *error = "fds.txt line " + std::to_string(line_no) + ": " + e.what();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fdevolve::sql

@@ -1,0 +1,63 @@
+// Named-relation catalog with declared FDs — the "connect to a database,
+// visualise its relations and FDs" surface of the paper's prototype (§6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace fdevolve::sql {
+
+/// One declared FD within a catalog.
+struct DeclaredFd {
+  std::string table;
+  fd::Fd fd;
+};
+
+/// In-memory database: relations by name plus declared FDs.
+///
+/// Relations are stored behind stable pointers so FD declarations and the
+/// query engine can hold references across catalog growth.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a relation; throws std::invalid_argument on duplicate name.
+  const relation::Relation& AddRelation(relation::Relation rel);
+
+  /// Lookup; throws std::invalid_argument if absent.
+  const relation::Relation& Get(const std::string& name) const;
+  relation::Relation& GetMutable(const std::string& name);
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Declares an FD parsed against the table's schema ("A, B -> C").
+  const DeclaredFd& DeclareFd(const std::string& table,
+                              const std::string& fd_text,
+                              std::string label = "");
+
+  /// All declared FDs, optionally restricted to one table.
+  std::vector<DeclaredFd> Fds(const std::string& table = "") const;
+
+  /// Replaces a declared FD (designer accepting an evolution).
+  void ReplaceFd(const std::string& table, const fd::Fd& old_fd,
+                 const fd::Fd& new_fd);
+
+ private:
+  std::vector<std::unique_ptr<relation::Relation>> relations_;
+  std::vector<DeclaredFd> fds_;
+};
+
+/// Saves catalog as a directory: one `<table>.csv` per relation plus
+/// `fds.txt` ("table: X -> Y" lines). Returns false + error on I/O issues.
+bool SaveCatalog(const Database& db, const std::string& dir,
+                 std::string* error);
+
+/// Loads a catalog previously written by SaveCatalog.
+bool LoadCatalog(const std::string& dir, Database* db, std::string* error);
+
+}  // namespace fdevolve::sql

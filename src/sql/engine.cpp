@@ -1,0 +1,135 @@
+#include "sql/engine.h"
+
+#include <unordered_map>
+
+#include "sql/parser.h"
+
+namespace fdevolve::sql {
+namespace {
+
+/// Row predicate for one condition, evaluated on dictionary codes where
+/// possible (equality against a literal resolves to a single code).
+class CompiledCondition {
+ public:
+  CompiledCondition(const relation::Relation& rel, const Condition& cond)
+      : op_(cond.op) {
+    col_ = rel.schema().IndexOf(cond.column);
+    if (col_ < 0) {
+      throw std::invalid_argument("unknown column '" + cond.column + "' in " +
+                                  rel.name());
+    }
+    if (op_ == Condition::Op::kEq || op_ == Condition::Op::kNeq) {
+      if (cond.literal.is_null()) {
+        // SQL three-valued logic: = NULL / <> NULL match nothing.
+        matches_nothing_ = true;
+        return;
+      }
+      // Resolve the literal to a dictionary code. An absent literal means
+      // "= lit" matches nothing and "<> lit" matches every non-NULL row.
+      const auto& col = rel.column(col_);
+      for (uint32_t c = 0; c < col.dict_size(); ++c) {
+        if (col.DictValue(c) == cond.literal) {
+          literal_code_ = c;
+          literal_present_ = true;
+          break;
+        }
+      }
+    }
+  }
+
+  bool Pass(const relation::Relation& rel, size_t row) const {
+    if (matches_nothing_) return false;
+    uint32_t code = rel.column(col_).code(row);
+    switch (op_) {
+      case Condition::Op::kEq:
+        return literal_present_ && code == literal_code_;
+      case Condition::Op::kNeq:
+        return code != relation::kNullCode &&
+               (!literal_present_ || code != literal_code_);
+      case Condition::Op::kIsNull:
+        return code == relation::kNullCode;
+      case Condition::Op::kIsNotNull:
+        return code != relation::kNullCode;
+    }
+    return false;
+  }
+
+ private:
+  int col_ = -1;
+  Condition::Op op_;
+  uint32_t literal_code_ = relation::kNullCode;
+  bool literal_present_ = false;
+  bool matches_nothing_ = false;
+};
+
+}  // namespace
+
+uint64_t Execute(const CountQuery& query, const Database& db) {
+  const relation::Relation& rel = db.Get(query.table);
+
+  std::vector<CompiledCondition> conds;
+  conds.reserve(query.where.size());
+  for (const auto& c : query.where) conds.emplace_back(rel, c);
+
+  std::vector<int> cols;
+  for (const auto& name : query.columns) {
+    int idx = rel.schema().IndexOf(name);
+    if (idx < 0) {
+      throw std::invalid_argument("unknown column '" + name + "' in " +
+                                  rel.name());
+    }
+    cols.push_back(idx);
+  }
+
+  // Filter pass: surviving row indices (and, for DISTINCT, drop rows with
+  // NULL in any counted column — SQL semantics).
+  std::vector<size_t> rows;
+  rows.reserve(rel.tuple_count());
+  for (size_t row = 0; row < rel.tuple_count(); ++row) {
+    bool pass = true;
+    for (const auto& c : conds) {
+      if (!c.Pass(rel, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    if (query.distinct) {
+      bool has_null = false;
+      for (int c : cols) {
+        if (rel.column(c).code(row) == relation::kNullCode) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;
+    }
+    rows.push_back(row);
+  }
+  if (!query.distinct) return rows.size();
+
+  // Exact distinct count via per-column partition refinement (same plan
+  // shape as query::GroupBy, restricted to surviving rows).
+  std::vector<uint32_t> ids(rows.size(), 0);
+  size_t groups = rows.empty() ? 0 : 1;
+  for (int c : cols) {
+    std::unordered_map<uint64_t, uint32_t> next;
+    next.reserve(groups * 2 + 16);
+    uint32_t fresh = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint64_t key = (static_cast<uint64_t>(ids[i]) << 32) |
+                     rel.column(c).code(rows[i]);
+      auto [it, inserted] = next.emplace(key, fresh);
+      if (inserted) ++fresh;
+      ids[i] = it->second;
+    }
+    groups = fresh;
+  }
+  return groups;
+}
+
+uint64_t ExecuteSql(const std::string& text, const Database& db) {
+  return Execute(Parse(text), db);
+}
+
+}  // namespace fdevolve::sql

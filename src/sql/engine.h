@@ -1,0 +1,22 @@
+// Execution of CountQuery against a Database — the paper's Q1/Q2 path.
+//
+// COUNT(DISTINCT ...) over the surviving rows of the WHERE conjunction,
+// with SQL semantics: rows where any DISTINCT column is NULL are excluded
+// from the distinct count, and `col = NULL` never matches (use IS NULL).
+#pragma once
+
+#include <cstdint>
+
+#include "sql/ast.h"
+#include "sql/database.h"
+
+namespace fdevolve::sql {
+
+/// Executes a parsed query. Throws std::invalid_argument for unknown
+/// tables/columns (schema errors are not SqlErrors: the text was valid).
+uint64_t Execute(const CountQuery& query, const Database& db);
+
+/// Convenience: parse + execute.
+uint64_t ExecuteSql(const std::string& text, const Database& db);
+
+}  // namespace fdevolve::sql

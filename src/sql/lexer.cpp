@@ -1,0 +1,114 @@
+#include <cctype>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sql/token.h"
+
+namespace fdevolve::sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "SELECT", "COUNT", "DISTINCT", "FROM", "WHERE",
+      "AND",    "IS",    "NOT",      "NULL", "AS"};
+  return kw;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = Upper(word);
+      if (Keywords().count(upper)) {
+        out.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (c == '"') {  // quoted identifier, preserves case/spaces
+      ++i;
+      size_t close = input.find('"', i);
+      if (close == std::string::npos) {
+        throw SqlError("unterminated quoted identifier", start);
+      }
+      out.push_back({TokenType::kIdentifier, input.substr(i, close - i), start});
+      i = close + 1;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(input[i++]);
+      }
+      if (!closed) throw SqlError("unterminated string literal", start);
+      out.push_back({TokenType::kString, value, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !seen_dot))) {
+        seen_dot |= input[i] == '.';
+        ++i;
+      }
+      out.push_back({TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '<' && i + 1 < n && input[i + 1] == '>') {
+      out.push_back({TokenType::kSymbol, "<>", start});
+      i += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      out.push_back({TokenType::kSymbol, "<>", start});  // normalise != to <>
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=') {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    throw SqlError(std::string("unexpected character '") + c + "'", start);
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace fdevolve::sql

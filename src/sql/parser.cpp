@@ -1,0 +1,132 @@
+#include "sql/parser.h"
+
+#include <charconv>
+
+namespace fdevolve::sql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  CountQuery ParseQuery() {
+    CountQuery q;
+    ExpectKeyword("SELECT");
+    ExpectKeyword("COUNT");
+    ExpectSymbol("(");
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      q.distinct = true;
+      q.columns.push_back(ExpectIdentifier());
+      while (Peek().IsSymbol(",")) {
+        Advance();
+        q.columns.push_back(ExpectIdentifier());
+      }
+    } else {
+      ExpectSymbol("*");
+    }
+    ExpectSymbol(")");
+    ExpectKeyword("FROM");
+    q.table = ExpectIdentifier();
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      q.where.push_back(ParseCondition());
+      while (Peek().IsKeyword("AND")) {
+        Advance();
+        q.where.push_back(ParseCondition());
+      }
+    }
+    if (Peek().type != TokenType::kEnd) {
+      throw SqlError("trailing input after query", Peek().position);
+    }
+    return q;
+  }
+
+ private:
+  Condition ParseCondition() {
+    Condition c;
+    c.column = ExpectIdentifier();
+    const Token& t = Peek();
+    if (t.IsSymbol("=") || t.IsSymbol("<>")) {
+      c.op = t.IsSymbol("=") ? Condition::Op::kEq : Condition::Op::kNeq;
+      Advance();
+      c.literal = ParseLiteral();
+      return c;
+    }
+    if (t.IsKeyword("IS")) {
+      Advance();
+      if (Peek().IsKeyword("NOT")) {
+        Advance();
+        c.op = Condition::Op::kIsNotNull;
+      } else {
+        c.op = Condition::Op::kIsNull;
+      }
+      ExpectKeyword("NULL");
+      return c;
+    }
+    throw SqlError("expected comparison operator or IS", t.position);
+  }
+
+  relation::Value ParseLiteral() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kString) {
+      Advance();
+      return relation::Value(t.text);
+    }
+    if (t.type == TokenType::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        return relation::Value(std::stod(t.text));
+      }
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+      if (ec != std::errc() || ptr != t.text.data() + t.text.size()) {
+        throw SqlError("bad integer literal '" + t.text + "'", t.position);
+      }
+      return relation::Value(v);
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return relation::Value::Null();
+    }
+    throw SqlError("expected literal", t.position);
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  void ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) {
+      throw SqlError("expected " + kw, Peek().position);
+    }
+    Advance();
+  }
+  void ExpectSymbol(const std::string& sym) {
+    if (!Peek().IsSymbol(sym)) {
+      throw SqlError("expected '" + sym + "'", Peek().position);
+    }
+    Advance();
+  }
+  std::string ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      throw SqlError("expected identifier", Peek().position);
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+CountQuery Parse(const std::string& input) {
+  return Parser(Lex(input)).ParseQuery();
+}
+
+}  // namespace fdevolve::sql

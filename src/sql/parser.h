@@ -1,0 +1,14 @@
+// Recursive-descent parser for the mini-SQL dialect (see ast.h).
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace fdevolve::sql {
+
+/// Parses one COUNT query; throws SqlError on syntax errors.
+CountQuery Parse(const std::string& input);
+
+}  // namespace fdevolve::sql

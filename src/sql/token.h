@@ -1,0 +1,51 @@
+// Token model for the mini-SQL dialect (the COUNT(DISTINCT ...) surface
+// the paper's prototype issues against MySQL, §4.4).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fdevolve::sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, COUNT, DISTINCT, FROM, WHERE, AND, IS, NOT, NULL, AS
+  kIdentifier,  // table / column names (optionally "quoted")
+  kNumber,      // integer or decimal literal
+  kString,      // 'single-quoted'
+  kSymbol,      // ( ) , * = < > !
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalised: keywords uppercased
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const std::string& sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Thrown by the lexer and parser on malformed input; carries position.
+class SqlError : public std::runtime_error {
+ public:
+  SqlError(const std::string& message, size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+
+  size_t position() const { return position_; }
+
+ private:
+  size_t position_;
+};
+
+/// Tokenises an SQL string; throws SqlError on bad characters or
+/// unterminated strings.
+std::vector<Token> Lex(const std::string& input);
+
+}  // namespace fdevolve::sql

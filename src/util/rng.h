@@ -1,0 +1,58 @@
+// Deterministic, seedable pseudo-random generator for the data generators.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution in the
+// generators: distribution results differ across standard libraries, and the
+// benchmark tables in EXPERIMENTS.md must be byte-stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fdevolve::util {
+
+/// xorshift64* generator. Small, fast, and fully specified, so generated
+/// datasets are reproducible on any platform given the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL)
+      : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lowercase identifier of the given length (e.g. synthetic names).
+  std::string Ident(int len) {
+    std::string s;
+    s.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + Below(26)));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fdevolve::util

@@ -1,0 +1,28 @@
+// Small string helpers used by the FD parser and CSV reader.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdevolve::util {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on a character and trims each piece; drops pieces that trim to "".
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII in place and returns the result.
+std::string ToLower(std::string_view s);
+
+}  // namespace fdevolve::util

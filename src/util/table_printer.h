@@ -1,0 +1,39 @@
+// Fixed-width ASCII table printer for the benchmark binaries.
+//
+// Every bench that reproduces a paper table prints through this class so the
+// output in EXPERIMENTS.md has one consistent, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdevolve::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; its arity must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full table.
+  void Print(std::ostream& os) const;
+
+  /// Convenience: renders to a string.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fdevolve::util

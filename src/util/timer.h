@@ -1,0 +1,48 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace fdevolve::util {
+
+/// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a millisecond duration the way the paper prints Table 5/6 cells,
+/// e.g. "1s 276ms", "9m 42s 708ms", "1h 59m 19s 884ms", "5ms".
+inline std::string FormatDurationMs(double ms) {
+  auto total = static_cast<uint64_t>(ms + 0.5);
+  uint64_t h = total / 3600000;
+  total %= 3600000;
+  uint64_t m = total / 60000;
+  total %= 60000;
+  uint64_t s = total / 1000;
+  uint64_t rem = total % 1000;
+  std::string out;
+  if (h > 0) out += std::to_string(h) + "h ";
+  if (m > 0 || h > 0) out += std::to_string(m) + "m ";
+  if (s > 0 || m > 0 || h > 0) out += std::to_string(s) + "s ";
+  out += std::to_string(rem) + "ms";
+  return out;
+}
+
+}  // namespace fdevolve::util

@@ -1,0 +1,118 @@
+#include "clustering/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+
+namespace fdevolve::clustering {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+Relation MakeRel() {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, int64_t{10}})
+      .Row({int64_t{1}, int64_t{10}})
+      .Row({int64_t{2}, int64_t{10}})
+      .Row({int64_t{3}, int64_t{20}})
+      .Build();
+}
+
+TEST(ClusteringTest, BuildsFromRelation) {
+  Relation r = MakeRel();
+  Clustering c(r, AttrSet::Of({0}));
+  EXPECT_EQ(c.cluster_count(), 3u);
+  EXPECT_EQ(c.tuple_count(), 4u);
+  EXPECT_EQ(c.cluster_of(0), c.cluster_of(1));
+  EXPECT_NE(c.cluster_of(0), c.cluster_of(2));
+}
+
+TEST(ClusteringTest, SizesSumToTupleCount) {
+  Relation r = MakeRel();
+  Clustering c(r, AttrSet::Of({0}));
+  size_t total = 0;
+  for (size_t s : c.sizes()) total += s;
+  EXPECT_EQ(total, r.tuple_count());
+}
+
+TEST(ClusteringTest, MembersPartitionTheTuples) {
+  Relation r = MakeRel();
+  Clustering c(r, AttrSet::Of({1}));
+  auto members = c.Members();
+  ASSERT_EQ(members.size(), c.cluster_count());
+  std::vector<bool> seen(r.tuple_count(), false);
+  for (const auto& cluster : members) {
+    for (uint32_t t : cluster) {
+      EXPECT_FALSE(seen[t]);
+      seen[t] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ClusteringTest, PaperFigure2aClusterCounts) {
+  // C_{District,Region} has 2 classes; C_AreaCode has 4 (Figure 2a).
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  Clustering c_dr(rel, s.Resolve({"District", "Region"}));
+  Clustering c_a(rel, s.Resolve({"AreaCode"}));
+  EXPECT_EQ(c_dr.cluster_count(), 2u);
+  EXPECT_EQ(c_a.cluster_count(), 4u);
+  // No function exists: D/R clusters split across AreaCode clusters.
+  EXPECT_FALSE(IsHomogeneous(c_dr, c_a));
+}
+
+TEST(ClusteringTest, PaperFigure2bWellDefinedFunction) {
+  // C_{District,Region,Municipal} aligns 1:1 with C_AreaCode (Figure 2b).
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  Clustering c_drm(rel, s.Resolve({"District", "Region", "Municipal"}));
+  Clustering c_a(rel, s.Resolve({"AreaCode"}));
+  EXPECT_EQ(c_drm.cluster_count(), 4u);
+  EXPECT_TRUE(IsHomogeneous(c_drm, c_a));
+  EXPECT_TRUE(IsComplete(c_drm, c_a));
+  EXPECT_TRUE(SamePartition(c_drm, c_a));
+}
+
+TEST(ClusteringTest, PaperFigure2cFunctionButNotBijective) {
+  // C_{District,Region,PhNo} maps into C_AreaCode (homogeneous) but has 7
+  // classes vs 4: a function, not well-defined/bijective (Figure 2c).
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  Clustering c_drp(rel, s.Resolve({"District", "Region", "PhNo"}));
+  Clustering c_a(rel, s.Resolve({"AreaCode"}));
+  EXPECT_EQ(c_drp.cluster_count(), 7u);
+  EXPECT_TRUE(IsHomogeneous(c_drp, c_a));
+  EXPECT_FALSE(IsComplete(c_drp, c_a));
+  EXPECT_FALSE(SamePartition(c_drp, c_a));
+}
+
+TEST(ClusteringTest, HomogeneityIsRefinement) {
+  Relation r = MakeRel();
+  Clustering fine(r, AttrSet::Of({0, 1}));
+  Clustering coarse(r, AttrSet::Of({1}));
+  EXPECT_TRUE(IsHomogeneous(fine, coarse));
+  EXPECT_FALSE(IsHomogeneous(coarse, fine));
+}
+
+TEST(ClusteringTest, SamePartitionReflexive) {
+  Relation r = MakeRel();
+  Clustering a(r, AttrSet::Of({0}));
+  Clustering b(r, AttrSet::Of({0}));
+  EXPECT_TRUE(SamePartition(a, b));
+}
+
+TEST(ClusteringTest, SingleClusterWhenNoAttrs) {
+  Relation r = MakeRel();
+  Clustering c(r, AttrSet());
+  EXPECT_EQ(c.cluster_count(), 1u);
+  EXPECT_EQ(c.sizes()[0], r.tuple_count());
+}
+
+}  // namespace
+}  // namespace fdevolve::clustering

@@ -1,0 +1,132 @@
+// Empirical study of Theorem 1 (§5): ε_CB and ε_VI as measures on
+// candidate extensions.
+#include "clustering/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+#include "datagen/synthetic.h"
+
+namespace fdevolve::clustering {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+TEST(EquivalenceTest, CbNullImpliesViNullOnPlaces) {
+  // Forward direction of Theorem 1 on every 1- and 2-attribute extension
+  // of every running-example FD.
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  for (const auto& base :
+       {datagen::PlacesF1(s), datagen::PlacesF2(s), datagen::PlacesF3(s),
+        datagen::PlacesF4(s)}) {
+    auto pool = rel.schema().AllAttrs().Minus(base.AllAttrs()).ToVector();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t j = i; j < pool.size(); ++j) {
+        AttrSet added = AttrSet::Of({pool[i]}).With(pool[j]);
+        EquivalencePoint p = CompareMeasures(rel, base, added);
+        if (p.cb_null) {
+          EXPECT_TRUE(p.vi_null)
+              << base.ToString(s) << " + " << s.Describe(added);
+        }
+      }
+    }
+  }
+}
+
+TEST(EquivalenceTest, CbNullImpliesViNullOnSynthetic) {
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 7;
+  spec.n_tuples = 400;
+  spec.repair_length = 1;
+  spec.seed = 31;
+  auto rel = datagen::MakeSynthetic(spec);
+  fd::Fd base = datagen::SyntheticFd(rel.schema());
+  for (int a = 2; a < rel.attr_count(); ++a) {
+    EquivalencePoint p = CompareMeasures(rel, base, AttrSet::Of({a}));
+    if (p.cb_null) {
+      EXPECT_TRUE(p.vi_null) << "attr " << a;
+    }
+  }
+}
+
+TEST(EquivalenceTest, MunicipalIsTheNullPointOfBothMeasures) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  fd::Fd f1 = datagen::PlacesF1(s);
+  EquivalencePoint mun =
+      CompareMeasures(rel, f1, AttrSet::Of({s.Require("Municipal")}));
+  EXPECT_TRUE(mun.cb_null);
+  EXPECT_TRUE(mun.vi_null);
+  // PhNo is exact but not bijective: strictly positive under both measures.
+  EquivalencePoint ph =
+      CompareMeasures(rel, f1, AttrSet::Of({s.Require("PhNo")}));
+  EXPECT_FALSE(ph.cb_null);
+  EXPECT_FALSE(ph.vi_null);
+  EXPECT_GT(ph.epsilon_cb, 0.0);
+  EXPECT_GT(ph.epsilon_vi, 0.0);
+}
+
+TEST(EquivalenceTest, ConverseFailsAsLiterallyStated) {
+  // Counterexample to the literal converse (ε_VI = 0 ⇒ ε_CB = 0):
+  // Y constant, Z constant, X non-constant. Then C_XZ = C_XY (both equal
+  // C_X), so VI(C_XY, C_XZ) = 0 — but |C_XZ| = 2 > 1 = |C_Y|, so the
+  // goodness of XZ -> Y is 1 and ε_CB = 1 > 0. This documents why the
+  // theorem's completeness step b) needs Y -> X-style degeneracy excluded;
+  // see DESIGN.md §5 notes.
+  Schema schema({{"X", DataType::kInt64},
+                 {"Y", DataType::kInt64},
+                 {"Z", DataType::kInt64}});
+  Relation rel = RelationBuilder("cx", schema)
+                     .Row({int64_t{1}, int64_t{9}, int64_t{0}})
+                     .Row({int64_t{2}, int64_t{9}, int64_t{0}})
+                     .Build();
+  fd::Fd base(AttrSet::Of({0}), AttrSet::Of({1}));
+  EquivalencePoint p = CompareMeasures(rel, base, AttrSet::Of({2}));
+  EXPECT_TRUE(p.vi_null);    // C_XZ and C_XY are the same partition
+  EXPECT_FALSE(p.cb_null);   // goodness = |C_XZ| − |C_Y| = 2 − 1 = 1
+  EXPECT_DOUBLE_EQ(p.epsilon_cb, 1.0);
+}
+
+TEST(EquivalenceTest, EpsilonCbMatchesMeasuresFormula) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  fd::Fd f1 = datagen::PlacesF1(s);
+  AttrSet street = AttrSet::Of({s.Require("Street")});
+  double eps = EpsilonCb(rel, f1, street);
+  fd::FdMeasures m = fd::ComputeMeasures(rel, f1.WithAntecedent(street));
+  EXPECT_DOUBLE_EQ(eps, m.inconsistency() + m.abs_goodness());
+}
+
+TEST(EquivalenceTest, MeasuresOrderCandidatesSimilarly) {
+  // Spearman-style sanity: on Places/F1, the candidate with minimal ε_CB
+  // also minimises ε_VI (both say Municipal).
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  fd::Fd f1 = datagen::PlacesF1(s);
+  double best_cb = 1e18;
+  double best_vi = 1e18;
+  int best_cb_attr = -1;
+  int best_vi_attr = -1;
+  for (int a : rel.schema().AllAttrs().Minus(f1.AllAttrs()).ToVector()) {
+    double cb = EpsilonCb(rel, f1, AttrSet::Of({a}));
+    double vi = EpsilonVi(rel, f1, AttrSet::Of({a}));
+    if (cb < best_cb) {
+      best_cb = cb;
+      best_cb_attr = a;
+    }
+    if (vi < best_vi) {
+      best_vi = vi;
+      best_vi_attr = a;
+    }
+  }
+  EXPECT_EQ(best_cb_attr, s.Require("Municipal"));
+  EXPECT_EQ(best_vi_attr, s.Require("Municipal"));
+}
+
+}  // namespace
+}  // namespace fdevolve::clustering

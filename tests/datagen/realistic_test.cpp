@@ -1,0 +1,122 @@
+#include "datagen/realistic.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/measures.h"
+#include "fd/repair_search.h"
+
+namespace fdevolve::datagen {
+namespace {
+
+RealOptions FastOpts() {
+  RealOptions o;
+  o.large_divisor = 100;  // keep unit tests quick
+  return o;
+}
+
+TEST(RealisticTest, AllSixWorkloadsBuild) {
+  auto all = MakeAllRealWorkloads(FastOpts());
+  ASSERT_EQ(all.size(), 6u);
+  const char* names[] = {"Places", "Country", "Rental",
+                         "Image",  "PageLinks", "Veterans"};
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].rel.name(), names[i]);
+    EXPECT_GT(all[i].rel.tuple_count(), 0u);
+  }
+}
+
+TEST(RealisticTest, AritiesMatchTable6) {
+  auto all = MakeAllRealWorkloads(FastOpts());
+  const int arities[] = {9, 15, 7, 14, 3, 481};
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].rel.attr_count(), arities[i]) << all[i].rel.name();
+  }
+}
+
+TEST(RealisticTest, SmallTablesAtFullPaperCardinality) {
+  auto country = MakeCountryWorkload(FastOpts());
+  EXPECT_EQ(country.rel.tuple_count(), 239u);
+  auto rental = MakeRentalWorkload(FastOpts());
+  EXPECT_EQ(rental.rel.tuple_count(), 16044u);
+}
+
+TEST(RealisticTest, EveryFdIsViolated) {
+  for (const auto& w : MakeAllRealWorkloads(FastOpts())) {
+    EXPECT_FALSE(fd::Satisfies(w.rel, w.fd)) << w.rel.name();
+  }
+}
+
+TEST(RealisticTest, CountryRepairsWithOneAttribute) {
+  auto w = MakeCountryWorkload(FastOpts());
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  auto res = fd::Extend(w.rel, w.fd, opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_EQ(res.repairs[0].added.Count(), w.expected_repair_length);
+}
+
+TEST(RealisticTest, RentalRepairsWithOneAttribute) {
+  auto w = MakeRentalWorkload(FastOpts());
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  auto res = fd::Extend(w.rel, w.fd, opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_EQ(res.repairs[0].added.Count(), 1);
+  EXPECT_TRUE(res.repairs[0].added.Contains(w.rel.schema().Require("store_id")));
+}
+
+TEST(RealisticTest, ImageNeedsTwoAttributes) {
+  auto w = MakeImageWorkload(FastOpts());
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  auto res = fd::Extend(w.rel, w.fd, opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_EQ(res.repairs[0].added.Count(), 2);
+}
+
+TEST(RealisticTest, PageLinksHasSingleCandidate) {
+  auto w = MakePageLinksWorkload(FastOpts());
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  auto res = fd::Extend(w.rel, w.fd, opts);
+  ASSERT_TRUE(res.found());
+  // Arity 3, FD uses 2 → exactly one candidate, and it works.
+  EXPECT_EQ(res.stats.candidates_evaluated, 1u);
+  EXPECT_EQ(res.repairs[0].added.Count(), 1);
+}
+
+TEST(RealisticTest, VeteransHas323NullFreeAttrs) {
+  auto w = MakeVeteransWorkload(FastOpts());
+  EXPECT_EQ(w.rel.attr_count(), 481);
+  EXPECT_EQ(w.rel.NonNullAttrs().Count(), 323);
+}
+
+TEST(RealisticTest, VeteransSliceShape) {
+  auto rel = MakeVeteransSlice(20, 500, /*repairable=*/true);
+  EXPECT_EQ(rel.attr_count(), 20);
+  EXPECT_EQ(rel.tuple_count(), 500u);
+}
+
+TEST(RealisticTest, VeteransSliceRepairableVsNot) {
+  auto good = MakeVeteransSlice(10, 2000, /*repairable=*/true);
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kFirstRepair;
+  opts.max_added_attrs = 2;
+  auto res = fd::Extend(good, fd::Fd::Parse("X -> Y", good.schema()), opts);
+  EXPECT_TRUE(res.found());
+
+  auto bad = MakeVeteransSlice(10, 2000, /*repairable=*/false);
+  auto res_bad = fd::Extend(bad, fd::Fd::Parse("X -> Y", bad.schema()), opts);
+  EXPECT_FALSE(res_bad.found());
+}
+
+TEST(RealisticTest, PaperCardinalitiesRecorded) {
+  auto all = MakeAllRealWorkloads(FastOpts());
+  const size_t cards[] = {10, 239, 16044, 124768, 842159, 95412};
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].paper_cardinality, cards[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::datagen

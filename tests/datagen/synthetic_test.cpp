@@ -1,0 +1,157 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/measures.h"
+#include "fd/repair_search.h"
+
+namespace fdevolve::datagen {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.n_attrs = 12;
+  spec.n_tuples = 333;
+  spec.repair_length = 2;
+  auto rel = MakeSynthetic(spec);
+  EXPECT_EQ(rel.attr_count(), 12);
+  EXPECT_EQ(rel.tuple_count(), 333u);
+  EXPECT_EQ(rel.schema().attr(0).name, "X");
+  EXPECT_EQ(rel.schema().attr(1).name, "Y");
+  EXPECT_EQ(rel.schema().attr(2).name, "D1");
+  EXPECT_EQ(rel.schema().attr(3).name, "D2");
+  EXPECT_EQ(rel.schema().attr(4).name, "N1");
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.n_attrs = 6;
+  spec.n_tuples = 100;
+  spec.repair_length = 1;
+  auto a = MakeSynthetic(spec);
+  auto b = MakeSynthetic(spec);
+  for (size_t t = 0; t < a.tuple_count(); ++t) {
+    for (int c = 0; c < a.attr_count(); ++c) {
+      EXPECT_EQ(a.Get(t, c), b.Get(t, c));
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.n_attrs = 6;
+  spec.n_tuples = 100;
+  spec.seed = 1;
+  auto a = MakeSynthetic(spec);
+  spec.seed = 2;
+  auto b = MakeSynthetic(spec);
+  int diffs = 0;
+  for (size_t t = 0; t < a.tuple_count(); ++t) {
+    if (!(a.Get(t, 0) == b.Get(t, 0))) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(SyntheticTest, PlantedFdIsViolated) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 1000;
+  spec.repair_length = 1;
+  auto rel = MakeSynthetic(spec);
+  EXPECT_FALSE(fd::Satisfies(rel, SyntheticFd(rel.schema())));
+}
+
+TEST(SyntheticTest, PlantedRepairIsExact) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 1000;
+  spec.repair_length = 2;
+  auto rel = MakeSynthetic(spec);
+  fd::Fd repaired = SyntheticFd(rel.schema())
+                        .WithAntecedent(SyntheticPlantedRepair(rel.schema(), 2));
+  EXPECT_TRUE(fd::Satisfies(rel, repaired));
+}
+
+TEST(SyntheticTest, ProperDeterminantSubsetsDoNotRepair) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 2000;
+  spec.repair_length = 2;
+  auto rel = MakeSynthetic(spec);
+  fd::Fd base = SyntheticFd(rel.schema());
+  // D1 alone or D2 alone must not repair (w.h.p. at 2000 tuples).
+  EXPECT_FALSE(
+      fd::Satisfies(rel, base.WithAntecedent(rel.schema().Require("D1"))));
+  EXPECT_FALSE(
+      fd::Satisfies(rel, base.WithAntecedent(rel.schema().Require("D2"))));
+}
+
+TEST(SyntheticTest, RepairLengthZeroMeansExactFd) {
+  SyntheticSpec spec;
+  spec.n_attrs = 5;
+  spec.n_tuples = 500;
+  spec.repair_length = 0;
+  auto rel = MakeSynthetic(spec);
+  EXPECT_TRUE(fd::Satisfies(rel, SyntheticFd(rel.schema())));
+}
+
+TEST(SyntheticTest, UnrepairableRateDestroysPlantedRepair) {
+  SyntheticSpec spec;
+  spec.n_attrs = 6;
+  spec.n_tuples = 4000;
+  spec.repair_length = 1;
+  spec.unrepairable_rate = 0.3;
+  spec.determinant_domain = 5;
+  spec.antecedent_domain = 10;
+  auto rel = MakeSynthetic(spec);
+  fd::Fd repaired = SyntheticFd(rel.schema())
+                        .WithAntecedent(SyntheticPlantedRepair(rel.schema(), 1));
+  EXPECT_FALSE(fd::Satisfies(rel, repaired));
+}
+
+TEST(SyntheticTest, NullRateInjectsNullsOnlyIntoNoise) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 500;
+  spec.repair_length = 1;
+  spec.noise_null_rate = 0.5;
+  auto rel = MakeSynthetic(spec);
+  const auto& s = rel.schema();
+  EXPECT_FALSE(rel.column(s.Require("X")).has_nulls());
+  EXPECT_FALSE(rel.column(s.Require("Y")).has_nulls());
+  EXPECT_FALSE(rel.column(s.Require("D1")).has_nulls());
+  bool some_noise_nulls = false;
+  for (int i = 0; i < rel.attr_count(); ++i) {
+    if (s.attr(i).name[0] == 'N' && rel.column(i).has_nulls()) {
+      some_noise_nulls = true;
+    }
+  }
+  EXPECT_TRUE(some_noise_nulls);
+}
+
+TEST(SyntheticTest, InvalidSpecsThrow) {
+  SyntheticSpec spec;
+  spec.n_attrs = 3;
+  spec.repair_length = 2;  // needs >= 4 attrs
+  EXPECT_THROW(MakeSynthetic(spec), std::invalid_argument);
+  spec.n_attrs = 5;
+  spec.repair_length = -1;
+  EXPECT_THROW(MakeSynthetic(spec), std::invalid_argument);
+}
+
+TEST(SyntheticTest, DomainSizesRespected) {
+  SyntheticSpec spec;
+  spec.n_attrs = 6;
+  spec.n_tuples = 5000;
+  spec.repair_length = 1;
+  spec.antecedent_domain = 7;
+  spec.noise_domain = 13;
+  auto rel = MakeSynthetic(spec);
+  EXPECT_LE(rel.column(rel.schema().Require("X")).dict_size(), 7u);
+  EXPECT_LE(rel.column(rel.schema().Require("N1")).dict_size(), 13u);
+  // At 5000 tuples the domains are saturated.
+  EXPECT_EQ(rel.column(rel.schema().Require("X")).dict_size(), 7u);
+}
+
+}  // namespace
+}  // namespace fdevolve::datagen

@@ -1,0 +1,116 @@
+#include "datagen/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/measures.h"
+
+namespace fdevolve::datagen {
+namespace {
+
+TpchDatabase SmallDb() {
+  TpchOptions opts;
+  opts.scale = TpchScale::kSmall;
+  opts.scale_divisor = 1000;  // tiny for unit tests
+  return MakeTpch(opts);
+}
+
+TEST(TpchTest, AllEightTablesGenerated) {
+  auto db = SmallDb();
+  ASSERT_EQ(db.tables.size(), 8u);
+  for (const auto& name : TpchTableNames()) {
+    EXPECT_NO_THROW(db.Get(name));
+  }
+  EXPECT_THROW(db.Get("bogus"), std::invalid_argument);
+}
+
+TEST(TpchTest, AritiesMatchTable4) {
+  auto db = SmallDb();
+  EXPECT_EQ(db.Get("customer").attr_count(), 8);
+  EXPECT_EQ(db.Get("lineitem").attr_count(), 16);
+  EXPECT_EQ(db.Get("nation").attr_count(), 4);
+  EXPECT_EQ(db.Get("orders").attr_count(), 9);
+  EXPECT_EQ(db.Get("part").attr_count(), 9);
+  EXPECT_EQ(db.Get("partsupp").attr_count(), 5);
+  EXPECT_EQ(db.Get("region").attr_count(), 3);
+  EXPECT_EQ(db.Get("supplier").attr_count(), 7);
+}
+
+TEST(TpchTest, PaperCardinalitiesMatchTable4) {
+  EXPECT_EQ(TpchPaperCardinality("customer", TpchScale::kSmall), 15000u);
+  EXPECT_EQ(TpchPaperCardinality("lineitem", TpchScale::kLarge), 6005428u);
+  EXPECT_EQ(TpchPaperCardinality("nation", TpchScale::kMedium), 25u);
+  EXPECT_EQ(TpchPaperCardinality("region", TpchScale::kLarge), 5u);
+  EXPECT_THROW(TpchPaperCardinality("bogus", TpchScale::kSmall),
+               std::invalid_argument);
+}
+
+TEST(TpchTest, ScaledCardinalitiesFollowDivisor) {
+  TpchOptions opts;
+  opts.scale = TpchScale::kSmall;
+  opts.scale_divisor = 100;
+  auto db = MakeTpch(opts);
+  EXPECT_EQ(db.Get("customer").tuple_count(), 150u);
+  EXPECT_EQ(db.Get("lineitem").tuple_count(), 6010u);
+  // Tiny tables are floored, not zeroed.
+  EXPECT_GE(db.Get("region").tuple_count(), 5u);
+  EXPECT_GE(db.Get("nation").tuple_count(), 5u);
+}
+
+TEST(TpchTest, ScaleGrowsCardinality) {
+  TpchOptions s;
+  s.scale = TpchScale::kSmall;
+  s.scale_divisor = 500;
+  TpchOptions l;
+  l.scale = TpchScale::kLarge;
+  l.scale_divisor = 500;
+  EXPECT_LT(MakeTpch(s).Get("orders").tuple_count(),
+            MakeTpch(l).Get("orders").tuple_count());
+}
+
+TEST(TpchTest, NationAndRegionFdsAreExact) {
+  // Matches real TPC-H and the paper's millisecond rows in Table 5.
+  auto db = SmallDb();
+  for (const char* t : {"nation", "region"}) {
+    const auto& rel = db.Get(t);
+    EXPECT_TRUE(fd::Satisfies(rel, TpchTable5Fd(rel))) << t;
+  }
+}
+
+TEST(TpchTest, OtherTable5FdsAreViolated) {
+  auto db = SmallDb();
+  for (const char* t :
+       {"customer", "lineitem", "orders", "part", "partsupp", "supplier"}) {
+    const auto& rel = db.Get(t);
+    EXPECT_FALSE(fd::Satisfies(rel, TpchTable5Fd(rel))) << t;
+  }
+}
+
+TEST(TpchTest, NoNullsAnywhere) {
+  // TPC-H data is NULL-free; candidate pools span whole tables.
+  auto db = SmallDb();
+  for (const auto& rel : db.tables) {
+    EXPECT_EQ(rel.NonNullAttrs().Count(), rel.attr_count()) << rel.name();
+  }
+}
+
+TEST(TpchTest, DeterministicForSeed) {
+  TpchOptions opts;
+  opts.scale_divisor = 2000;
+  auto a = MakeTpch(opts);
+  auto b = MakeTpch(opts);
+  const auto& ra = a.Get("orders");
+  const auto& rb = b.Get("orders");
+  ASSERT_EQ(ra.tuple_count(), rb.tuple_count());
+  for (size_t t = 0; t < ra.tuple_count(); ++t) {
+    EXPECT_EQ(ra.Get(t, 2), rb.Get(t, 2));
+  }
+}
+
+TEST(TpchTest, ScaleNames) {
+  EXPECT_EQ(TpchScaleName(TpchScale::kSmall), "100MB");
+  EXPECT_EQ(TpchScaleName(TpchScale::kMedium), "250MB");
+  EXPECT_EQ(TpchScaleName(TpchScale::kLarge), "1GB");
+}
+
+}  // namespace
+}  // namespace fdevolve::datagen

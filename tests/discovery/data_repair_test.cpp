@@ -1,0 +1,153 @@
+#include "discovery/data_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+#include "datagen/synthetic.h"
+#include "fd/measures.h"
+
+namespace fdevolve::discovery {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+Relation Violating() {
+  // x=1 maps to y in {a,a,b}: deleting the single b-tuple repairs it.
+  Schema schema({{"x", DataType::kInt64}, {"y", DataType::kString}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "a"})
+      .Row({int64_t{1}, "a"})
+      .Row({int64_t{1}, "b"})
+      .Row({int64_t{2}, "c"})
+      .Build();
+}
+
+TEST(DataRepairTest, DeletesMinorityClass) {
+  Relation rel = Violating();
+  fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  auto res = RepairByDeletion(rel, f);
+  ASSERT_EQ(res.deleted.size(), 1u);
+  EXPECT_EQ(res.deleted[0], 2u);  // the (1, b) tuple
+  EXPECT_EQ(res.kept, 3u);
+  EXPECT_DOUBLE_EQ(res.loss_fraction, 0.25);
+}
+
+TEST(DataRepairTest, ResultSatisfiesTheFd) {
+  Relation rel = Violating();
+  fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  auto res = RepairByDeletion(rel, f);
+  Relation repaired = ApplyDeletion(rel, res.deleted);
+  EXPECT_EQ(repaired.tuple_count(), res.kept);
+  EXPECT_TRUE(fd::Satisfies(repaired, f));
+}
+
+TEST(DataRepairTest, ExactFdDeletesNothing) {
+  Relation rel = Violating();
+  // y -> x? a->1, b->1, c->2: exact.
+  fd::Fd f(AttrSet::Of({1}), AttrSet::Of({0}));
+  EXPECT_TRUE(RepairByDeletion(rel, f).deleted.empty());
+}
+
+TEST(DataRepairTest, EmptyRelation) {
+  Schema schema({{"x", DataType::kInt64}, {"y", DataType::kInt64}});
+  Relation rel("e", schema);
+  fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  auto res = RepairByDeletion(rel, f);
+  EXPECT_TRUE(res.deleted.empty());
+  EXPECT_EQ(res.kept, 0u);
+}
+
+TEST(DataRepairTest, DeletionCountIsPerClusterOptimal) {
+  // Per X-cluster the minimum deletions = cluster size − largest XY class;
+  // verify on a synthetic instance against the formula.
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 4;
+  spec.n_tuples = 500;
+  spec.repair_length = 1;
+  spec.antecedent_domain = 10;
+  Relation rel = datagen::MakeSynthetic(spec);
+  fd::Fd f = datagen::SyntheticFd(rel.schema());
+
+  auto res = RepairByDeletion(rel, f);
+  // Recompute the optimum by brute force over clusters.
+  std::map<int64_t, std::map<int64_t, size_t>> clusters;
+  for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    ++clusters[rel.Get(t, 0).as_int()][rel.Get(t, 1).as_int()];
+  }
+  size_t optimum = 0;
+  for (const auto& [x, ys] : clusters) {
+    size_t total = 0;
+    size_t largest = 0;
+    for (const auto& [y, c] : ys) {
+      total += c;
+      largest = std::max(largest, c);
+    }
+    optimum += total - largest;
+  }
+  EXPECT_EQ(res.deleted.size(), optimum);
+}
+
+TEST(DataRepairTest, MultiFdFixpointSatisfiesAll) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<fd::Fd> fds = {datagen::PlacesF1(s), datagen::PlacesF2(s),
+                             datagen::PlacesF3(s)};
+  auto res = RepairAllByDeletion(rel, fds);
+  Relation repaired = ApplyDeletion(rel, res.deleted);
+  for (const auto& f : fds) {
+    EXPECT_TRUE(fd::Satisfies(repaired, f)) << f.ToString(s);
+  }
+  EXPECT_GT(res.deleted.size(), 0u);
+  EXPECT_EQ(res.kept + res.deleted.size(), rel.tuple_count());
+}
+
+TEST(DataRepairTest, CountViolatingPairsMatchesBruteForce) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  for (const auto& f : {datagen::PlacesF1(s), datagen::PlacesF2(s),
+                        datagen::PlacesF3(s), datagen::PlacesF4(s)}) {
+    size_t brute = 0;
+    for (size_t i = 0; i < rel.tuple_count(); ++i) {
+      for (size_t j = i + 1; j < rel.tuple_count(); ++j) {
+        bool same_x = true;
+        for (int a : f.lhs().ToVector()) {
+          if (!(rel.Get(i, a) == rel.Get(j, a))) {
+            same_x = false;
+            break;
+          }
+        }
+        if (!same_x) continue;
+        for (int a : f.rhs().ToVector()) {
+          if (!(rel.Get(i, a) == rel.Get(j, a))) {
+            ++brute;
+            break;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(CountViolatingPairs(rel, f), brute) << f.ToString(s);
+  }
+}
+
+TEST(DataRepairTest, ZeroViolationsIffExact) {
+  auto rel = datagen::MakePlaces();
+  fd::Fd exact = fd::Fd::Parse("Municipal -> AreaCode", rel.schema());
+  EXPECT_EQ(CountViolatingPairs(rel, exact), 0u);
+  EXPECT_GT(CountViolatingPairs(rel, datagen::PlacesF1(rel.schema())), 0u);
+}
+
+TEST(DataRepairTest, ApplyDeletionPreservesOrderOfSurvivors) {
+  Relation rel = Violating();
+  Relation out = ApplyDeletion(rel, {1});
+  ASSERT_EQ(out.tuple_count(), 3u);
+  EXPECT_EQ(out.Get(0, 1), relation::Value("a"));
+  EXPECT_EQ(out.Get(1, 1), relation::Value("b"));
+  EXPECT_EQ(out.Get(2, 1), relation::Value("c"));
+}
+
+}  // namespace
+}  // namespace fdevolve::discovery

@@ -1,0 +1,126 @@
+// The approximate-FD repair target (RepairOptions::target_confidence),
+// the §2 AFD semantics: "bend but do not break".
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+#include "datagen/synthetic.h"
+#include "fd/repair_search.h"
+
+namespace fdevolve::fd {
+namespace {
+
+TEST(AfdRepairTest, DefaultTargetIsExactness) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 1;
+  auto res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  for (const auto& r : res.repairs) {
+    EXPECT_TRUE(r.measures.exact);
+  }
+}
+
+TEST(AfdRepairTest, LooseTargetAcceptsTheOriginalFd) {
+  // F3 has confidence 0.889: with target 0.85 nothing needs repairing.
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.target_confidence = 0.85;
+  auto res = Extend(rel, datagen::PlacesF3(rel.schema()), opts);
+  EXPECT_TRUE(res.already_exact);
+  EXPECT_TRUE(res.repairs.empty());
+}
+
+TEST(AfdRepairTest, IntermediateTargetFindsShorterRepair) {
+  // F4 (c = 0.286) needs 2 attributes for exactness; Street alone lifts
+  // confidence to 0.875, so target 0.85 yields a 1-attribute AFD repair.
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  RepairOptions exact;
+  exact.mode = SearchMode::kFirstRepair;
+  auto res_exact = Extend(rel, datagen::PlacesF4(s), exact);
+  ASSERT_TRUE(res_exact.found());
+  EXPECT_EQ(res_exact.repairs[0].added.Count(), 2);
+
+  RepairOptions afd = exact;
+  afd.target_confidence = 0.85;
+  auto res_afd = Extend(rel, datagen::PlacesF4(s), afd);
+  ASSERT_TRUE(res_afd.found());
+  EXPECT_EQ(res_afd.repairs[0].added.Count(), 1);
+  EXPECT_EQ(res_afd.repairs[0].added,
+            relation::AttrSet::Of({s.Require("Street")}));
+  EXPECT_GE(res_afd.repairs[0].measures.confidence, 0.85);
+  EXPECT_FALSE(res_afd.repairs[0].measures.exact);
+}
+
+TEST(AfdRepairTest, TargetRepairsAnOtherwiseUnrepairableInstance) {
+  // Poison twins (identical tuples differing only in Y) make exact repair
+  // impossible; an AFD target below the twin ceiling still succeeds.
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 2000;
+  spec.repair_length = 2;
+  spec.unrepairable_rate = 0.1;
+  spec.seed = 12;
+  auto rel = datagen::MakeSynthetic(spec);
+  fd::Fd f = datagen::SyntheticFd(rel.schema());
+
+  RepairOptions exact;
+  exact.mode = SearchMode::kFirstRepair;
+  exact.max_added_attrs = 3;
+  EXPECT_FALSE(Extend(rel, f, exact).found());
+
+  RepairOptions afd = exact;
+  afd.target_confidence = 0.7;
+  auto res = Extend(rel, f, afd);
+  ASSERT_TRUE(res.found());
+  EXPECT_GE(res.repairs[0].measures.confidence, 0.7);
+  EXPECT_FALSE(res.repairs[0].measures.exact);
+}
+
+TEST(AfdRepairTest, EveryAcceptedRepairMeetsTheTarget) {
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 1000;
+  spec.repair_length = 2;
+  spec.seed = 5;
+  auto rel = datagen::MakeSynthetic(spec);
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 2;
+  opts.target_confidence = 0.9;
+  auto res = Extend(rel, datagen::SyntheticFd(rel.schema()), opts);
+  for (const auto& r : res.repairs) {
+    EXPECT_GE(r.measures.confidence, 0.9);
+  }
+}
+
+TEST(AfdRepairTest, TargetAboveOneClampsToExactness) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  opts.target_confidence = 7.0;
+  auto res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_TRUE(res.repairs[0].measures.exact);
+}
+
+TEST(AfdRepairTest, LowerTargetNeverEvaluatesMoreCandidates) {
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 10;
+  spec.n_tuples = 800;
+  spec.repair_length = 2;
+  spec.seed = 6;
+  auto rel = datagen::MakeSynthetic(spec);
+  fd::Fd f = datagen::SyntheticFd(rel.schema());
+  RepairOptions exact;
+  exact.mode = SearchMode::kFirstRepair;
+  RepairOptions afd = exact;
+  afd.target_confidence = 0.8;
+  auto res_exact = Extend(rel, f, exact);
+  auto res_afd = Extend(rel, f, afd);
+  EXPECT_LE(res_afd.stats.candidates_evaluated,
+            res_exact.stats.candidates_evaluated);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,214 @@
+#include "fd/closure.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+
+// Attribute indices used symbolically: A=0 B=1 C=2 D=3 E=4.
+constexpr int A = 0, B = 1, C = 2, D = 3, E = 4;
+
+std::vector<Fd> TextbookFds() {
+  // A->B, B->C, {A,D}->E.
+  return {Fd(AttrSet::Of({A}), AttrSet::Of({B})),
+          Fd(AttrSet::Of({B}), AttrSet::Of({C})),
+          Fd(AttrSet::Of({A, D}), AttrSet::Of({E}))};
+}
+
+TEST(ClosureTest, TransitiveChain) {
+  auto fds = TextbookFds();
+  EXPECT_EQ(AttributeClosure(AttrSet::Of({A}), fds), AttrSet::Of({A, B, C}));
+  EXPECT_EQ(AttributeClosure(AttrSet::Of({B}), fds), AttrSet::Of({B, C}));
+  EXPECT_EQ(AttributeClosure(AttrSet::Of({A, D}), fds),
+            AttrSet::Of({A, B, C, D, E}));
+}
+
+TEST(ClosureTest, ClosureContainsInput) {
+  auto fds = TextbookFds();
+  for (int i = 0; i < 5; ++i) {
+    AttrSet s = AttrSet::Of({i});
+    EXPECT_TRUE(s.SubsetOf(AttributeClosure(s, fds)));
+  }
+}
+
+TEST(ClosureTest, EmptyFdsClosureIsIdentity) {
+  AttrSet s = AttrSet::Of({1, 3});
+  EXPECT_EQ(AttributeClosure(s, {}), s);
+}
+
+TEST(ClosureTest, ImpliesDerivedFds) {
+  auto fds = TextbookFds();
+  // Transitivity: A -> C.
+  EXPECT_TRUE(Implies(fds, Fd(AttrSet::Of({A}), AttrSet::Of({C}))));
+  // Augmentation: {A, D} -> {B, E}.
+  EXPECT_TRUE(Implies(fds, Fd(AttrSet::Of({A, D}), AttrSet::Of({B, E}))));
+  // Not implied: B -> A.
+  EXPECT_FALSE(Implies(fds, Fd(AttrSet::Of({B}), AttrSet::Of({A}))));
+}
+
+TEST(ClosureTest, ArmstrongAxiomsHoldUnderImplies) {
+  // Property test: reflexivity, augmentation, transitivity on random FDs.
+  util::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Fd> fds;
+    for (int i = 0; i < 4; ++i) {
+      AttrSet lhs, rhs;
+      while (lhs.Empty()) {
+        for (int a = 0; a < 6; ++a) {
+          if (rng.Chance(0.3)) lhs.Add(a);
+        }
+      }
+      while (rhs.Empty() || rhs.Intersects(lhs)) {
+        rhs = AttrSet();
+        for (int a = 0; a < 6; ++a) {
+          if (rng.Chance(0.25) && !lhs.Contains(a)) rhs.Add(a);
+        }
+        if (lhs.Count() == 6) break;
+      }
+      if (rhs.Empty()) continue;
+      fds.emplace_back(lhs, rhs);
+    }
+    if (fds.size() < 2) continue;
+
+    // Transitivity through closures: if X+ ⊇ Y and Y+ ⊇ Z then X+ ⊇ Z.
+    AttrSet x = fds[0].lhs();
+    AttrSet x_closure = AttributeClosure(x, fds);
+    AttrSet xx_closure = AttributeClosure(x_closure, fds);
+    EXPECT_EQ(x_closure, xx_closure);  // closure is idempotent
+
+    // Monotone: bigger input, bigger closure.
+    AttrSet bigger = x.With(5);
+    EXPECT_TRUE(x_closure.SubsetOf(AttributeClosure(bigger, fds)));
+  }
+}
+
+TEST(ClosureTest, TrivialFdsAreUnconstructible) {
+  // The Fd constructor rejects overlapping sides, so the normal-form
+  // checks never see trivial dependencies.
+  EXPECT_THROW(Fd(AttrSet::Of({A, B}), AttrSet::Of({B})),
+               std::invalid_argument);
+}
+
+TEST(CandidateKeysTest, TextbookExample) {
+  // Universe {A..E} with A->B, B->C, {A,D}->E: the only key is {A, D}.
+  auto keys = CandidateKeys(AttrSet::Of({A, B, C, D, E}), TextbookFds());
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttrSet::Of({A, D}));
+}
+
+TEST(CandidateKeysTest, MultipleKeys) {
+  // A->B, B->A: both {A,C} and {B,C} are keys of {A,B,C}.
+  std::vector<Fd> fds = {Fd(AttrSet::Of({A}), AttrSet::Of({B})),
+                         Fd(AttrSet::Of({B}), AttrSet::Of({A}))};
+  auto keys = CandidateKeys(AttrSet::Of({A, B, C}), fds);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_TRUE((keys[0] == AttrSet::Of({A, C}) &&
+               keys[1] == AttrSet::Of({B, C})) ||
+              (keys[0] == AttrSet::Of({B, C}) &&
+               keys[1] == AttrSet::Of({A, C})));
+}
+
+TEST(CandidateKeysTest, NoFdsMeansWholeUniverse) {
+  auto keys = CandidateKeys(AttrSet::Of({A, B}), {});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttrSet::Of({A, B}));
+}
+
+TEST(CandidateKeysTest, KeysAreMinimalAndSuperkeys) {
+  auto universe = AttrSet::Of({A, B, C, D, E});
+  auto fds = TextbookFds();
+  for (const auto& key : CandidateKeys(universe, fds)) {
+    EXPECT_TRUE(universe.SubsetOf(AttributeClosure(key, fds)));
+    for (int drop : key.ToVector()) {
+      AttrSet smaller = key;
+      smaller.Remove(drop);
+      EXPECT_FALSE(universe.SubsetOf(AttributeClosure(smaller, fds)));
+    }
+  }
+}
+
+TEST(CandidateKeysTest, MaxKeySizeBounds) {
+  auto keys = CandidateKeys(AttrSet::Of({A, B, C, D, E}), TextbookFds(), 1);
+  EXPECT_TRUE(keys.empty());  // the only key has size 2
+}
+
+TEST(NormalFormTest, BcnfDetection) {
+  auto universe = AttrSet::Of({A, B, C});
+  // A is the key; A->B, A->C: BCNF.
+  std::vector<Fd> good = {Fd(AttrSet::Of({A}), AttrSet::Of({B})),
+                          Fd(AttrSet::Of({A}), AttrSet::Of({C}))};
+  EXPECT_TRUE(IsBcnf(universe, good));
+  // Add B->C: B is not a superkey -> not BCNF.
+  std::vector<Fd> bad = good;
+  bad.emplace_back(AttrSet::Of({B}), AttrSet::Of({C}));
+  EXPECT_FALSE(IsBcnf(universe, bad));
+}
+
+TEST(NormalFormTest, ThreeNfAllowsPrimeConsequents) {
+  // Classic: {A,B}->C, C->B. Keys: {A,B} and {A,C}; B is prime.
+  auto universe = AttrSet::Of({A, B, C});
+  std::vector<Fd> fds = {Fd(AttrSet::Of({A, B}), AttrSet::Of({C})),
+                         Fd(AttrSet::Of({C}), AttrSet::Of({B}))};
+  EXPECT_FALSE(IsBcnf(universe, fds));  // C->B, C not a superkey
+  EXPECT_TRUE(Is3nf(universe, fds));    // but B is prime
+}
+
+TEST(NormalFormTest, NonPrimeTransitiveBreaks3nf) {
+  // A->B, B->C with key A: C is non-prime and transitively dependent.
+  auto universe = AttrSet::Of({A, B, C});
+  std::vector<Fd> fds = {Fd(AttrSet::Of({A}), AttrSet::Of({B})),
+                         Fd(AttrSet::Of({B}), AttrSet::Of({C}))};
+  EXPECT_FALSE(Is3nf(universe, fds));
+}
+
+TEST(MinimalCoverTest, SplitsConsequentsAndDropsRedundancy) {
+  // {A->BC, A->B} minimises to {A->B, A->C}.
+  std::vector<Fd> fds = {Fd(AttrSet::Of({A}), AttrSet::Of({B, C})),
+                         Fd(AttrSet::Of({A}), AttrSet::Of({B}))};
+  auto cover = MinimalCover(fds);
+  ASSERT_EQ(cover.size(), 2u);
+  for (const auto& f : cover) {
+    EXPECT_EQ(f.rhs().Count(), 1);
+  }
+}
+
+TEST(MinimalCoverTest, RemovesExtraneousAntecedentAttrs) {
+  // A->B plus {A,C}->B: the second FD's C is extraneous, so the cover is
+  // just {A->B}.
+  std::vector<Fd> fds = {Fd(AttrSet::Of({A}), AttrSet::Of({B})),
+                         Fd(AttrSet::Of({A, C}), AttrSet::Of({B}))};
+  auto cover = MinimalCover(fds);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], Fd(AttrSet::Of({A}), AttrSet::Of({B})));
+}
+
+TEST(MinimalCoverTest, PreservesLogicalContent) {
+  auto fds = TextbookFds();
+  auto cover = MinimalCover(fds);
+  // Same closure for every single attribute.
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_EQ(AttributeClosure(AttrSet::Of({a}), fds),
+              AttributeClosure(AttrSet::Of({a}), cover));
+  }
+  // Every original FD is implied by the cover and vice versa.
+  for (const auto& f : fds) EXPECT_TRUE(Implies(cover, f));
+  for (const auto& f : cover) EXPECT_TRUE(Implies(fds, f));
+}
+
+TEST(NormalFormTest, RepairedPlacesScenario) {
+  // §3's remark in action: after accepting the Municipal repair, the FD
+  // set {D,R,M}->A plus the instance-true M->A is not in BCNF (M is not a
+  // superkey) — the schemas this method targets are exactly the
+  // non-normalised ones.
+  auto universe = AttrSet::Of({0, 1, 2, 3});  // D R M A
+  std::vector<Fd> fds = {Fd(AttrSet::Of({0, 1, 2}), AttrSet::Of({3})),
+                         Fd(AttrSet::Of({2}), AttrSet::Of({3}))};
+  EXPECT_FALSE(IsBcnf(universe, fds));
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,178 @@
+#include "fd/conditional.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+using relation::Value;
+
+/// zip -> city holds within each country but not globally (10001 means NY
+/// in the US rows and Lagos in the NG rows).
+Relation MakeIntl() {
+  Schema schema({{"country", DataType::kString},
+                 {"zip", DataType::kString},
+                 {"city", DataType::kString},
+                 {"carrier", DataType::kString}});
+  return RelationBuilder("intl", schema)
+      .Row({"US", "10001", "NY", "usps"})
+      .Row({"US", "10001", "NY", "fedex"})
+      .Row({"US", "02101", "Boston", "usps"})
+      .Row({"NG", "10001", "Lagos", "nipost"})
+      .Row({"NG", "23401", "Abuja", "nipost"})
+      .Row({"NG", "23401", "Abuja", "dhl"})
+      .Build();
+}
+
+TEST(ConditionalFdTest, PlainFdEquivalence) {
+  Relation rel = MakeIntl();
+  Fd f = Fd::Parse("zip -> city", rel.schema());
+  ConditionalFd cfd(f, {});
+  EXPECT_TRUE(cfd.IsPlainFd());
+  CfdMeasures m = ComputeCfdMeasures(rel, cfd);
+  EXPECT_EQ(m.selected_tuples, rel.tuple_count());
+  EXPECT_DOUBLE_EQ(m.support, 1.0);
+  EXPECT_FALSE(m.fd_measures.exact);  // violated globally
+}
+
+TEST(ConditionalFdTest, PatternSelectsSubset) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  ConditionalFd cfd(Fd::Parse("zip -> city", rel.schema()),
+                    {{country, Value("US")}});
+  CfdMeasures m = ComputeCfdMeasures(rel, cfd);
+  EXPECT_EQ(m.selected_tuples, 3u);
+  EXPECT_NEAR(m.support, 0.5, 1e-12);
+  EXPECT_TRUE(m.fd_measures.exact);  // zip -> city holds within US
+}
+
+TEST(ConditionalFdTest, SelectByPatternKeepsSchema) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  Relation us = SelectByPattern(rel, {{country, Value("US")}});
+  EXPECT_EQ(us.attr_count(), rel.attr_count());
+  EXPECT_EQ(us.tuple_count(), 3u);
+  for (size_t t = 0; t < us.tuple_count(); ++t) {
+    EXPECT_EQ(us.Get(t, country), Value("US"));
+  }
+}
+
+TEST(ConditionalFdTest, EmptyPatternSelectsAll) {
+  Relation rel = MakeIntl();
+  EXPECT_EQ(SelectByPattern(rel, {}).tuple_count(), rel.tuple_count());
+}
+
+TEST(ConditionalFdTest, ConjunctivePattern) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  int carrier = rel.schema().Require("carrier");
+  Relation sel = SelectByPattern(
+      rel, {{country, Value("NG")}, {carrier, Value("nipost")}});
+  EXPECT_EQ(sel.tuple_count(), 2u);
+}
+
+TEST(ConditionalFdTest, ToStringRendersPattern) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  ConditionalFd cfd(Fd::Parse("zip -> city", rel.schema()),
+                    {{country, Value("US")}});
+  EXPECT_EQ(cfd.ToString(rel.schema()),
+            "[zip] -> [city] WHEN country = 'US'");
+}
+
+TEST(RefineByConditionTest, FindsTheCountryConditions) {
+  // The broken global zip -> city becomes two valid CFDs, one per country.
+  Relation rel = MakeIntl();
+  ConditionalFd broken(Fd::Parse("zip -> city", rel.schema()), {});
+  auto repairs = RefineByCondition(rel, broken);
+  ASSERT_GE(repairs.size(), 2u);
+
+  int country = rel.schema().Require("country");
+  bool saw_us = false;
+  bool saw_ng = false;
+  for (const auto& r : repairs) {
+    if (r.condition.attr == country && r.condition.value == Value("US")) {
+      saw_us = true;
+      EXPECT_EQ(r.selected_tuples, 3u);
+    }
+    if (r.condition.attr == country && r.condition.value == Value("NG")) {
+      saw_ng = true;
+    }
+    // Every refinement is actually exact on its subset.
+    CfdMeasures m = ComputeCfdMeasures(rel, r.refined);
+    EXPECT_TRUE(m.fd_measures.exact) << r.refined.ToString(rel.schema());
+  }
+  EXPECT_TRUE(saw_us);
+  EXPECT_TRUE(saw_ng);
+  // Sorted by descending support.
+  for (size_t i = 1; i < repairs.size(); ++i) {
+    EXPECT_GE(repairs[i - 1].support, repairs[i].support);
+  }
+}
+
+TEST(RefineByConditionTest, MinSelectedFiltersNoise) {
+  Relation rel = MakeIntl();
+  ConditionalFd broken(Fd::Parse("zip -> city", rel.schema()), {});
+  ConditionRepairOptions opts;
+  opts.min_selected = 4;  // no single condition covers 4 tuples here
+  EXPECT_TRUE(RefineByCondition(rel, broken, opts).empty());
+}
+
+TEST(RefineByConditionTest, RestrictToWindowsCandidates) {
+  Relation rel = MakeIntl();
+  ConditionalFd broken(Fd::Parse("zip -> city", rel.schema()), {});
+  ConditionRepairOptions opts;
+  opts.restrict_to = AttrSet::Of({rel.schema().Require("carrier")});
+  for (const auto& r : RefineByCondition(rel, broken, opts)) {
+    EXPECT_EQ(r.condition.attr, rel.schema().Require("carrier"));
+  }
+}
+
+TEST(ExtendConditionalTest, RepairsOnTheSubset) {
+  // On Places restricted to District = Brookside, F1 is still violated
+  // (three area codes) and Municipal still repairs it.
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  ConditionalFd cfd(datagen::PlacesF1(s),
+                    {{s.Require("District"), Value("Brookside")}});
+  CfdMeasures m = ComputeCfdMeasures(rel, cfd);
+  EXPECT_FALSE(m.fd_measures.exact);
+
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  RepairResult res = ExtendConditional(rel, cfd, opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_TRUE(res.repairs[0].added.Contains(s.Require("Municipal")));
+}
+
+TEST(ExtendConditionalTest, ConditionAttrsExcludedFromPool) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  ConditionalFd cfd(Fd::Parse("carrier -> city", rel.schema()),
+                    {{country, Value("NG")}});
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  RepairResult res = ExtendConditional(rel, cfd, opts);
+  for (const auto& r : res.repairs) {
+    EXPECT_FALSE(r.added.Contains(country));
+  }
+}
+
+TEST(ExtendConditionalTest, PatternCanMakeRepairUnnecessary) {
+  Relation rel = MakeIntl();
+  int country = rel.schema().Require("country");
+  ConditionalFd cfd(Fd::Parse("zip -> city", rel.schema()),
+                    {{country, Value("US")}});
+  RepairResult res = ExtendConditional(rel, cfd);
+  EXPECT_TRUE(res.already_exact);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,111 @@
+#include "fd/fd.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Schema;
+
+Schema MakeSchema() {
+  return Schema({{"A", DataType::kInt64},
+                 {"B", DataType::kInt64},
+                 {"C", DataType::kInt64},
+                 {"D", DataType::kInt64}});
+}
+
+TEST(FdTest, ConstructionAndAccessors) {
+  Fd f(AttrSet::Of({0, 1}), AttrSet::Of({2}), "f");
+  EXPECT_EQ(f.lhs(), AttrSet::Of({0, 1}));
+  EXPECT_EQ(f.rhs(), AttrSet::Of({2}));
+  EXPECT_EQ(f.label(), "f");
+  EXPECT_EQ(f.AllAttrs(), AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(f.Size(), 3);
+}
+
+TEST(FdTest, EmptyConsequentRejected) {
+  EXPECT_THROW(Fd(AttrSet::Of({0}), AttrSet()), std::invalid_argument);
+}
+
+TEST(FdTest, OverlapRejected) {
+  EXPECT_THROW(Fd(AttrSet::Of({0, 1}), AttrSet::Of({1})),
+               std::invalid_argument);
+}
+
+TEST(FdTest, EmptyAntecedentAllowed) {
+  // X = {} means "Y is constant" — legal and useful.
+  Fd f(AttrSet(), AttrSet::Of({2}));
+  EXPECT_TRUE(f.lhs().Empty());
+}
+
+TEST(FdTest, WithAntecedentAddsAttr) {
+  Fd f(AttrSet::Of({0}), AttrSet::Of({2}));
+  Fd g = f.WithAntecedent(1);
+  EXPECT_EQ(g.lhs(), AttrSet::Of({0, 1}));
+  EXPECT_EQ(f.lhs(), AttrSet::Of({0}));  // original untouched
+}
+
+TEST(FdTest, WithAntecedentRejectsConsequentAttr) {
+  Fd f(AttrSet::Of({0}), AttrSet::Of({2}));
+  EXPECT_THROW(f.WithAntecedent(2), std::invalid_argument);
+  EXPECT_THROW(f.WithAntecedent(AttrSet::Of({1, 2})), std::invalid_argument);
+}
+
+TEST(FdTest, WithAntecedentSet) {
+  Fd f(AttrSet::Of({0}), AttrSet::Of({3}));
+  Fd g = f.WithAntecedent(AttrSet::Of({1, 2}));
+  EXPECT_EQ(g.lhs(), AttrSet::Of({0, 1, 2}));
+}
+
+TEST(FdTest, DecomposeSplitsConsequent) {
+  Fd f(AttrSet::Of({0}), AttrSet::Of({2, 3}));
+  auto parts = f.Decompose();
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].rhs(), AttrSet::Of({2}));
+  EXPECT_EQ(parts[1].rhs(), AttrSet::Of({3}));
+  EXPECT_EQ(parts[0].lhs(), f.lhs());
+}
+
+TEST(FdTest, ParseSimple) {
+  Schema s = MakeSchema();
+  Fd f = Fd::Parse("A, B -> C", s);
+  EXPECT_EQ(f.lhs(), AttrSet::Of({0, 1}));
+  EXPECT_EQ(f.rhs(), AttrSet::Of({2}));
+}
+
+TEST(FdTest, ParseMultiConsequent) {
+  Schema s = MakeSchema();
+  Fd f = Fd::Parse("A->C,D", s);
+  EXPECT_EQ(f.rhs(), AttrSet::Of({2, 3}));
+}
+
+TEST(FdTest, ParseToleratesWhitespace) {
+  Schema s = MakeSchema();
+  Fd f = Fd::Parse("  A ,  B ->  C  ", s);
+  EXPECT_EQ(f.lhs(), AttrSet::Of({0, 1}));
+}
+
+TEST(FdTest, ParseErrors) {
+  Schema s = MakeSchema();
+  EXPECT_THROW(Fd::Parse("A, B", s), std::invalid_argument);   // no arrow
+  EXPECT_THROW(Fd::Parse("A ->", s), std::invalid_argument);   // empty rhs
+  EXPECT_THROW(Fd::Parse("A -> Z", s), std::invalid_argument); // unknown
+  EXPECT_THROW(Fd::Parse("A -> A", s), std::invalid_argument); // overlap
+}
+
+TEST(FdTest, ToStringUsesSchemaNames) {
+  Schema s = MakeSchema();
+  Fd f = Fd::Parse("A, B -> C", s);
+  EXPECT_EQ(f.ToString(s), "[A, B] -> [C]");
+}
+
+TEST(FdTest, EqualityIgnoresLabel) {
+  Fd a(AttrSet::Of({0}), AttrSet::Of({1}), "x");
+  Fd b(AttrSet::Of({0}), AttrSet::Of({1}), "y");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

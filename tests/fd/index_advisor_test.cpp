@@ -1,0 +1,73 @@
+#include "fd/index_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+
+namespace fdevolve::fd {
+namespace {
+
+TEST(IndexAdvisorTest, InvertibleWhenGoodnessZero) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  // [D, R, Municipal] -> [AreaCode]: the goodness-0 repair of F1.
+  Fd repaired =
+      datagen::PlacesF1(s).WithAntecedent(s.Require("Municipal"));
+  auto rec = AdviseIndex(rel, repaired);
+  EXPECT_TRUE(rec.invertible);
+  EXPECT_EQ(rec.key, repaired.lhs());
+  EXPECT_EQ(rec.covers, repaired.rhs());
+  EXPECT_NE(rec.ToString(s).find("invertible"), std::string::npos);
+}
+
+TEST(IndexAdvisorTest, NotInvertibleWhenGoodnessNonZero) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  // [D, R, PhNo] -> [AreaCode]: exact but goodness 3.
+  Fd repaired = datagen::PlacesF1(s).WithAntecedent(s.Require("PhNo"));
+  auto rec = AdviseIndex(rel, repaired);
+  EXPECT_FALSE(rec.invertible);
+  EXPECT_EQ(rec.ToString(s).find("invertible"), std::string::npos);
+}
+
+TEST(IndexAdvisorTest, RejectsViolatedFd) {
+  auto rel = datagen::MakePlaces();
+  EXPECT_THROW(AdviseIndex(rel, datagen::PlacesF1(rel.schema())),
+               std::invalid_argument);
+}
+
+TEST(IndexAdvisorTest, SelectivityComputed) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  Fd exact = Fd::Parse("Municipal -> AreaCode", s);
+  auto rec = AdviseIndex(rel, exact);
+  // 4 distinct municipalities over 11 stored tuples.
+  EXPECT_NEAR(rec.selectivity, 4.0 / 11.0, 1e-12);
+  EXPECT_NE(rec.rationale.find("4 distinct keys"), std::string::npos);
+}
+
+TEST(IndexAdvisorTest, FromRepairsInvertibleFirst) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 1;
+  auto res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  ASSERT_EQ(res.repairs.size(), 2u);
+  auto recs = AdviseFromRepairs(rel, res);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_TRUE(recs[0].invertible);   // Municipal repair
+  EXPECT_FALSE(recs[1].invertible);  // PhNo repair
+}
+
+TEST(IndexAdvisorTest, AlreadyExactFdGetsOneRecommendation) {
+  auto rel = datagen::MakePlaces();
+  Fd exact = Fd::Parse("Municipal -> AreaCode", rel.schema());
+  auto res = Extend(rel, exact);
+  ASSERT_TRUE(res.already_exact);
+  auto recs = AdviseFromRepairs(rel, res);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].invertible);  // Municipal <-> AreaCode bijection
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,130 @@
+#include "fd/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+Relation MakeRel() {
+  // a -> b violated: a=1 maps to b in {x, y}.
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kInt64}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "x", int64_t{1}})
+      .Row({int64_t{1}, "y", int64_t{2}})
+      .Row({int64_t{2}, "x", int64_t{3}})
+      .Build();
+}
+
+TEST(MeasuresTest, ViolatedFd) {
+  Relation r = MakeRel();
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(r, f);
+  EXPECT_EQ(m.distinct_x, 2u);
+  EXPECT_EQ(m.distinct_xy, 3u);
+  EXPECT_EQ(m.distinct_y, 2u);
+  EXPECT_DOUBLE_EQ(m.confidence, 2.0 / 3.0);
+  EXPECT_EQ(m.goodness, 0);
+  EXPECT_FALSE(m.exact);
+  EXPECT_FALSE(Satisfies(r, f));
+}
+
+TEST(MeasuresTest, ExactFd) {
+  Relation r = MakeRel();
+  // c -> b: c unique, so exact.
+  Fd f(AttrSet::Of({2}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(r, f);
+  EXPECT_DOUBLE_EQ(m.confidence, 1.0);
+  EXPECT_TRUE(m.exact);
+  EXPECT_EQ(m.goodness, 3 - 2);
+  EXPECT_TRUE(Satisfies(r, f));
+}
+
+TEST(MeasuresTest, EmptyInstanceVacuouslyExact) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation r("e", schema);
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(r, f);
+  EXPECT_TRUE(m.exact);
+  EXPECT_DOUBLE_EQ(m.confidence, 1.0);
+  EXPECT_EQ(m.goodness, 0);
+}
+
+TEST(MeasuresTest, EmptyAntecedentMeansConstantConsequent) {
+  Relation r = MakeRel();
+  Fd f(AttrSet(), AttrSet::Of({1}));  // {} -> b
+  FdMeasures m = ComputeMeasures(r, f);
+  // |π_{}| = 1, |π_b| = 2: violated.
+  EXPECT_EQ(m.distinct_x, 1u);
+  EXPECT_EQ(m.distinct_xy, 2u);
+  EXPECT_FALSE(m.exact);
+
+  // On a constant column it holds.
+  Schema schema({{"a", DataType::kInt64}, {"k", DataType::kInt64}});
+  Relation rc("c", schema);
+  rc.AppendRow({int64_t{1}, int64_t{9}});
+  rc.AppendRow({int64_t{2}, int64_t{9}});
+  Fd fc(AttrSet(), AttrSet::Of({1}));
+  EXPECT_TRUE(ComputeMeasures(rc, fc).exact);
+}
+
+TEST(MeasuresTest, InconsistencyDegree) {
+  FdMeasures m;
+  m.confidence = 0.75;
+  EXPECT_DOUBLE_EQ(m.inconsistency(), 0.25);
+}
+
+TEST(MeasuresTest, AbsGoodness) {
+  FdMeasures m;
+  m.goodness = -4;
+  EXPECT_EQ(m.abs_goodness(), 4u);
+  m.goodness = 3;
+  EXPECT_EQ(m.abs_goodness(), 3u);
+  m.goodness = 0;
+  EXPECT_EQ(m.abs_goodness(), 0u);
+}
+
+TEST(MeasuresTest, EpsilonCb) {
+  FdMeasures m;
+  m.confidence = 0.5;
+  m.goodness = -2;
+  EXPECT_DOUBLE_EQ(m.epsilon_cb(), 0.5 + 2.0);
+  m.confidence = 1.0;
+  m.goodness = 0;
+  EXPECT_DOUBLE_EQ(m.epsilon_cb(), 0.0);
+}
+
+TEST(MeasuresTest, SharedEvaluatorGivesSameAnswers) {
+  Relation r = MakeRel();
+  query::DistinctEvaluator eval(r);
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures a = ComputeMeasures(eval, f);
+  FdMeasures b = ComputeMeasures(r, f);
+  EXPECT_EQ(a.distinct_x, b.distinct_x);
+  EXPECT_EQ(a.distinct_xy, b.distinct_xy);
+  EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+}
+
+TEST(MeasuresTest, ConfidenceNeverExceedsOne) {
+  // |π_X| <= |π_XY| always, so confidence <= 1.
+  Relation r = MakeRel();
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      if (x == y) continue;
+      Fd f(AttrSet::Of({x}), AttrSet::Of({y}));
+      FdMeasures m = ComputeMeasures(r, f);
+      EXPECT_LE(m.confidence, 1.0);
+      EXPECT_GT(m.confidence, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,108 @@
+#include "fd/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+
+TEST(ConflictScoreTest, NoOtherFdsMeansZero) {
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  EXPECT_DOUBLE_EQ(ConflictScore(f, {f}), 0.0);
+  EXPECT_DOUBLE_EQ(ConflictScore(f, {}), 0.0);
+}
+
+TEST(ConflictScoreTest, DisjointFdsScoreZero) {
+  Fd f1(AttrSet::Of({0}), AttrSet::Of({1}));
+  Fd f2(AttrSet::Of({2}), AttrSet::Of({3}));
+  EXPECT_DOUBLE_EQ(ConflictScore(f1, {f1, f2}), 0.0);
+}
+
+TEST(ConflictScoreTest, SharedAttributeCounted) {
+  // F1 = {0,1}->{2} (|F1|=3), F2 = {1}->{3} (|F2|=2); share attr 1.
+  Fd f1(AttrSet::Of({0, 1}), AttrSet::Of({2}));
+  Fd f2(AttrSet::Of({1}), AttrSet::Of({3}));
+  // cf(F1) = (1/max(3,2)) / 2 = (1/3)/2.
+  EXPECT_DOUBLE_EQ(ConflictScore(f1, {f1, f2}), (1.0 / 3.0) / 2.0);
+  // cf(F2) symmetric numerator, same |F| denominator.
+  EXPECT_DOUBLE_EQ(ConflictScore(f2, {f1, f2}), (1.0 / 3.0) / 2.0);
+}
+
+TEST(ConflictScoreTest, PlacesExample) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF1(s), datagen::PlacesF2(s),
+                         datagen::PlacesF3(s)};
+  // F1 shares nothing; F2 and F3 share Zip (|F2|=|F3|=3).
+  EXPECT_DOUBLE_EQ(ConflictScore(fds[0], fds), 0.0);
+  EXPECT_DOUBLE_EQ(ConflictScore(fds[1], fds), (1.0 / 3.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ConflictScore(fds[2], fds), (1.0 / 3.0) / 3.0);
+}
+
+TEST(OrderFdsTest, PlacesOrderMatchesPaper) {
+  // §4.1: examine F1, then F2, then F3 — under either conflict convention.
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF2(s), datagen::PlacesF3(s),
+                         datagen::PlacesF1(s)};  // shuffled input
+
+  for (bool include_conflict : {true, false}) {
+    OrderingOptions opts;
+    opts.include_conflict = include_conflict;
+    auto ordered = OrderFds(rel, fds, opts);
+    ASSERT_EQ(ordered.size(), 3u);
+    EXPECT_EQ(ordered[0].fd, datagen::PlacesF1(s));
+    EXPECT_EQ(ordered[1].fd, datagen::PlacesF2(s));
+    EXPECT_EQ(ordered[2].fd, datagen::PlacesF3(s));
+  }
+}
+
+TEST(OrderFdsTest, PaperPrintedRanksUseZeroConflict) {
+  // The paper prints O(F1)=0.25, O(F2)=0.167, O(F3)=0.056 — exactly ic/2.
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF1(s), datagen::PlacesF2(s),
+                         datagen::PlacesF3(s)};
+  OrderingOptions opts;
+  opts.include_conflict = false;
+  auto ordered = OrderFds(rel, fds, opts);
+  EXPECT_NEAR(ordered[0].rank, 0.25, 1e-9);
+  EXPECT_NEAR(ordered[1].rank, 0.1667, 5e-4);
+  EXPECT_NEAR(ordered[2].rank, 0.0556, 5e-4);
+}
+
+TEST(OrderFdsTest, TiesKeepDeclarationOrder) {
+  relation::Schema schema({{"a", DataType::kInt64},
+                           {"b", DataType::kInt64},
+                           {"c", DataType::kInt64},
+                           {"d", DataType::kInt64}});
+  Relation rel("t", schema);
+  rel.AppendRow({int64_t{1}, int64_t{1}, int64_t{1}, int64_t{1}});
+  rel.AppendRow({int64_t{2}, int64_t{2}, int64_t{2}, int64_t{2}});
+  // Both FDs exact and disjoint: identical rank 0.
+  Fd f1(AttrSet::Of({0}), AttrSet::Of({1}), "first");
+  Fd f2(AttrSet::Of({2}), AttrSet::Of({3}), "second");
+  auto ordered = OrderFds(rel, {f1, f2});
+  EXPECT_EQ(ordered[0].fd.label(), "first");
+  EXPECT_EQ(ordered[1].fd.label(), "second");
+}
+
+TEST(OrderFdsTest, RanksAreAverageOfIcAndCf) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF1(s), datagen::PlacesF2(s),
+                         datagen::PlacesF3(s)};
+  auto ordered = OrderFds(rel, fds);
+  for (const auto& o : ordered) {
+    EXPECT_DOUBLE_EQ(o.rank, (o.measures.inconsistency() + o.conflict) / 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

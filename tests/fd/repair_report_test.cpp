@@ -1,0 +1,93 @@
+#include "fd/repair_report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+
+namespace fdevolve::fd {
+namespace {
+
+TEST(RepairReportTest, DescribesViolatedFdWithRepairs) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 1;
+  RepairResult res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  std::string text = DescribeResult(res, rel.schema());
+  EXPECT_NE(text.find("[District, Region] -> [AreaCode]"), std::string::npos);
+  EXPECT_NE(text.find("confidence 0.5"), std::string::npos);
+  EXPECT_NE(text.find("Municipal"), std::string::npos);
+  EXPECT_NE(text.find("1."), std::string::npos);
+}
+
+TEST(RepairReportTest, ExactFdSaysNothingToRepair) {
+  auto rel = datagen::MakePlaces();
+  Fd exact = Fd::Parse("Municipal -> AreaCode", rel.schema());
+  RepairResult res = Extend(rel, exact);
+  std::string text = DescribeResult(res, rel.schema());
+  EXPECT_NE(text.find("already exact"), std::string::npos);
+}
+
+TEST(RepairReportTest, NoRepairFoundMentioned) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_evaluations = 1;  // starve the search
+  RepairResult res = Extend(rel, datagen::PlacesF4(rel.schema()), opts);
+  std::string text = DescribeResult(res, rel.schema());
+  EXPECT_NE(text.find("no repair found"), std::string::npos);
+  EXPECT_NE(text.find("budget exhausted"), std::string::npos);
+}
+
+TEST(RepairReportTest, ExplainRepairMentionsBijective) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  RepairResult res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  ASSERT_TRUE(res.found());
+  std::string text = ExplainRepair(res.repairs[0], rel.schema());
+  EXPECT_NE(text.find("goodness 0"), std::string::npos);
+  EXPECT_NE(text.find("bijective"), std::string::npos);
+}
+
+TEST(RepairReportTest, ExplainRepairPositiveAndNegativeGoodness) {
+  Repair r;
+  r.added = relation::AttrSet::Of({0});
+  r.repaired = Fd(relation::AttrSet::Of({0}), relation::AttrSet::Of({1}));
+  r.measures.confidence = 1.0;
+  r.measures.goodness = 3;
+  relation::Schema s({{"A", relation::DataType::kInt64},
+                      {"B", relation::DataType::kInt64}});
+  EXPECT_NE(ExplainRepair(r, s).find("more specific"), std::string::npos);
+  r.measures.goodness = -2;
+  EXPECT_NE(ExplainRepair(r, s).find("less specific"), std::string::npos);
+}
+
+TEST(RepairReportTest, OutcomeListsOrderAndResults) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF1(s), datagen::PlacesF2(s)};
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  auto outcome = FindFdRepairs(rel, fds, opts);
+  std::string text = DescribeOutcome(outcome, s);
+  EXPECT_NE(text.find("Repair order"), std::string::npos);
+  EXPECT_NE(text.find("rank="), std::string::npos);
+  EXPECT_NE(text.find("ic="), std::string::npos);
+}
+
+TEST(RepairReportTest, ThresholdFlagSurfaced) {
+  Repair r;
+  r.added = relation::AttrSet::Of({0});
+  r.repaired = Fd(relation::AttrSet::Of({0}), relation::AttrSet::Of({1}));
+  r.measures.confidence = 1.0;
+  r.measures.goodness = 99;
+  r.within_goodness_threshold = false;
+  relation::Schema s({{"A", relation::DataType::kInt64},
+                      {"B", relation::DataType::kInt64}});
+  EXPECT_NE(ExplainRepair(r, s).find("outside goodness threshold"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

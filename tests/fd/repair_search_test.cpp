@@ -1,0 +1,262 @@
+#include "fd/repair_search.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+#include "datagen/synthetic.h"
+
+namespace fdevolve::fd {
+namespace {
+
+using datagen::MakeSynthetic;
+using datagen::SyntheticFd;
+using datagen::SyntheticPlantedRepair;
+using datagen::SyntheticSpec;
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+TEST(ExtendTest, ExactFdNeedsNoRepair) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({int64_t{1}, int64_t{10}})
+                     .Row({int64_t{2}, int64_t{20}})
+                     .Build();
+  RepairResult res = Extend(rel, Fd(AttrSet::Of({0}), AttrSet::Of({1})));
+  EXPECT_TRUE(res.already_exact);
+  EXPECT_TRUE(res.repairs.empty());
+  EXPECT_EQ(res.stats.candidates_evaluated, 0u);
+}
+
+TEST(ExtendTest, FindsPlantedSingleAttributeRepair) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 800;
+  spec.repair_length = 1;
+  Relation rel = MakeSynthetic(spec);
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
+  ASSERT_TRUE(res.found());
+  EXPECT_EQ(res.repairs[0].added, SyntheticPlantedRepair(rel.schema(), 1));
+  EXPECT_TRUE(res.repairs[0].measures.exact);
+}
+
+TEST(ExtendTest, FindsPlantedTwoAttributeRepairAndItIsMinimal) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 1500;
+  spec.repair_length = 2;
+  Relation rel = MakeSynthetic(spec);
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
+  ASSERT_TRUE(res.found());
+  // The first repair found must be minimal: exactly the planted pair.
+  EXPECT_EQ(res.repairs[0].added.Count(), 2);
+  EXPECT_EQ(res.repairs[0].added, SyntheticPlantedRepair(rel.schema(), 2));
+}
+
+TEST(ExtendTest, AllRepairsAreMutuallyMinimal) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  RepairResult res = Extend(rel, datagen::PlacesF4(rel.schema()), opts);
+  ASSERT_TRUE(res.found());
+  for (size_t i = 0; i < res.repairs.size(); ++i) {
+    for (size_t j = 0; j < res.repairs.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(res.repairs[i].added.SubsetOf(res.repairs[j].added))
+          << "repair " << i << " is a subset of repair " << j;
+    }
+  }
+}
+
+TEST(ExtendTest, RepairsSortedByIncreasingSize) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  RepairResult res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  for (size_t i = 1; i < res.repairs.size(); ++i) {
+    EXPECT_LE(res.repairs[i - 1].added.Count(), res.repairs[i].added.Count());
+  }
+}
+
+TEST(ExtendTest, TopKStopsEarly) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions all;
+  all.mode = SearchMode::kAllRepairs;
+  RepairOptions topk;
+  topk.mode = SearchMode::kTopK;
+  topk.top_k = 1;
+  Fd f4 = datagen::PlacesF4(rel.schema());
+  RepairResult res_all = Extend(rel, f4, all);
+  RepairResult res_k = Extend(rel, f4, topk);
+  EXPECT_GE(res_all.repairs.size(), 2u);
+  EXPECT_EQ(res_k.repairs.size(), 1u);
+  EXPECT_LT(res_k.stats.candidates_evaluated,
+            res_all.stats.candidates_evaluated);
+}
+
+TEST(ExtendTest, MaxAddedAttrsBoundsDepth) {
+  SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 500;
+  spec.repair_length = 2;
+  Relation rel = MakeSynthetic(spec);
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 1;  // planted repair needs 2: must find nothing
+  RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
+  EXPECT_FALSE(res.found());
+}
+
+TEST(ExtendTest, MaxEvaluationsBudget) {
+  SyntheticSpec spec;
+  spec.n_attrs = 12;
+  spec.n_tuples = 300;
+  spec.repair_length = 3;
+  Relation rel = MakeSynthetic(spec);
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_evaluations = 20;
+  RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
+  EXPECT_LE(res.stats.candidates_evaluated, 20u);
+  EXPECT_FALSE(res.stats.exhausted);
+}
+
+TEST(ExtendTest, UnrepairableInstanceFindsNothing) {
+  // Two tuples equal everywhere except Y cannot be separated by any
+  // antecedent extension.
+  Schema schema({{"x", DataType::kInt64},
+                 {"y", DataType::kInt64},
+                 {"a", DataType::kInt64},
+                 {"b", DataType::kInt64}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({int64_t{1}, int64_t{1}, int64_t{5}, int64_t{5}})
+                     .Row({int64_t{1}, int64_t{2}, int64_t{5}, int64_t{5}})
+                     .Build();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  RepairResult res = Extend(rel, Fd(AttrSet::Of({0}), AttrSet::Of({1})), opts);
+  EXPECT_FALSE(res.found());
+  EXPECT_TRUE(res.stats.exhausted);  // searched the whole space
+  // The search evaluated every subset of {a,b}: 2 singles + 1 pair.
+  EXPECT_EQ(res.stats.candidates_evaluated, 3u);
+}
+
+TEST(ExtendTest, FirstRepairEvaluatesNoMoreThanAllRepairs) {
+  SyntheticSpec spec;
+  spec.n_attrs = 9;
+  spec.n_tuples = 600;
+  spec.repair_length = 2;
+  Relation rel = MakeSynthetic(spec);
+  Fd f = SyntheticFd(rel.schema());
+  RepairOptions first;
+  first.mode = SearchMode::kFirstRepair;
+  RepairOptions all;
+  all.mode = SearchMode::kAllRepairs;
+  RepairResult rf = Extend(rel, f, first);
+  RepairResult ra = Extend(rel, f, all);
+  EXPECT_LE(rf.stats.candidates_evaluated, ra.stats.candidates_evaluated);
+  ASSERT_TRUE(rf.found());
+  ASSERT_TRUE(ra.found());
+  // First-repair's answer appears among all-repairs' answers.
+  bool found = false;
+  for (const auto& r : ra.repairs) {
+    if (r.added == rf.repairs[0].added) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExtendTest, GoodnessThresholdPrefersBalancedRepair) {
+  // Instance where a UNIQUE column repairs X->Y with huge |g| and a planted
+  // determinant repairs it with small |g|. With a tight threshold, the
+  // first-repair search must return the balanced one first.
+  SyntheticSpec spec;
+  spec.n_attrs = 5;
+  spec.n_tuples = 300;
+  spec.repair_length = 1;
+  spec.determinant_domain = 25;
+  Relation base = MakeSynthetic(spec);
+  std::vector<relation::Attribute> attrs = base.schema().attrs();
+  attrs.push_back({"rowid", DataType::kInt64});
+  Relation rel("t", Schema(attrs));
+  for (size_t t = 0; t < base.tuple_count(); ++t) {
+    std::vector<relation::Value> row;
+    for (int a = 0; a < base.attr_count(); ++a) row.push_back(base.Get(t, a));
+    row.push_back(static_cast<int64_t>(t));
+    rel.AppendRow(row);
+  }
+
+  // Threshold: exactly the planted determinant's |goodness|, so the rowid
+  // repair (|g| = tuples − |π_Y|, far larger) falls outside it.
+  Fd d1_fd = SyntheticFd(rel.schema())
+                 .WithAntecedent(rel.schema().Require("D1"));
+  const auto d1_abs_goodness = ComputeMeasures(rel, d1_fd).abs_goodness();
+
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  opts.max_added_attrs = 1;
+  opts.goodness_threshold = static_cast<int64_t>(d1_abs_goodness);
+  RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
+  ASSERT_GE(res.repairs.size(), 2u);
+  EXPECT_TRUE(res.repairs.front().within_goodness_threshold);
+  // The rowid repair is present but flagged and ordered after.
+  bool saw_flagged = false;
+  for (const auto& r : res.repairs) {
+    if (!r.within_goodness_threshold) saw_flagged = true;
+  }
+  EXPECT_TRUE(saw_flagged);
+}
+
+TEST(ExtendTest, StatsArePopulated) {
+  auto rel = datagen::MakePlaces();
+  RepairOptions opts;
+  opts.mode = SearchMode::kAllRepairs;
+  RepairResult res = Extend(rel, datagen::PlacesF1(rel.schema()), opts);
+  EXPECT_GT(res.stats.candidates_evaluated, 0u);
+  EXPECT_GT(res.stats.frontier_peak, 0u);
+  EXPECT_GE(res.stats.elapsed_ms, 0.0);
+}
+
+TEST(FindFdRepairsTest, ProcessesAllFdsInRankOrder) {
+  auto rel = datagen::MakePlaces();
+  const auto& s = rel.schema();
+  std::vector<Fd> fds = {datagen::PlacesF3(s), datagen::PlacesF1(s),
+                         datagen::PlacesF2(s)};
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  auto outcome = FindFdRepairs(rel, fds, opts);
+  ASSERT_EQ(outcome.results.size(), 3u);
+  EXPECT_EQ(outcome.order[0].fd, datagen::PlacesF1(s));
+  EXPECT_EQ(outcome.order[1].fd, datagen::PlacesF2(s));
+  EXPECT_EQ(outcome.order[2].fd, datagen::PlacesF3(s));
+  for (const auto& r : outcome.results) {
+    EXPECT_FALSE(r.already_exact);  // all three are violated
+  }
+}
+
+TEST(FindFdRepairsTest, ExactFdsAreSkipped) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kInt64},
+                 {"c", DataType::kInt64}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({int64_t{1}, int64_t{1}, int64_t{1}})
+                     .Row({int64_t{1}, int64_t{1}, int64_t{2}})
+                     .Build();
+  // a->b exact; a->c violated (and unrepairable: b constant).
+  std::vector<Fd> fds = {Fd(AttrSet::Of({0}), AttrSet::Of({1})),
+                         Fd(AttrSet::Of({0}), AttrSet::Of({2}))};
+  auto outcome = FindFdRepairs(rel, fds);
+  size_t exact = 0;
+  for (const auto& r : outcome.results) {
+    if (r.already_exact) ++exact;
+  }
+  EXPECT_EQ(exact, 1u);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

@@ -1,0 +1,127 @@
+#include "fd/schema_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::fd {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+using relation::Value;
+
+Schema MonitorSchema() {
+  return Schema({{"city", DataType::kString},
+                 {"zip", DataType::kString},
+                 {"state", DataType::kString}});
+}
+
+Relation CleanInstance() {
+  return RelationBuilder("addr", MonitorSchema())
+      .Row({"NY", "10001", "NY"})
+      .Row({"Boston", "02101", "MA"})
+      .Build();
+}
+
+TEST(SchemaMonitorTest, ExactAtRegistration) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  ASSERT_EQ(mon.fds().size(), 1u);
+  EXPECT_TRUE(mon.fds()[0].was_exact_at_registration);
+  EXPECT_FALSE(mon.fds()[0].violated);
+}
+
+TEST(SchemaMonitorTest, DriftDetectedOnInsert) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  mon.Insert({"Hoboken", "10001", "NJ"});  // 10001 now maps to NY and NJ
+  EXPECT_TRUE(mon.fds()[0].violated);
+  ASSERT_EQ(mon.drift_log().size(), 1u);
+  EXPECT_EQ(mon.drift_log()[0].fd_index, 0u);
+  EXPECT_EQ(mon.drift_log()[0].tuple_count, 3u);
+}
+
+TEST(SchemaMonitorTest, DriftCallbackFires) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  int fired = 0;
+  mon.OnDrift([&](const DriftEvent& ev) {
+    ++fired;
+    EXPECT_FALSE(ev.measures.exact);
+  });
+  mon.Insert({"Hoboken", "10001", "NJ"});
+  EXPECT_EQ(fired, 1);
+  // Further violating inserts do not re-fire for an already-violated FD.
+  mon.Insert({"Newark", "10001", "PA"});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchemaMonitorTest, CheckIntervalBatchesValidation) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/3);
+  mon.Insert({"Hoboken", "10001", "NJ"});  // violates, but not checked yet
+  EXPECT_FALSE(mon.fds()[0].violated);
+  mon.Insert({"X", "90001", "CA"});
+  EXPECT_FALSE(mon.fds()[0].violated);
+  mon.Insert({"Y", "90002", "CA"});  // third insert triggers the check
+  EXPECT_TRUE(mon.fds()[0].violated);
+}
+
+TEST(SchemaMonitorTest, SuggestRepairsCoversViolatedOnly) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema()),
+                     Fd::Parse("zip -> city", MonitorSchema())});
+  mon.Insert({"Hoboken", "10001", "NJ"});  // breaks both? city NY->Hoboken yes
+  auto suggestions = mon.SuggestRepairs();
+  EXPECT_EQ(suggestions.size(), 2u);
+}
+
+TEST(SchemaMonitorTest, AcceptRepairReplacesFdAndClearsViolation) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  mon.Insert({"Hoboken", "10001", "NJ"});
+  RepairOptions opts;
+  opts.mode = SearchMode::kFirstRepair;
+  auto suggestions = mon.SuggestRepairs(opts);
+  ASSERT_EQ(suggestions.size(), 1u);
+  ASSERT_TRUE(suggestions[0].found());
+  mon.AcceptRepair(0, suggestions[0].repairs[0]);
+  EXPECT_FALSE(mon.fds()[0].violated);
+  EXPECT_NE(mon.fds()[0].fd, Fd::Parse("zip -> state", MonitorSchema()));
+}
+
+TEST(SchemaMonitorTest, AcceptRepairBadIndexThrows) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  Repair r;
+  r.repaired = Fd::Parse("city -> state", MonitorSchema());
+  EXPECT_THROW(mon.AcceptRepair(5, r), std::out_of_range);
+}
+
+TEST(SchemaMonitorTest, ViolatedAtRegistrationIsRecorded) {
+  Relation dirty = RelationBuilder("addr", MonitorSchema())
+                       .Row({"NY", "10001", "NY"})
+                       .Row({"Hoboken", "10001", "NJ"})
+                       .Build();
+  SchemaMonitor mon(std::move(dirty),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  EXPECT_TRUE(mon.fds()[0].violated);
+  EXPECT_FALSE(mon.fds()[0].was_exact_at_registration);
+}
+
+TEST(SchemaMonitorTest, CheckNowReturnsViolatedIndices) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema()),
+                     Fd::Parse("city -> zip", MonitorSchema())},
+                    /*check_interval=*/1000);  // manual checks only
+  mon.Insert({"Hoboken", "10001", "NJ"});
+  auto violated = mon.CheckNow();
+  ASSERT_EQ(violated.size(), 1u);
+  EXPECT_EQ(violated[0], 0u);
+}
+
+}  // namespace
+}  // namespace fdevolve::fd

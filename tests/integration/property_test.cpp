@@ -1,0 +1,183 @@
+// Property-based suites over randomized instances: invariants of the
+// measures and the search that must hold for *every* instance.
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "fd/repair_search.h"
+#include "query/distinct.h"
+#include "util/rng.h"
+
+namespace fdevolve {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+
+/// Small random relation with arbitrary value distribution (not the
+/// planted-structure generator — we want unstructured instances too).
+Relation RandomRelation(uint64_t seed, int n_attrs, size_t n_tuples,
+                        size_t domain) {
+  std::vector<relation::Attribute> attrs;
+  for (int i = 0; i < n_attrs; ++i) {
+    attrs.push_back({"a" + std::to_string(i), DataType::kInt64});
+  }
+  Relation rel("rand", Schema(std::move(attrs)));
+  util::Rng rng(seed);
+  for (size_t t = 0; t < n_tuples; ++t) {
+    std::vector<relation::Value> row;
+    for (int i = 0; i < n_attrs; ++i) {
+      row.emplace_back(static_cast<int64_t>(rng.Below(domain)));
+    }
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+class RandomInstanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomInstanceProperty, ConfidenceInUnitIntervalAndMonotone) {
+  Relation rel = RandomRelation(GetParam(), 6, 300, 5);
+  query::DistinctEvaluator eval(rel);
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 6; ++y) {
+      if (x == y) continue;
+      fd::Fd f(AttrSet::Of({x}), AttrSet::Of({y}));
+      fd::FdMeasures m = fd::ComputeMeasures(eval, f);
+      EXPECT_GT(m.confidence, 0.0);
+      EXPECT_LE(m.confidence, 1.0);
+      // Adding any attribute never decreases confidence's numerator more
+      // than its denominator: c(XA) >= ... is NOT generally monotone, but
+      // |π_XA| >= |π_X| and |π_XAY| >= |π_XY| individually are.
+      for (int a = 0; a < 6; ++a) {
+        if (a == x || a == y) continue;
+        fd::FdMeasures ma = fd::ComputeMeasures(eval, f.WithAntecedent(a));
+        EXPECT_GE(ma.distinct_x, m.distinct_x);
+        EXPECT_GE(ma.distinct_xy, m.distinct_xy);
+      }
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperty, ExactIffDefinitionTwoHolds) {
+  // Cross-check the confidence-based exactness against a brute-force
+  // check of Definition 2 (pairwise tuples).
+  Relation rel = RandomRelation(GetParam() + 100, 4, 60, 3);
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      if (x == y) continue;
+      fd::Fd f(AttrSet::Of({x}), AttrSet::Of({y}));
+      bool brute = true;
+      for (size_t i = 0; i < rel.tuple_count() && brute; ++i) {
+        for (size_t j = i + 1; j < rel.tuple_count(); ++j) {
+          if (rel.Get(i, x) == rel.Get(j, x) &&
+              !(rel.Get(i, y) == rel.Get(j, y))) {
+            brute = false;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(fd::Satisfies(rel, f), brute) << x << "->" << y;
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperty, SupersetOfRepairIsExact) {
+  // Augmentation: if XU -> Y is exact then XUV -> Y is exact.
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 7;
+  spec.n_tuples = 400;
+  spec.repair_length = 1;
+  spec.seed = GetParam();
+  auto rel = datagen::MakeSynthetic(spec);
+  fd::Fd base = datagen::SyntheticFd(rel.schema());
+  fd::Fd repaired = base.WithAntecedent(rel.schema().Require("D1"));
+  ASSERT_TRUE(fd::Satisfies(rel, repaired));
+  for (int extra = 4; extra < 7; ++extra) {
+    EXPECT_TRUE(fd::Satisfies(rel, repaired.WithAntecedent(extra)));
+  }
+}
+
+TEST_P(RandomInstanceProperty, SearchResultsAreSound) {
+  // Every repair returned by the search is exact, disjoint from the FD,
+  // drawn from the candidate pool, and minimal w.r.t. the result set.
+  Relation rel = RandomRelation(GetParam() + 7, 6, 120, 3);
+  fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kAllRepairs;
+  auto res = fd::Extend(rel, f, opts);
+  AttrSet pool = fd::CandidatePool(rel, f);
+  for (const auto& r : res.repairs) {
+    EXPECT_TRUE(fd::Satisfies(rel, r.repaired));
+    EXPECT_FALSE(r.added.Intersects(f.AllAttrs()));
+    EXPECT_TRUE(r.added.SubsetOf(pool));
+  }
+  for (size_t i = 0; i < res.repairs.size(); ++i) {
+    for (size_t j = 0; j < res.repairs.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(res.repairs[i].added.SubsetOf(res.repairs[j].added));
+      }
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperty, SearchIsCompleteOnSmallPools) {
+  // Brute-force all subsets of a 4-attribute pool and compare with the
+  // search's minimal-repair set.
+  Relation rel = RandomRelation(GetParam() + 13, 6, 80, 2);
+  fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  AttrSet pool = fd::CandidatePool(rel, f);
+  auto pool_v = pool.ToVector();
+  ASSERT_EQ(pool_v.size(), 4u);
+
+  // Brute force: all 15 non-empty subsets; keep the minimal exact ones.
+  std::vector<AttrSet> exact_sets;
+  for (int mask = 1; mask < 16; ++mask) {
+    AttrSet s;
+    for (int b = 0; b < 4; ++b) {
+      if (mask & (1 << b)) s.Add(pool_v[static_cast<size_t>(b)]);
+    }
+    if (fd::Satisfies(rel, f.WithAntecedent(s))) exact_sets.push_back(s);
+  }
+  std::vector<AttrSet> minimal;
+  for (const auto& s : exact_sets) {
+    bool is_minimal = true;
+    for (const auto& t : exact_sets) {
+      if (!(t == s) && t.SubsetOf(s)) is_minimal = false;
+    }
+    if (is_minimal) minimal.push_back(s);
+  }
+
+  fd::RepairOptions opts;
+  opts.mode = fd::SearchMode::kAllRepairs;
+  auto res = fd::Extend(rel, f, opts);
+  if (fd::ComputeMeasures(rel, f).exact) return;  // nothing to compare
+  ASSERT_EQ(res.repairs.size(), minimal.size());
+  for (const auto& m : minimal) {
+    bool found = false;
+    for (const auto& r : res.repairs) {
+      if (r.added == m) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(RandomInstanceProperty, EvaluatorAgreesWithScratchCounts) {
+  Relation rel = RandomRelation(GetParam() + 23, 5, 200, 4);
+  query::DistinctEvaluator eval(rel);
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    AttrSet s;
+    for (int a = 0; a < 5; ++a) {
+      if (rng.Chance(0.5)) s.Add(a);
+    }
+    EXPECT_EQ(eval.Count(s), query::DistinctCount(rel, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace fdevolve

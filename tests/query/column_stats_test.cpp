@@ -1,0 +1,58 @@
+#include "query/column_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::query {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+using relation::Value;
+
+Relation MakeRel() {
+  Schema schema({{"uniq", DataType::kInt64},
+                 {"dup", DataType::kString},
+                 {"nully", DataType::kInt64}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "a", int64_t{1}})
+      .Row({int64_t{2}, "a", Value::Null()})
+      .Row({int64_t{3}, "b", int64_t{2}})
+      .Build();
+}
+
+TEST(ColumnStatsTest, CountsPerColumn) {
+  auto stats = ComputeColumnStats(MakeRel());
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "uniq");
+  EXPECT_EQ(stats[0].distinct_count, 3u);
+  EXPECT_EQ(stats[0].null_count, 0u);
+  EXPECT_EQ(stats[1].distinct_count, 2u);
+  EXPECT_EQ(stats[2].null_count, 1u);
+}
+
+TEST(ColumnStatsTest, UniqueDetection) {
+  auto stats = ComputeColumnStats(MakeRel());
+  EXPECT_TRUE(stats[0].is_unique);
+  EXPECT_FALSE(stats[1].is_unique);
+  // A column with NULLs is not considered UNIQUE even if non-null values
+  // are distinct (it could not serve as a key).
+  EXPECT_FALSE(stats[2].is_unique);
+}
+
+TEST(ColumnStatsTest, UniqueAttrsSet) {
+  EXPECT_EQ(UniqueAttrs(MakeRel()), AttrSet::Of({0}));
+}
+
+TEST(ColumnStatsTest, EmptyRelationHasNoUniqueAttrs) {
+  Schema schema({{"x", DataType::kInt64}});
+  Relation r("e", schema);
+  EXPECT_TRUE(UniqueAttrs(r).Empty());
+  auto stats = ComputeColumnStats(r);
+  EXPECT_FALSE(stats[0].is_unique);
+}
+
+}  // namespace
+}  // namespace fdevolve::query

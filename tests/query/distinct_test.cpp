@@ -1,0 +1,121 @@
+#include "query/distinct.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "relation/relation.h"
+
+namespace fdevolve::query {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+Relation MakeRel() {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "x"})
+      .Row({int64_t{1}, "y"})
+      .Row({int64_t{2}, "x"})
+      .Row({int64_t{1}, "x"})
+      .Build();
+}
+
+TEST(DistinctCountTest, HashStrategy) {
+  Relation r = MakeRel();
+  EXPECT_EQ(DistinctCount(r, AttrSet::Of({0})), 2u);
+  EXPECT_EQ(DistinctCount(r, AttrSet::Of({1})), 2u);
+  EXPECT_EQ(DistinctCount(r, AttrSet::Of({0, 1})), 3u);
+}
+
+TEST(DistinctCountTest, SortStrategyAgreesWithHash) {
+  Relation r = MakeRel();
+  for (auto attrs : {AttrSet::Of({0}), AttrSet::Of({1}), AttrSet::Of({0, 1})}) {
+    EXPECT_EQ(DistinctCount(r, attrs, DistinctStrategy::kSort),
+              DistinctCount(r, attrs, DistinctStrategy::kHash));
+  }
+}
+
+TEST(DistinctCountTest, StrategiesAgreeOnSyntheticData) {
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 6;
+  spec.n_tuples = 2000;
+  spec.repair_length = 2;
+  spec.seed = 3;
+  Relation r = datagen::MakeSynthetic(spec);
+  for (int a = 0; a < r.attr_count(); ++a) {
+    for (int b = a; b < r.attr_count(); ++b) {
+      AttrSet s = AttrSet::Of({a, b});
+      EXPECT_EQ(DistinctCount(r, s, DistinctStrategy::kSort),
+                DistinctCount(r, s, DistinctStrategy::kHash));
+    }
+  }
+}
+
+TEST(DistinctCountTest, EmptyAttrs) {
+  Relation r = MakeRel();
+  EXPECT_EQ(DistinctCount(r, AttrSet()), 1u);
+}
+
+TEST(DistinctCountTest, EmptyRelation) {
+  Schema schema({{"a", DataType::kInt64}});
+  Relation r("e", schema);
+  EXPECT_EQ(DistinctCount(r, AttrSet::Of({0})), 0u);
+  EXPECT_EQ(DistinctCount(r, AttrSet()), 0u);
+  EXPECT_EQ(DistinctCount(r, AttrSet::Of({0}), DistinctStrategy::kSort), 0u);
+}
+
+TEST(DistinctEvaluatorTest, CountsMatchDirect) {
+  Relation r = MakeRel();
+  DistinctEvaluator eval(r);
+  EXPECT_EQ(eval.Count(AttrSet::Of({0})), 2u);
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 3u);
+}
+
+TEST(DistinctEvaluatorTest, CacheHitsDoNotRecompute) {
+  Relation r = MakeRel();
+  DistinctEvaluator eval(r);
+  eval.Count(AttrSet::Of({0}));
+  size_t misses = eval.miss_count();
+  eval.Count(AttrSet::Of({0}));
+  EXPECT_EQ(eval.miss_count(), misses);
+  EXPECT_EQ(eval.cache_size(), 1u);
+}
+
+TEST(DistinctEvaluatorTest, RefinesFromCachedSubset) {
+  Relation r = MakeRel();
+  DistinctEvaluator eval(r);
+  eval.Count(AttrSet::Of({0}));
+  // Superset query must still be correct (and uses the cached base).
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 3u);
+  EXPECT_EQ(eval.cache_size(), 2u);
+}
+
+TEST(DistinctEvaluatorTest, GroupForExposesGrouping) {
+  Relation r = MakeRel();
+  DistinctEvaluator eval(r);
+  const Grouping& g = eval.GroupFor(AttrSet::Of({0}));
+  EXPECT_EQ(g.group_count, 2u);
+  EXPECT_EQ(g.ids.size(), 4u);
+}
+
+TEST(DistinctEvaluatorTest, ManyOverlappingQueriesStayConsistent) {
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 500;
+  spec.repair_length = 1;
+  Relation r = datagen::MakeSynthetic(spec);
+  DistinctEvaluator eval(r);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      AttrSet s = AttrSet::Of({a}).Union(AttrSet::Of({b}));
+      EXPECT_EQ(eval.Count(s), DistinctCount(r, s)) << a << "," << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::query

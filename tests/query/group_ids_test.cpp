@@ -1,0 +1,139 @@
+#include "query/group_ids.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fdevolve::query {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+using relation::Value;
+
+Relation MakeRel() {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kInt64}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "x", int64_t{10}})
+      .Row({int64_t{1}, "y", int64_t{10}})
+      .Row({int64_t{2}, "x", int64_t{20}})
+      .Row({int64_t{1}, "x", int64_t{30}})
+      .Row({int64_t{2}, "x", int64_t{20}})
+      .Build();
+}
+
+TEST(GroupByTest, SingleAttribute) {
+  Relation r = MakeRel();
+  Grouping g = GroupBy(r, AttrSet::Of({0}));
+  EXPECT_EQ(g.group_count, 2u);
+  EXPECT_EQ(g.ids[0], g.ids[1]);
+  EXPECT_EQ(g.ids[0], g.ids[3]);
+  EXPECT_EQ(g.ids[2], g.ids[4]);
+  EXPECT_NE(g.ids[0], g.ids[2]);
+}
+
+TEST(GroupByTest, TwoAttributes) {
+  Relation r = MakeRel();
+  Grouping g = GroupBy(r, AttrSet::Of({0, 1}));
+  // (1,x) (1,y) (2,x) (1,x) (2,x) -> 3 groups.
+  EXPECT_EQ(g.group_count, 3u);
+  EXPECT_EQ(g.ids[0], g.ids[3]);
+  EXPECT_EQ(g.ids[2], g.ids[4]);
+}
+
+TEST(GroupByTest, EmptyAttrSetIsOneGroup) {
+  Relation r = MakeRel();
+  Grouping g = GroupBy(r, AttrSet());
+  EXPECT_EQ(g.group_count, 1u);
+  for (uint32_t id : g.ids) EXPECT_EQ(id, 0u);
+}
+
+TEST(GroupByTest, EmptyRelation) {
+  Schema schema({{"a", DataType::kInt64}});
+  Relation r("e", schema);
+  Grouping g = GroupBy(r, AttrSet::Of({0}));
+  EXPECT_EQ(g.group_count, 0u);
+  EXPECT_TRUE(g.ids.empty());
+}
+
+TEST(GroupByTest, IdsAreDense) {
+  Relation r = MakeRel();
+  Grouping g = GroupBy(r, AttrSet::Of({0, 1, 2}));
+  uint32_t max_id = 0;
+  for (uint32_t id : g.ids) max_id = std::max(max_id, id);
+  EXPECT_EQ(static_cast<size_t>(max_id) + 1, g.group_count);
+}
+
+TEST(GroupByTest, IdsAssignedInFirstAppearanceOrder) {
+  Relation r = MakeRel();
+  Grouping g = GroupBy(r, AttrSet::Of({0}));
+  EXPECT_EQ(g.ids[0], 0u);  // value 1 first seen at t0
+  EXPECT_EQ(g.ids[2], 1u);  // value 2 first seen at t2
+}
+
+TEST(GroupByTest, NullsGroupTogether) {
+  Schema schema({{"a", DataType::kInt64}});
+  Relation r("n", schema);
+  r.AppendRow({Value::Null()});
+  r.AppendRow({int64_t{1}});
+  r.AppendRow({Value::Null()});
+  Grouping g = GroupBy(r, AttrSet::Of({0}));
+  EXPECT_EQ(g.group_count, 2u);
+  EXPECT_EQ(g.ids[0], g.ids[2]);
+  EXPECT_NE(g.ids[0], g.ids[1]);
+}
+
+TEST(RefineByTest, MatchesDirectGroupBy) {
+  Relation r = MakeRel();
+  Grouping base = GroupBy(r, AttrSet::Of({0}));
+  Grouping refined = RefineBy(r, base, 1);
+  Grouping direct = GroupBy(r, AttrSet::Of({0, 1}));
+  EXPECT_EQ(refined.group_count, direct.group_count);
+  // Same partition: tuples share refined id iff they share direct id.
+  for (size_t i = 0; i < r.tuple_count(); ++i) {
+    for (size_t j = i + 1; j < r.tuple_count(); ++j) {
+      EXPECT_EQ(refined.ids[i] == refined.ids[j],
+                direct.ids[i] == direct.ids[j]);
+    }
+  }
+}
+
+TEST(RefineByTest, RefineBySetMatchesDirect) {
+  Relation r = MakeRel();
+  Grouping base = GroupBy(r, AttrSet::Of({0}));
+  Grouping refined = RefineBy(r, base, AttrSet::Of({1, 2}));
+  Grouping direct = GroupBy(r, AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(refined.group_count, direct.group_count);
+}
+
+TEST(RefineByTest, SizeMismatchThrows) {
+  Relation r = MakeRel();
+  Grouping wrong;
+  wrong.ids = {0, 0};
+  wrong.group_count = 1;
+  EXPECT_THROW(RefineBy(r, wrong, 1), std::invalid_argument);
+}
+
+TEST(JointGroupCountTest, MatchesUnionGroupBy) {
+  Relation r = MakeRel();
+  Grouping ga = GroupBy(r, AttrSet::Of({0}));
+  Grouping gb = GroupBy(r, AttrSet::Of({2}));
+  Grouping gu = GroupBy(r, AttrSet::Of({0, 2}));
+  EXPECT_EQ(JointGroupCount(ga, gb), gu.group_count);
+}
+
+TEST(JointGroupCountTest, SizeMismatchThrows) {
+  Grouping a;
+  a.ids = {0};
+  a.group_count = 1;
+  Grouping b;
+  EXPECT_THROW(JointGroupCount(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdevolve::query

@@ -1,0 +1,107 @@
+// Differential fuzzing of AttrSet against std::set<int> as the reference
+// model — randomized operation sequences must agree on every observable.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relation/attr_set.h"
+#include "util/rng.h"
+
+namespace fdevolve::relation {
+namespace {
+
+std::set<int> ToStdSet(const AttrSet& s) {
+  auto v = s.ToVector();
+  return std::set<int>(v.begin(), v.end());
+}
+
+class AttrSetFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttrSetFuzz, RandomOpSequenceMatchesReference) {
+  util::Rng rng(GetParam());
+  AttrSet subject;
+  std::set<int> reference;
+
+  for (int step = 0; step < 500; ++step) {
+    int idx = static_cast<int>(rng.Below(AttrSet::kMaxAttrs));
+    switch (rng.Below(3)) {
+      case 0:
+        subject.Add(idx);
+        reference.insert(idx);
+        break;
+      case 1:
+        subject.Remove(idx);
+        reference.erase(idx);
+        break;
+      default:
+        EXPECT_EQ(subject.Contains(idx), reference.count(idx) > 0);
+        break;
+    }
+    if (step % 50 == 0) {
+      EXPECT_EQ(subject.Count(), static_cast<int>(reference.size()));
+      EXPECT_EQ(ToStdSet(subject), reference);
+      EXPECT_EQ(subject.Empty(), reference.empty());
+    }
+  }
+  EXPECT_EQ(ToStdSet(subject), reference);
+}
+
+TEST_P(AttrSetFuzz, SetAlgebraMatchesReference) {
+  util::Rng rng(GetParam() + 99);
+  auto random_set = [&](double density) {
+    AttrSet s;
+    for (int i = 0; i < AttrSet::kMaxAttrs; ++i) {
+      if (rng.Chance(density)) s.Add(i);
+    }
+    return s;
+  };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    AttrSet a = random_set(0.1);
+    AttrSet b = random_set(0.1);
+    std::set<int> ra = ToStdSet(a);
+    std::set<int> rb = ToStdSet(b);
+
+    std::set<int> expected_union = ra;
+    expected_union.insert(rb.begin(), rb.end());
+    EXPECT_EQ(ToStdSet(a.Union(b)), expected_union);
+
+    std::set<int> expected_inter;
+    for (int x : ra) {
+      if (rb.count(x)) expected_inter.insert(x);
+    }
+    EXPECT_EQ(ToStdSet(a.Intersect(b)), expected_inter);
+
+    std::set<int> expected_minus;
+    for (int x : ra) {
+      if (!rb.count(x)) expected_minus.insert(x);
+    }
+    EXPECT_EQ(ToStdSet(a.Minus(b)), expected_minus);
+
+    EXPECT_EQ(a.SubsetOf(b),
+              std::includes(rb.begin(), rb.end(), ra.begin(), ra.end()));
+    EXPECT_EQ(a.Intersects(b), !expected_inter.empty());
+  }
+}
+
+TEST_P(AttrSetFuzz, AlgebraicIdentities) {
+  util::Rng rng(GetParam() + 7);
+  AttrSet a;
+  AttrSet b;
+  for (int i = 0; i < AttrSet::kMaxAttrs; ++i) {
+    if (rng.Chance(0.05)) a.Add(i);
+    if (rng.Chance(0.05)) b.Add(i);
+  }
+  // De Morgan-ish identities expressible without complement:
+  EXPECT_EQ(a.Minus(b).Union(a.Intersect(b)), a);
+  EXPECT_EQ(a.Union(b).Minus(b), a.Minus(b));
+  EXPECT_TRUE(a.Intersect(b).SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a.Union(b)));
+  EXPECT_EQ(a.Union(b).Count() + a.Intersect(b).Count(),
+            a.Count() + b.Count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttrSetFuzz, ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace fdevolve::relation

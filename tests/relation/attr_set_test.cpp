@@ -1,0 +1,104 @@
+#include "relation/attr_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fdevolve::relation {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_TRUE(s.ToVector().empty());
+}
+
+TEST(AttrSetTest, AddRemoveContains) {
+  AttrSet s;
+  s.Add(3);
+  s.Add(100);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1);
+}
+
+TEST(AttrSetTest, WorksAcrossWordBoundaries) {
+  AttrSet s = AttrSet::Of({0, 63, 64, 127, 128, 511});
+  EXPECT_EQ(s.Count(), 6);
+  for (int i : {0, 63, 64, 127, 128, 511}) EXPECT_TRUE(s.Contains(i));
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{0, 63, 64, 127, 128, 511}));
+}
+
+TEST(AttrSetTest, OutOfRangeThrows) {
+  AttrSet s;
+  EXPECT_THROW(s.Add(-1), std::out_of_range);
+  EXPECT_THROW(s.Add(512), std::out_of_range);
+  EXPECT_THROW(s.Contains(512), std::out_of_range);
+}
+
+TEST(AttrSetTest, UnionIntersectMinus) {
+  AttrSet a = AttrSet::Of({1, 2, 3});
+  AttrSet b = AttrSet::Of({3, 4});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Of({3}));
+  EXPECT_EQ(a.Minus(b), AttrSet::Of({1, 2}));
+  EXPECT_EQ(b.Minus(a), AttrSet::Of({4}));
+}
+
+TEST(AttrSetTest, SubsetOf) {
+  AttrSet a = AttrSet::Of({1, 2});
+  AttrSet b = AttrSet::Of({1, 2, 3});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a));
+  EXPECT_TRUE(AttrSet().SubsetOf(a));
+}
+
+TEST(AttrSetTest, Intersects) {
+  EXPECT_TRUE(AttrSet::Of({1, 2}).Intersects(AttrSet::Of({2, 3})));
+  EXPECT_FALSE(AttrSet::Of({1, 2}).Intersects(AttrSet::Of({3, 4})));
+  EXPECT_FALSE(AttrSet().Intersects(AttrSet::Of({1})));
+}
+
+TEST(AttrSetTest, WithDoesNotMutate) {
+  AttrSet a = AttrSet::Of({1});
+  AttrSet b = a.With(2);
+  EXPECT_FALSE(a.Contains(2));
+  EXPECT_TRUE(b.Contains(2));
+}
+
+TEST(AttrSetTest, EqualityAndHash) {
+  AttrSet a = AttrSet::Of({5, 200});
+  AttrSet b = AttrSet::Of({200, 5});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, AttrSet::Of({5}));
+}
+
+TEST(AttrSetTest, UsableInUnorderedSet) {
+  std::unordered_set<AttrSet, AttrSetHash> seen;
+  seen.insert(AttrSet::Of({1, 2}));
+  seen.insert(AttrSet::Of({2, 1}));  // duplicate
+  seen.insert(AttrSet::Of({3}));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(AttrSetTest, FromVectorMatchesOf) {
+  EXPECT_EQ(AttrSet::FromVector({7, 9}), AttrSet::Of({7, 9}));
+}
+
+TEST(AttrSetTest, HashSpreadsSingletons) {
+  std::unordered_set<uint64_t> hashes;
+  for (int i = 0; i < 512; ++i) {
+    hashes.insert(AttrSet::Of({i}).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 512u);
+}
+
+}  // namespace
+}  // namespace fdevolve::relation

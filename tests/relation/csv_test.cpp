@@ -1,0 +1,127 @@
+#include "relation/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fdevolve::relation {
+namespace {
+
+TEST(CsvTest, ReadsTypedHeaderAndRows) {
+  std::istringstream in(
+      "id:int64,name:string,score:double\n"
+      "1,alpha,1.5\n"
+      "2,beta,2.25\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.relation->tuple_count(), 2u);
+  EXPECT_EQ(r.relation->Get(0, 1), Value("alpha"));
+  EXPECT_EQ(r.relation->Get(1, 0), Value(int64_t{2}));
+  EXPECT_DOUBLE_EQ(r.relation->Get(1, 2).as_double(), 2.25);
+}
+
+TEST(CsvTest, EmptyFieldIsNullForTypedColumns) {
+  std::istringstream in("a:int64,b:double\n,\n1,2.0\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.relation->Get(0, 0).is_null());
+  EXPECT_TRUE(r.relation->Get(0, 1).is_null());
+}
+
+TEST(CsvTest, BackslashNIsNullForStrings) {
+  std::istringstream in("s:string\n\\N\nplain\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.relation->Get(0, 0).is_null());
+  EXPECT_EQ(r.relation->Get(1, 0), Value("plain"));
+}
+
+TEST(CsvTest, EmptyStringFieldIsEmptyString) {
+  std::istringstream in("s:string\n\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  // A blank line is skipped; no row is produced.
+  EXPECT_EQ(r.relation->tuple_count(), 0u);
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  std::istringstream in("justaname\n");
+  CsvResult r = ReadCsv(in, "t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("header"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsUnknownType) {
+  std::istringstream in("a:blob\n");
+  EXPECT_FALSE(ReadCsv(in, "t").ok());
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  std::istringstream in("a:int64,b:int64\n1\n");
+  CsvResult r = ReadCsv(in, "t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("arity"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsBadInt) {
+  std::istringstream in("a:int64\nxyz\n");
+  CsvResult r = ReadCsv(in, "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RejectsTrailingGarbageInNumber) {
+  std::istringstream in("a:int64\n12x\n");
+  EXPECT_FALSE(ReadCsv(in, "t").ok());
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsv(in, "t").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::istringstream in(
+      "id:int64,name:string\n"
+      "1,a\n"
+      "2,\\N\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  std::ostringstream out;
+  WriteCsv(*r.relation, out);
+  std::istringstream back(out.str());
+  CsvResult r2 = ReadCsv(back, "t2");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r2.relation->tuple_count(), 2u);
+  EXPECT_EQ(r2.relation->Get(0, 1), Value("a"));
+  EXPECT_TRUE(r2.relation->Get(1, 1).is_null());
+}
+
+TEST(CsvTest, IntAliasAccepted) {
+  std::istringstream in("a:int,b:str,c:float\n1,x,2.0\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.relation->schema().attr(0).type, DataType::kInt64);
+  EXPECT_EQ(r.relation->schema().attr(1).type, DataType::kString);
+  EXPECT_EQ(r.relation->schema().attr(2).type, DataType::kDouble);
+}
+
+TEST(CsvTest, FileNotFound) {
+  CsvResult r = ReadCsvFile("/nonexistent/path.csv", "t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, WriteFileAndReadBack) {
+  std::istringstream in("a:int64\n5\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok());
+  std::string path = testing::TempDir() + "/fdevolve_csv_test.csv";
+  std::string err;
+  ASSERT_TRUE(WriteCsvFile(*r.relation, path, &err)) << err;
+  CsvResult r2 = ReadCsvFile(path, "t2");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r2.relation->Get(0, 0), Value(int64_t{5}));
+}
+
+}  // namespace
+}  // namespace fdevolve::relation

@@ -1,0 +1,103 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::relation {
+namespace {
+
+Relation MakeSmall() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+  return RelationBuilder("t", schema)
+      .Row({int64_t{1}, "a", 1.5})
+      .Row({int64_t{2}, "b", 2.5})
+      .Row({int64_t{3}, "a", Value::Null()})
+      .Build();
+}
+
+TEST(RelationTest, BasicShape) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.name(), "t");
+  EXPECT_EQ(r.tuple_count(), 3u);
+  EXPECT_EQ(r.attr_count(), 3);
+}
+
+TEST(RelationTest, CellAccess) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.Get(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(r.Get(1, 1), Value("b"));
+  EXPECT_TRUE(r.Get(2, 2).is_null());
+}
+
+TEST(RelationTest, DictionaryEncodingSharesCodes) {
+  Relation r = MakeSmall();
+  const Column& name = r.column(1);
+  // "a" appears twice -> same code; dictionary has 2 entries.
+  EXPECT_EQ(name.code(0), name.code(2));
+  EXPECT_NE(name.code(0), name.code(1));
+  EXPECT_EQ(name.dict_size(), 2u);
+}
+
+TEST(RelationTest, NullsTracked) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.column(2).null_count(), 1u);
+  EXPECT_TRUE(r.column(2).has_nulls());
+  EXPECT_FALSE(r.column(0).has_nulls());
+  EXPECT_EQ(r.column(2).code(2), kNullCode);
+}
+
+TEST(RelationTest, NonNullAttrs) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.NonNullAttrs(), AttrSet::Of({0, 1}));
+}
+
+TEST(RelationTest, AnyNulls) {
+  Relation r = MakeSmall();
+  EXPECT_TRUE(r.AnyNulls(AttrSet::Of({1, 2})));
+  EXPECT_FALSE(r.AnyNulls(AttrSet::Of({0, 1})));
+}
+
+TEST(RelationTest, ArityMismatchThrows) {
+  Relation r = MakeSmall();
+  EXPECT_THROW(r.AppendRow({int64_t{1}}), std::invalid_argument);
+}
+
+TEST(RelationTest, TypeMismatchThrows) {
+  Relation r = MakeSmall();
+  EXPECT_THROW(r.AppendRow({"not-an-int", "x", 1.0}), std::invalid_argument);
+}
+
+TEST(RelationTest, NullAcceptedInAnyColumn) {
+  Relation r = MakeSmall();
+  r.AppendRow({Value::Null(), Value::Null(), Value::Null()});
+  EXPECT_EQ(r.tuple_count(), 4u);
+  EXPECT_TRUE(r.Get(3, 0).is_null());
+}
+
+TEST(RelationTest, DictValueRoundTrip) {
+  Relation r = MakeSmall();
+  const Column& name = r.column(1);
+  EXPECT_EQ(name.DictValue(name.code(0)), Value("a"));
+  EXPECT_TRUE(name.DictValue(kNullCode).is_null());
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Schema schema({{"x", DataType::kInt64}});
+  Relation r("empty", schema);
+  EXPECT_EQ(r.tuple_count(), 0u);
+  EXPECT_FALSE(r.column(0).has_nulls());
+  EXPECT_EQ(r.NonNullAttrs(), AttrSet::Of({0}));
+}
+
+TEST(RelationTest, EstimatedBytesGrowsWithData) {
+  Schema schema({{"x", DataType::kInt64}});
+  Relation small("s", schema);
+  small.AppendRow({int64_t{1}});
+  Relation big("b", schema);
+  for (int64_t i = 0; i < 100; ++i) big.AppendRow({i});
+  EXPECT_GT(big.EstimatedBytes(), small.EstimatedBytes());
+}
+
+}  // namespace
+}  // namespace fdevolve::relation

@@ -1,0 +1,79 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::relation {
+namespace {
+
+Schema MakeAbc() {
+  return Schema({{"A", DataType::kInt64},
+                 {"B", DataType::kString},
+                 {"C", DataType::kDouble}});
+}
+
+TEST(SchemaTest, SizeAndAttrAccess) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.attr(0).name, "A");
+  EXPECT_EQ(s.attr(1).type, DataType::kString);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.IndexOf("A"), 0);
+  EXPECT_EQ(s.IndexOf("C"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, RequireThrowsOnUnknown) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.Require("B"), 1);
+  EXPECT_THROW(s.Require("nope"), std::invalid_argument);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  EXPECT_THROW(Schema({{"A", DataType::kInt64}, {"A", DataType::kString}}),
+               std::invalid_argument);
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  EXPECT_THROW(Schema({{"", DataType::kInt64}}), std::invalid_argument);
+}
+
+TEST(SchemaTest, AllAttrs) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.AllAttrs(), AttrSet::Of({0, 1, 2}));
+}
+
+TEST(SchemaTest, Resolve) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.Resolve({"C", "A"}), AttrSet::Of({0, 2}));
+  EXPECT_THROW(s.Resolve({"A", "bad"}), std::invalid_argument);
+}
+
+TEST(SchemaTest, DescribeUsesNames) {
+  Schema s = MakeAbc();
+  EXPECT_EQ(s.Describe(AttrSet::Of({0, 2})), "[A, C]");
+  EXPECT_EQ(s.Describe(AttrSet()), "[]");
+}
+
+TEST(SchemaTest, TooManyAttributesRejected) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < AttrSet::kMaxAttrs + 1; ++i) {
+    attrs.push_back({"a" + std::to_string(i), DataType::kInt64});
+  }
+  EXPECT_THROW(Schema{attrs}, std::invalid_argument);
+}
+
+TEST(SchemaTest, MaxWidthSchemaAccepted) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < AttrSet::kMaxAttrs; ++i) {
+    attrs.push_back({"a" + std::to_string(i), DataType::kInt64});
+  }
+  Schema s{attrs};
+  EXPECT_EQ(s.size(), AttrSet::kMaxAttrs);
+  EXPECT_EQ(s.AllAttrs().Count(), AttrSet::kMaxAttrs);
+}
+
+}  // namespace
+}  // namespace fdevolve::relation

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/places.h"
+#include "sql/database.h"
+
+namespace fdevolve::sql {
+namespace {
+
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+
+TEST(DatabaseTest, AddAndGet) {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  EXPECT_TRUE(db.Has("Places"));
+  EXPECT_FALSE(db.Has("Nope"));
+  EXPECT_EQ(db.Get("Places").tuple_count(), 11u);
+  EXPECT_THROW(db.Get("Nope"), std::invalid_argument);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  EXPECT_THROW(db.AddRelation(datagen::MakePlaces()), std::invalid_argument);
+}
+
+TEST(DatabaseTest, StablePointersAcrossGrowth) {
+  Database db;
+  const relation::Relation& first = db.AddRelation(datagen::MakePlaces());
+  for (int i = 0; i < 20; ++i) {
+    Schema schema({{"x", DataType::kInt64}});
+    Relation r("t" + std::to_string(i), schema);
+    db.AddRelation(std::move(r));
+  }
+  // The reference from before the growth is still valid.
+  EXPECT_EQ(first.name(), "Places");
+  EXPECT_EQ(&first, &db.Get("Places"));
+}
+
+TEST(DatabaseTest, DeclareAndListFds) {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  db.DeclareFd("Places", "District, Region -> AreaCode", "F1");
+  db.DeclareFd("Places", "Zip -> City, State", "F2");
+  EXPECT_EQ(db.Fds().size(), 2u);
+  EXPECT_EQ(db.Fds("Places").size(), 2u);
+  EXPECT_TRUE(db.Fds("Other").empty());
+  EXPECT_THROW(db.DeclareFd("Nope", "a -> b"), std::invalid_argument);
+  EXPECT_THROW(db.DeclareFd("Places", "Bogus -> AreaCode"),
+               std::invalid_argument);
+}
+
+TEST(DatabaseTest, ReplaceFd) {
+  Database db;
+  const auto& places = db.AddRelation(datagen::MakePlaces());
+  db.DeclareFd("Places", "District, Region -> AreaCode");
+  fd::Fd old_fd =
+      fd::Fd::Parse("District, Region -> AreaCode", places.schema());
+  fd::Fd new_fd =
+      fd::Fd::Parse("District, Region, Municipal -> AreaCode", places.schema());
+  db.ReplaceFd("Places", old_fd, new_fd);
+  ASSERT_EQ(db.Fds().size(), 1u);
+  EXPECT_EQ(db.Fds()[0].fd, new_fd);
+  EXPECT_THROW(db.ReplaceFd("Places", old_fd, new_fd), std::invalid_argument);
+}
+
+TEST(DatabaseTest, CatalogRoundTrip) {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  db.DeclareFd("Places", "District, Region -> AreaCode");
+  db.DeclareFd("Places", "Zip -> City, State");
+
+  std::string dir = testing::TempDir() + "/fdevolve_catalog_test";
+  std::filesystem::remove_all(dir);
+  std::string error;
+  ASSERT_TRUE(SaveCatalog(db, dir, &error)) << error;
+
+  Database loaded;
+  ASSERT_TRUE(LoadCatalog(dir, &loaded, &error)) << error;
+  EXPECT_TRUE(loaded.Has("Places"));
+  EXPECT_EQ(loaded.Get("Places").tuple_count(), 11u);
+  ASSERT_EQ(loaded.Fds().size(), 2u);
+  // The FDs resolve to the same attribute sets.
+  EXPECT_EQ(loaded.Fds()[0].fd,
+            fd::Fd::Parse("District, Region -> AreaCode",
+                          loaded.Get("Places").schema()));
+}
+
+TEST(DatabaseTest, LoadCatalogMissingDirFails) {
+  Database db;
+  std::string error;
+  EXPECT_FALSE(LoadCatalog("/nonexistent/dir", &db, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DatabaseTest, LoadCatalogBadFdLineFails) {
+  std::string dir = testing::TempDir() + "/fdevolve_catalog_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    Database db;
+    db.AddRelation(datagen::MakePlaces());
+    std::string error;
+    ASSERT_TRUE(SaveCatalog(db, dir, &error)) << error;
+  }
+  // Corrupt fds.txt: unknown attribute.
+  std::ofstream fds(dir + "/fds.txt");
+  fds << "Places: Bogus -> AreaCode\n";
+  fds.close();
+  Database loaded;
+  std::string error;
+  EXPECT_FALSE(LoadCatalog(dir, &loaded, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(DatabaseTest, CatalogSkipsCommentsAndBlankLines) {
+  std::string dir = testing::TempDir() + "/fdevolve_catalog_comments";
+  std::filesystem::remove_all(dir);
+  {
+    Database db;
+    db.AddRelation(datagen::MakePlaces());
+    std::string error;
+    ASSERT_TRUE(SaveCatalog(db, dir, &error)) << error;
+  }
+  std::ofstream fds(dir + "/fds.txt");
+  fds << "# comment\n\nPlaces: Zip -> State\n";
+  fds.close();
+  Database loaded;
+  std::string error;
+  ASSERT_TRUE(LoadCatalog(dir, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.Fds().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fdevolve::sql

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "datagen/places.h"
+#include "query/distinct.h"
+#include "sql/engine.h"
+
+namespace fdevolve::sql {
+namespace {
+
+using relation::DataType;
+using relation::Relation;
+using relation::RelationBuilder;
+using relation::Schema;
+using relation::Value;
+
+Database MakeDb() {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kInt64}});
+  db.AddRelation(RelationBuilder("t", schema)
+                     .Row({int64_t{1}, "x", int64_t{10}})
+                     .Row({int64_t{1}, "y", Value::Null()})
+                     .Row({int64_t{2}, "x", int64_t{10}})
+                     .Row({int64_t{2}, "x", int64_t{20}})
+                     .Build());
+  return db;
+}
+
+TEST(EngineTest, PaperQ1AndQ2) {
+  Database db = MakeDb();
+  // §4.4: confidence of F1 = Q1 / Q2 = 2 / 4.
+  EXPECT_EQ(ExecuteSql("select count(distinct District, Region) from Places",
+                       db),
+            2u);
+  EXPECT_EQ(ExecuteSql(
+                "select count(distinct District, Region, AreaCode) from Places",
+                db),
+            4u);
+}
+
+TEST(EngineTest, CountStar) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM Places", db), 11u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+}
+
+TEST(EngineTest, WhereEquality) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE a = 1", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'x'", db), 3u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE a = 99", db), 0u);
+}
+
+TEST(EngineTest, WhereNeq) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b <> 'x'", db), 1u);
+  // <> against a value not in the column: all non-NULL rows pass.
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b <> 'zzz'", db), 4u);
+}
+
+TEST(EngineTest, NullSemantics) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE c IS NULL", db), 1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE c IS NOT NULL", db), 3u);
+  // = NULL matches nothing (three-valued logic).
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE c = NULL", db), 0u);
+  // COUNT(DISTINCT c) skips the NULL row: values {10, 20}.
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT c) FROM t", db), 2u);
+}
+
+TEST(EngineTest, DistinctWithWhere) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT a) FROM t WHERE b = 'x'", db),
+            2u);
+  EXPECT_EQ(
+      ExecuteSql("SELECT COUNT(DISTINCT a, c) FROM t WHERE b = 'x'", db), 3u);
+}
+
+TEST(EngineTest, ConjunctionAndsConditions) {
+  Database db = MakeDb();
+  EXPECT_EQ(
+      ExecuteSql("SELECT COUNT(*) FROM t WHERE a = 2 AND c = 20", db), 1u);
+  EXPECT_EQ(
+      ExecuteSql("SELECT COUNT(*) FROM t WHERE a = 1 AND c = 20", db), 0u);
+}
+
+TEST(EngineTest, UnknownTableOrColumnThrows) {
+  Database db = MakeDb();
+  EXPECT_THROW(ExecuteSql("SELECT COUNT(*) FROM nope", db),
+               std::invalid_argument);
+  EXPECT_THROW(ExecuteSql("SELECT COUNT(DISTINCT nope) FROM t", db),
+               std::invalid_argument);
+  EXPECT_THROW(ExecuteSql("SELECT COUNT(*) FROM t WHERE nope = 1", db),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, TypedLiteralMismatchSelectsNothing) {
+  Database db = MakeDb();
+  // String literal against int column: no dictionary value matches.
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE a = '1'", db), 0u);
+}
+
+TEST(EngineTest, AgreesWithCoreDistinctOnPlaces) {
+  Database db = MakeDb();
+  const auto& places = db.Get("Places");
+  query::DistinctEvaluator eval(places);
+  const auto& s = places.schema();
+  // Every column and every adjacent pair.
+  for (int i = 0; i < s.size(); ++i) {
+    std::string q1 = "SELECT COUNT(DISTINCT " + s.attr(i).name + ") FROM Places";
+    EXPECT_EQ(ExecuteSql(q1, db), eval.Count(relation::AttrSet::Of({i})));
+    for (int j = i + 1; j < s.size(); ++j) {
+      std::string q2 = "SELECT COUNT(DISTINCT " + s.attr(i).name + ", " +
+                       s.attr(j).name + ") FROM Places";
+      EXPECT_EQ(ExecuteSql(q2, db),
+                eval.Count(relation::AttrSet::Of({i, j})));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::sql

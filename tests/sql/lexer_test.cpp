@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sql/token.h"
+
+namespace fdevolve::sql {
+namespace {
+
+TEST(LexerTest, KeywordsUppercasedAndRecognised) {
+  auto tokens = Lex("select Count ( distinct a ) FROM t");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("COUNT"));
+  EXPECT_TRUE(tokens[3].IsKeyword("DISTINCT"));
+  EXPECT_EQ(tokens[4].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[4].text, "a");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("AreaCode ph_no _x9");
+  EXPECT_EQ(tokens[0].text, "AreaCode");
+  EXPECT_EQ(tokens[1].text, "ph_no");
+  EXPECT_EQ(tokens[2].text, "_x9");
+  EXPECT_EQ(tokens[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = Lex("\"Area Code\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Area Code");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'abc' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("42 -7 3.5");
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "-7");
+  EXPECT_EQ(tokens[2].text, "3.5");
+}
+
+TEST(LexerTest, SymbolsAndOperatorNormalisation) {
+  auto tokens = Lex("( ) , * = <> !=");
+  EXPECT_TRUE(tokens[0].IsSymbol("("));
+  EXPECT_TRUE(tokens[4].IsSymbol("="));
+  EXPECT_TRUE(tokens[5].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[6].IsSymbol("<>"));  // != normalised
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  try {
+    Lex("a $ b");
+    FAIL() << "expected SqlError";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.position(), 2u);
+  }
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(Lex("'abc"), SqlError);
+  EXPECT_THROW(Lex("\"abc"), SqlError);
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace fdevolve::sql

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace fdevolve::sql {
+namespace {
+
+TEST(ParserTest, CountDistinctSingleColumn) {
+  CountQuery q = Parse("SELECT COUNT(DISTINCT name) FROM places");
+  EXPECT_TRUE(q.distinct);
+  ASSERT_EQ(q.columns.size(), 1u);
+  EXPECT_EQ(q.columns[0], "name");
+  EXPECT_EQ(q.table, "places");
+  EXPECT_TRUE(q.where.empty());
+}
+
+TEST(ParserTest, CountDistinctMultiColumn) {
+  // The paper's Q2 form.
+  CountQuery q =
+      Parse("select count(distinct District, Region, AreaCode) from Places");
+  EXPECT_TRUE(q.distinct);
+  ASSERT_EQ(q.columns.size(), 3u);
+  EXPECT_EQ(q.columns[2], "AreaCode");
+}
+
+TEST(ParserTest, CountStar) {
+  CountQuery q = Parse("SELECT COUNT(*) FROM t");
+  EXPECT_FALSE(q.distinct);
+  EXPECT_TRUE(q.columns.empty());
+}
+
+TEST(ParserTest, WhereEqualsString) {
+  CountQuery q =
+      Parse("SELECT COUNT(*) FROM t WHERE city = 'NY'");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].column, "city");
+  EXPECT_EQ(q.where[0].op, Condition::Op::kEq);
+  EXPECT_EQ(q.where[0].literal, relation::Value("NY"));
+}
+
+TEST(ParserTest, WhereConjunction) {
+  CountQuery q = Parse(
+      "SELECT COUNT(DISTINCT a) FROM t WHERE b = 1 AND c <> 2.5 AND d IS "
+      "NOT NULL AND e IS NULL");
+  ASSERT_EQ(q.where.size(), 4u);
+  EXPECT_EQ(q.where[0].literal, relation::Value(int64_t{1}));
+  EXPECT_EQ(q.where[1].op, Condition::Op::kNeq);
+  EXPECT_EQ(q.where[1].literal, relation::Value(2.5));
+  EXPECT_EQ(q.where[2].op, Condition::Op::kIsNotNull);
+  EXPECT_EQ(q.where[3].op, Condition::Op::kIsNull);
+}
+
+TEST(ParserTest, NegativeNumberLiteral) {
+  CountQuery q = Parse("SELECT COUNT(*) FROM t WHERE x = -5");
+  EXPECT_EQ(q.where[0].literal, relation::Value(int64_t{-5}));
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_THROW(Parse("SELECT * FROM t"), SqlError);            // not COUNT
+  EXPECT_THROW(Parse("SELECT COUNT(DISTINCT) FROM t"), SqlError);
+  EXPECT_THROW(Parse("SELECT COUNT(*) FROM"), SqlError);       // no table
+  EXPECT_THROW(Parse("SELECT COUNT(*) FROM t WHERE"), SqlError);
+  EXPECT_THROW(Parse("SELECT COUNT(*) FROM t WHERE a >< 1"), SqlError);
+  EXPECT_THROW(Parse("SELECT COUNT(*) FROM t extra"), SqlError);
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* queries[] = {
+      "SELECT COUNT(DISTINCT District, Region) FROM Places",
+      "SELECT COUNT(*) FROM t WHERE a = 1 AND b IS NOT NULL",
+      "SELECT COUNT(DISTINCT x) FROM t WHERE s = 'it''s'",
+  };
+  for (const char* q : queries) {
+    CountQuery parsed = Parse(q);
+    CountQuery reparsed = Parse(parsed.ToString());
+    EXPECT_EQ(parsed.ToString(), reparsed.ToString()) << q;
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::sql

@@ -1,0 +1,47 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HashTest, Mix64SpreadsSequentialInputs) {
+  // Consecutive integers must land far apart (avalanche).
+  std::set<uint64_t> high_bytes;
+  for (uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(Mix64(i) >> 56);
+  }
+  EXPECT_GT(high_bytes.size(), 100u);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, HashPairDistinguishesComponents) {
+  EXPECT_NE(HashPair(1, 2), HashPair(2, 1));
+  EXPECT_NE(HashPair(0, 1), HashPair(1, 0));
+  EXPECT_EQ(HashPair(7, 9), HashPair(7, 9));
+}
+
+TEST(HashTest, HashPairNoObviousCollisionsOnGrid) {
+  std::set<uint64_t> seen;
+  for (uint32_t a = 0; a < 64; ++a) {
+    for (uint32_t b = 0; b < 64; ++b) {
+      seen.insert(HashPair(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+}  // namespace
+}  // namespace fdevolve::util

@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ZeroSeedDoesNotLockUp) {
+  Rng r(0);
+  EXPECT_NE(r.Next(), 0u);
+  EXPECT_NE(r.Next(), r.Next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng r(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(10), 10u);
+  }
+}
+
+TEST(RngTest, BelowCoversTheRange) {
+  Rng r(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BetweenInclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(8);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) over 5000 draws should be near 0.5.
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, IdentHasRequestedLengthAndAlphabet) {
+  Rng r(4);
+  std::string s = r.Ident(16);
+  EXPECT_EQ(s.size(), 16u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace fdevolve::util

@@ -1,0 +1,78 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(StringsTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\tabc\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, TrimHandlesEmptyAndAllWhitespace) {
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, TrimKeepsInteriorWhitespace) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitEmptyStringYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, SplitTrailingSeparator) {
+  auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitTrimmedDropsEmptyPieces) {
+  auto parts = SplitTrimmed(" a , , b ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, JoinEmptyVector) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "abc"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+}  // namespace
+}  // namespace fdevolve::util

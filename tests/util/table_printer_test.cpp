@@ -1,0 +1,72 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t("demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  t.AddRow({"s", "y"});
+  std::string s = t.ToString();
+  // Every data line must have the same length (fixed-width columns).
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t nl = s.find('\n', pos);
+    std::string line = s.substr(pos, nl - pos);
+    if (!line.empty() && line[0] == '|') {
+      if (first_len == std::string::npos) {
+        first_len = line.size();
+      } else {
+        EXPECT_EQ(line.size(), first_len);
+      }
+    }
+    pos = nl == std::string::npos ? s.size() : nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, ArityMismatchThrows) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, HeaderAfterRowsThrows) {
+  TablePrinter t;
+  t.AddRow({"x"});
+  EXPECT_THROW(t.SetHeader({"a"}), std::logic_error);
+}
+
+TEST(TablePrinterTest, NoTitleOmitsBanner) {
+  TablePrinter t;
+  t.SetHeader({"a"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.ToString().find("=="), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t;
+  t.SetHeader({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fdevolve::util

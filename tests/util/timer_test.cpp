@@ -1,0 +1,66 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  double a = t.ElapsedMs();
+  double b = t.ElapsedMs();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleep) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedMs(), 15.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.ElapsedMs(), 15.0);
+}
+
+TEST(TimerTest, SecondsMatchesMs) {
+  Timer t;
+  double ms = t.ElapsedMs();
+  double s = t.ElapsedSeconds();
+  EXPECT_NEAR(s, ms / 1000.0, 0.01);
+}
+
+TEST(FormatDurationTest, MillisecondsOnly) {
+  EXPECT_EQ(FormatDurationMs(5), "5ms");
+  EXPECT_EQ(FormatDurationMs(0), "0ms");
+  EXPECT_EQ(FormatDurationMs(999), "999ms");
+}
+
+TEST(FormatDurationTest, SecondsAndMs) {
+  EXPECT_EQ(FormatDurationMs(1276), "1s 276ms");
+  EXPECT_EQ(FormatDurationMs(20657), "20s 657ms");
+}
+
+TEST(FormatDurationTest, MinutesLikeThePaper) {
+  // Table 5: "9m 42s 708ms".
+  EXPECT_EQ(FormatDurationMs(582708), "9m 42s 708ms");
+  EXPECT_EQ(FormatDurationMs(60000), "1m 0s 0ms");
+}
+
+TEST(FormatDurationTest, HoursLikeThePaper) {
+  // Table 5: "1h 59m 19s 884ms".
+  EXPECT_EQ(FormatDurationMs(7159884), "1h 59m 19s 884ms");
+}
+
+TEST(FormatDurationTest, RoundsFractionalMs) {
+  EXPECT_EQ(FormatDurationMs(4.6), "5ms");
+  EXPECT_EQ(FormatDurationMs(4.4), "4ms");
+}
+
+}  // namespace
+}  // namespace fdevolve::util
