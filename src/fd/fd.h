@@ -49,6 +49,7 @@ class Fd {
   std::string ToString(const relation::Schema& schema) const;
 
   bool operator==(const Fd& o) const { return lhs_ == o.lhs_ && rhs_ == o.rhs_; }
+  bool operator!=(const Fd& o) const { return !(*this == o); }
 
  private:
   relation::AttrSet lhs_;

@@ -42,6 +42,7 @@ class Value {
   /// < strings (lexicographic). Equality is exact (no int/double coercion
   /// across types with different representations).
   bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const;
 
   /// Stable hash consistent with operator==.

@@ -112,6 +112,59 @@ TEST(MeasuresTest, SharedEvaluatorGivesSameAnswers) {
   EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
 }
 
+TEST(MeasuresTest, EpsilonCbOnEmptyRelationIsZero) {
+  // Vacuous case: no tuples means confidence 1 and goodness 0, so the
+  // combined ε_CB measure is 0 — an empty instance violates nothing.
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation r("e", schema);
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(r, f);
+  EXPECT_DOUBLE_EQ(m.confidence, 1.0);
+  EXPECT_DOUBLE_EQ(m.inconsistency(), 0.0);
+  EXPECT_EQ(m.abs_goodness(), 0u);
+  EXPECT_DOUBLE_EQ(m.epsilon_cb(), 0.0);
+}
+
+TEST(MeasuresTest, EpsilonCbWithNegativeGoodness) {
+  // a constant, b takes 3 values: |π_a| = 1, |π_ab| = 3, |π_b| = 3, so
+  // g = 1 − 3 = −2 and ε_CB = (1 − 1/3) + |−2|.
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation r("neg", schema);
+  r.AppendRow({int64_t{7}, int64_t{1}});
+  r.AppendRow({int64_t{7}, int64_t{2}});
+  r.AppendRow({int64_t{7}, int64_t{3}});
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(r, f);
+  EXPECT_EQ(m.goodness, -2);
+  EXPECT_EQ(m.abs_goodness(), 2u);
+  EXPECT_DOUBLE_EQ(m.confidence, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.epsilon_cb(), (1.0 - 1.0 / 3.0) + 2.0);
+}
+
+TEST(MeasuresTest, EpsilonCbZeroIffBijective) {
+  // a ↔ b is a bijection: exact, |π_a| == |π_b|, so ε_CB == 0.
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  Relation bij("bij", schema);
+  bij.AppendRow({int64_t{1}, "x"});
+  bij.AppendRow({int64_t{2}, "y"});
+  bij.AppendRow({int64_t{3}, "z"});
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  FdMeasures m = ComputeMeasures(bij, f);
+  EXPECT_TRUE(m.exact);
+  EXPECT_DOUBLE_EQ(m.epsilon_cb(), 0.0);
+
+  // Exact but many-to-one (two a-values share b = "x"): g = 3 − 2 = 1 > 0,
+  // so ε_CB > 0 even though the FD holds — exactness alone is not enough.
+  Relation surj("surj", schema);
+  surj.AppendRow({int64_t{1}, "x"});
+  surj.AppendRow({int64_t{2}, "x"});
+  surj.AppendRow({int64_t{3}, "z"});
+  FdMeasures ms = ComputeMeasures(surj, f);
+  EXPECT_TRUE(ms.exact);
+  EXPECT_EQ(ms.goodness, 1);
+  EXPECT_GT(ms.epsilon_cb(), 0.0);
+}
+
 TEST(MeasuresTest, ConfidenceNeverExceedsOne) {
   // |π_X| <= |π_XY| always, so confidence <= 1.
   Relation r = MakeRel();

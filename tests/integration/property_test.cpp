@@ -5,6 +5,7 @@
 #include "datagen/synthetic.h"
 #include "fd/repair_search.h"
 #include "query/distinct.h"
+#include "support/fuzz_seed.h"
 #include "util/rng.h"
 
 namespace fdevolve {
@@ -35,10 +36,17 @@ Relation RandomRelation(uint64_t seed, int n_attrs, size_t n_tuples,
   return rel;
 }
 
-class RandomInstanceProperty : public ::testing::TestWithParam<uint64_t> {};
+// Parameterized by case *index*; the actual seed derives from the binary's
+// base seed (--seed / FDEVOLVE_SEED) at run time. Indices keep the gtest
+// case names stable so the names CTest discovered at build time still match
+// whatever seed a later run uses.
+class RandomInstanceProperty : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return testsupport::DeriveSeed(GetParam()); }
+};
 
 TEST_P(RandomInstanceProperty, ConfidenceInUnitIntervalAndMonotone) {
-  Relation rel = RandomRelation(GetParam(), 6, 300, 5);
+  Relation rel = RandomRelation(seed(), 6, 300, 5);
   query::DistinctEvaluator eval(rel);
   for (int x = 0; x < 6; ++x) {
     for (int y = 0; y < 6; ++y) {
@@ -63,7 +71,7 @@ TEST_P(RandomInstanceProperty, ConfidenceInUnitIntervalAndMonotone) {
 TEST_P(RandomInstanceProperty, ExactIffDefinitionTwoHolds) {
   // Cross-check the confidence-based exactness against a brute-force
   // check of Definition 2 (pairwise tuples).
-  Relation rel = RandomRelation(GetParam() + 100, 4, 60, 3);
+  Relation rel = RandomRelation(seed() + 100, 4, 60, 3);
   for (int x = 0; x < 4; ++x) {
     for (int y = 0; y < 4; ++y) {
       if (x == y) continue;
@@ -89,7 +97,7 @@ TEST_P(RandomInstanceProperty, SupersetOfRepairIsExact) {
   spec.n_attrs = 7;
   spec.n_tuples = 400;
   spec.repair_length = 1;
-  spec.seed = GetParam();
+  spec.seed = seed();
   auto rel = datagen::MakeSynthetic(spec);
   fd::Fd base = datagen::SyntheticFd(rel.schema());
   fd::Fd repaired = base.WithAntecedent(rel.schema().Require("D1"));
@@ -102,7 +110,7 @@ TEST_P(RandomInstanceProperty, SupersetOfRepairIsExact) {
 TEST_P(RandomInstanceProperty, SearchResultsAreSound) {
   // Every repair returned by the search is exact, disjoint from the FD,
   // drawn from the candidate pool, and minimal w.r.t. the result set.
-  Relation rel = RandomRelation(GetParam() + 7, 6, 120, 3);
+  Relation rel = RandomRelation(seed() + 7, 6, 120, 3);
   fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
   fd::RepairOptions opts;
   opts.mode = fd::SearchMode::kAllRepairs;
@@ -125,7 +133,7 @@ TEST_P(RandomInstanceProperty, SearchResultsAreSound) {
 TEST_P(RandomInstanceProperty, SearchIsCompleteOnSmallPools) {
   // Brute-force all subsets of a 4-attribute pool and compare with the
   // search's minimal-repair set.
-  Relation rel = RandomRelation(GetParam() + 13, 6, 80, 2);
+  Relation rel = RandomRelation(seed() + 13, 6, 80, 2);
   fd::Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
   AttrSet pool = fd::CandidatePool(rel, f);
   auto pool_v = pool.ToVector();
@@ -164,9 +172,9 @@ TEST_P(RandomInstanceProperty, SearchIsCompleteOnSmallPools) {
 }
 
 TEST_P(RandomInstanceProperty, EvaluatorAgreesWithScratchCounts) {
-  Relation rel = RandomRelation(GetParam() + 23, 5, 200, 4);
+  Relation rel = RandomRelation(seed() + 23, 5, 200, 4);
   query::DistinctEvaluator eval(rel);
-  util::Rng rng(GetParam());
+  util::Rng rng(seed());
   for (int trial = 0; trial < 20; ++trial) {
     AttrSet s;
     for (int a = 0; a < 5; ++a) {
@@ -177,7 +185,7 @@ TEST_P(RandomInstanceProperty, EvaluatorAgreesWithScratchCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceProperty,
-                         ::testing::Range<uint64_t>(1, 9));
+                         ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace fdevolve

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "relation/attr_set.h"
+#include "support/fuzz_seed.h"
 #include "util/rng.h"
 
 namespace fdevolve::relation {
@@ -15,10 +16,17 @@ std::set<int> ToStdSet(const AttrSet& s) {
   return std::set<int>(v.begin(), v.end());
 }
 
-class AttrSetFuzz : public ::testing::TestWithParam<uint64_t> {};
+// Parameterized by case *index*; the actual seed derives from the binary's
+// base seed (--seed / FDEVOLVE_SEED) at run time. Indices keep the gtest
+// case names stable so the names CTest discovered at build time still match
+// whatever seed a later run uses.
+class AttrSetFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return testsupport::DeriveSeed(GetParam()); }
+};
 
 TEST_P(AttrSetFuzz, RandomOpSequenceMatchesReference) {
-  util::Rng rng(GetParam());
+  util::Rng rng(seed());
   AttrSet subject;
   std::set<int> reference;
 
@@ -47,7 +55,7 @@ TEST_P(AttrSetFuzz, RandomOpSequenceMatchesReference) {
 }
 
 TEST_P(AttrSetFuzz, SetAlgebraMatchesReference) {
-  util::Rng rng(GetParam() + 99);
+  util::Rng rng(seed() + 99);
   auto random_set = [&](double density) {
     AttrSet s;
     for (int i = 0; i < AttrSet::kMaxAttrs; ++i) {
@@ -85,7 +93,7 @@ TEST_P(AttrSetFuzz, SetAlgebraMatchesReference) {
 }
 
 TEST_P(AttrSetFuzz, AlgebraicIdentities) {
-  util::Rng rng(GetParam() + 7);
+  util::Rng rng(seed() + 7);
   AttrSet a;
   AttrSet b;
   for (int i = 0; i < AttrSet::kMaxAttrs; ++i) {
@@ -101,7 +109,7 @@ TEST_P(AttrSetFuzz, AlgebraicIdentities) {
             a.Count() + b.Count());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, AttrSetFuzz, ::testing::Range<uint64_t>(1, 7));
+INSTANTIATE_TEST_SUITE_P(Seeds, AttrSetFuzz, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace fdevolve::relation

@@ -1,0 +1,35 @@
+// Custom GoogleTest main for the fuzz-labeled suites: accepts --seed=N (or
+// the FDEVOLVE_SEED env var) and fixes the base seed *before* InitGoogleTest
+// registers the parameterized cases, so the derived per-case seeds — and any
+// failure — are reproducible from the printed replay line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/fuzz_seed.h"
+
+int main(int argc, char** argv) {
+  // Consume --seed=N / --seed N, compacting argv so GoogleTest never sees it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      fdevolve::testsupport::SetBaseSeed(std::strtoull(arg + 7, nullptr, 0));
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      fdevolve::testsupport::SetBaseSeed(std::strtoull(argv[i + 1], nullptr, 0));
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+
+  const unsigned long long seed =
+      static_cast<unsigned long long>(fdevolve::testsupport::BaseSeed());
+  std::printf("fuzz base seed: %llu (replay with --seed=%llu)\n", seed, seed);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,52 @@
+#include "support/fuzz_seed.h"
+
+#include <cstdlib>
+
+namespace fdevolve::testsupport {
+namespace {
+
+uint64_t g_base_seed = 0;
+bool g_base_seed_set = false;
+
+// splitmix64 — fully specified, so derived seeds match across platforms.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t BaseSeed() {
+  if (!g_base_seed_set) {
+    const char* env = std::getenv("FDEVOLVE_SEED");
+    if (env != nullptr && *env != '\0') {
+      SetBaseSeed(std::strtoull(env, nullptr, 0));
+    } else {
+      SetBaseSeed(kDefaultSeed);
+    }
+  }
+  return g_base_seed;
+}
+
+void SetBaseSeed(uint64_t seed) {
+  g_base_seed = seed;
+  g_base_seed_set = true;
+}
+
+uint64_t DeriveSeed(int index) { return DeriveSeeds(index + 1).back(); }
+
+std::vector<uint64_t> DeriveSeeds(int n) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(static_cast<size_t>(n));
+  uint64_t state = BaseSeed();
+  for (int i = 0; i < n; ++i) {
+    uint64_t s = SplitMix64(state);
+    seeds.push_back(s == 0 ? 1 : s);
+  }
+  return seeds;
+}
+
+}  // namespace fdevolve::testsupport

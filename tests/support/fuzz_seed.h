@@ -1,0 +1,38 @@
+// Reproducible seeding for the fuzz/property suites.
+//
+// Every randomized test derives its per-case seeds from one base seed so a
+// failure can be replayed exactly. Resolution order for the base seed:
+//
+//   1. `--seed=N` on the test binary's command line (parsed by fuzz_main.cpp
+//      before GoogleTest sees argv),
+//   2. the FDEVOLVE_SEED environment variable,
+//   3. a fixed default, so plain `ctest` runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fdevolve::testsupport {
+
+/// The fixed default base seed used when neither --seed nor FDEVOLVE_SEED
+/// is given.
+inline constexpr uint64_t kDefaultSeed = 0x5eedfd16ULL;
+
+/// The resolved base seed for this process.
+uint64_t BaseSeed();
+
+/// Overrides the base seed (used by fuzz_main.cpp for --seed).
+void SetBaseSeed(uint64_t seed);
+
+/// `n` per-case seeds derived deterministically from BaseSeed() via
+/// splitmix64, suitable for ::testing::ValuesIn. Seeds are non-zero.
+std::vector<uint64_t> DeriveSeeds(int n);
+
+/// The `index`-th derived seed (== DeriveSeeds(index + 1).back()).
+///
+/// Parameterized fuzz suites take the case *index* as their parameter and
+/// call this in the test body: gtest_discover_tests bakes test names into
+/// CTest at build time, so names must not depend on the runtime seed.
+uint64_t DeriveSeed(int index);
+
+}  // namespace fdevolve::testsupport
