@@ -41,6 +41,39 @@ void BM_DistinctSort(benchmark::State& state) {
 }
 BENCHMARK(BM_DistinctSort)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_DistinctSingleColumn(benchmark::State& state) {
+  // The single-column fast path answers from the dictionary: time must be
+  // flat across relation sizes (no per-tuple work at all).
+  auto rel = MakeRel(state.range(0));
+  auto attrs = relation::AttrSet::Of({3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::DistinctCount(rel, attrs, query::DistinctStrategy::kHash));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistinctSingleColumn)->Arg(1000)->Arg(100000);
+
+void BM_CountOnlyVsMaterialize_CountOnly(benchmark::State& state) {
+  auto rel = MakeRel(100000);
+  auto attrs = relation::AttrSet::Of({0, 2, 3});
+  query::RefineScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::GroupCountBy(rel, attrs, scratch));
+  }
+}
+BENCHMARK(BM_CountOnlyVsMaterialize_CountOnly);
+
+void BM_CountOnlyVsMaterialize_Materialize(benchmark::State& state) {
+  auto rel = MakeRel(100000);
+  auto attrs = relation::AttrSet::Of({0, 2, 3});
+  query::RefineScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::GroupBy(rel, attrs, scratch).group_count);
+  }
+}
+BENCHMARK(BM_CountOnlyVsMaterialize_Materialize);
+
 void BM_GroupByWideSet(benchmark::State& state) {
   auto rel = MakeRel(20000);
   auto attrs = relation::AttrSet::Of({0, 1, 2, 3, 4, 5, 6, 7});

@@ -9,19 +9,21 @@ std::vector<EbCandidate> RankEb(const relation::Relation& rel,
                                 const relation::AttrSet& pool,
                                 EbVariant variant) {
   // Ground truth: C_XY (§5). Built once; each candidate costs one
-  // refinement of C_X plus two entropy passes.
-  const Clustering ground_truth(rel, fd.AllAttrs());
-  const query::Grouping base_x = query::GroupBy(rel, fd.lhs());
+  // refinement of C_X plus two entropy passes. One scratch arena serves
+  // every refinement pass in the loop.
+  query::RefineScratch scratch;
+  const Clustering ground_truth(query::GroupBy(rel, fd.AllAttrs(), scratch));
+  const query::Grouping base_x = query::GroupBy(rel, fd.lhs(), scratch);
 
   std::vector<EbCandidate> out;
   out.reserve(static_cast<size_t>(pool.Count()));
   for (int a : pool.ToVector()) {
     EbCandidate c;
     c.attr = a;
-    Clustering c_xa(query::RefineBy(rel, base_x, a));
+    Clustering c_xa(query::RefineBy(rel, base_x, a, scratch));
     relation::AttrSet only_a;
     only_a.Add(a);
-    Clustering c_a(rel, only_a);
+    Clustering c_a(query::GroupBy(rel, only_a, scratch));
     c.h_xy_given_xa = ConditionalEntropy(ground_truth, c_xa);
     c.h_a_given_xy = ConditionalEntropy(c_a, ground_truth);
     c.vi = VariationOfInformation(ground_truth, c_xa);

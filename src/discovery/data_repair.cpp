@@ -13,8 +13,9 @@ DataRepairResult RepairByDeletion(const relation::Relation& rel,
   const size_t n = rel.tuple_count();
   if (n == 0) return result;
 
-  query::Grouping gx = query::GroupBy(rel, fd.lhs());
-  query::Grouping gxy = query::RefineBy(rel, gx, fd.rhs());
+  query::RefineScratch scratch;
+  query::Grouping gx = query::GroupBy(rel, fd.lhs(), scratch);
+  query::Grouping gxy = query::RefineBy(rel, gx, fd.rhs(), scratch);
 
   // Per X-cluster: size of each XY-class; keep the largest one.
   std::vector<size_t> xy_size(gxy.group_count, 0);
@@ -109,8 +110,9 @@ DataRepairResult RepairAllByDeletion(const relation::Relation& rel,
 size_t CountViolatingPairs(const relation::Relation& rel, const fd::Fd& fd) {
   const size_t n = rel.tuple_count();
   if (n == 0) return 0;
-  query::Grouping gx = query::GroupBy(rel, fd.lhs());
-  query::Grouping gxy = query::RefineBy(rel, gx, fd.rhs());
+  query::RefineScratch scratch;
+  query::Grouping gx = query::GroupBy(rel, fd.lhs(), scratch);
+  query::Grouping gxy = query::RefineBy(rel, gx, fd.rhs(), scratch);
 
   // Pairs sharing X minus pairs sharing XY.
   std::vector<size_t> x_size(gx.group_count, 0);

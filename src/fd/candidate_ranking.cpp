@@ -24,6 +24,9 @@ relation::AttrSet CandidatePool(const relation::Relation& rel, const Fd& fd,
 std::vector<Candidate> ExtendByOne(query::DistinctEvaluator& eval,
                                    const Fd& fd,
                                    const relation::AttrSet& pool) {
+  // Warm the shared bases: every candidate's counts refine C_X and C_XY.
+  eval.GroupFor(fd.lhs());
+  eval.GroupFor(fd.AllAttrs());
   std::vector<Candidate> out;
   out.reserve(static_cast<size_t>(pool.Count()));
   for (int a : pool.ToVector()) {

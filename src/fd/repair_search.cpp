@@ -70,6 +70,12 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
     return result;
   }
 
+  // Warm the evaluator with the groupings every candidate refines from:
+  // C_X for the |π_XA| counts and C_XY for the |π_XAY| counts. With both
+  // cached, evaluating a candidate is two count-only refinement passes.
+  eval.GroupFor(fd.lhs());
+  eval.GroupFor(fd.AllAttrs());
+
   const relation::AttrSet pool = CandidatePool(rel, fd, opts.pool);
   const int max_depth =
       opts.max_added_attrs > 0
@@ -126,7 +132,10 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
         // fallback; keep searching for one within.
         return has_threshold ? have_within_threshold : !result.repairs.empty();
       case SearchMode::kTopK:
-        return result.repairs.size() >= opts.top_k;
+        // top_k == 0 means "unlimited" (same as kAllRepairs); without this
+        // the search would stop before evaluating anything and report an
+        // exhausted, repair-free result.
+        return opts.top_k != 0 && result.repairs.size() >= opts.top_k;
       case SearchMode::kAllRepairs:
         return false;
     }
@@ -177,10 +186,6 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
     if (!keep_going) break;
   }
 
-  if (!frontier.empty() &&
-      (opts.mode == SearchMode::kAllRepairs) && !done()) {
-    // We left the loop with work remaining only if a limit fired.
-  }
   if (opts.max_evaluations != 0 &&
       result.stats.candidates_evaluated >= opts.max_evaluations) {
     result.stats.exhausted = false;

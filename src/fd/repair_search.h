@@ -30,7 +30,8 @@ enum class SearchMode {
 /// Tuning knobs for one Extend run.
 struct RepairOptions {
   SearchMode mode = SearchMode::kAllRepairs;
-  size_t top_k = 3;  ///< used by SearchMode::kTopK
+  size_t top_k = 3;  ///< used by SearchMode::kTopK; 0 means unlimited
+                     ///< (equivalent to kAllRepairs)
 
   /// Maximum number of attributes to add to the antecedent (search depth).
   /// 0 means "up to the whole pool". The paper's algorithm is unbounded;

@@ -1,28 +1,43 @@
 #include "query/distinct.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace fdevolve::query {
 namespace {
 
 size_t SortDistinct(const relation::Relation& rel,
                     const relation::AttrSet& attrs) {
-  size_t n = rel.tuple_count();
+  const size_t n = rel.tuple_count();
   if (n == 0) return 0;
-  auto cols = attrs.ToVector();
+  const auto cols = attrs.ToVector();
   if (cols.empty()) return 1;
+  const size_t k = cols.size();
 
-  // Materialize composite keys, sort, count boundaries. This mirrors what a
-  // sort-based COUNT DISTINCT plan does in a DBMS.
-  std::vector<std::vector<uint32_t>> keys(n);
-  for (size_t t = 0; t < n; ++t) {
-    keys[t].reserve(cols.size());
-    for (int c : cols) keys[t].push_back(rel.column(c).code(t));
+  // One flat row-major key buffer + an index sort. This mirrors what a
+  // sort-based COUNT DISTINCT plan does in a DBMS, without the per-row
+  // vector allocations a naive materialization would pay.
+  std::vector<uint32_t> keys(n * k);
+  for (size_t j = 0; j < k; ++j) {
+    const auto& codes = rel.column(cols[j]).codes();
+    for (size_t t = 0; t < n; ++t) keys[t * k + j] = codes[t];
   }
-  std::sort(keys.begin(), keys.end());
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  auto row = [&](uint32_t t) { return keys.data() + static_cast<size_t>(t) * k; };
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const uint32_t* pa = row(a);
+    const uint32_t* pb = row(b);
+    for (size_t j = 0; j < k; ++j) {
+      if (pa[j] != pb[j]) return pa[j] < pb[j];
+    }
+    return false;
+  });
   size_t distinct = 1;
   for (size_t t = 1; t < n; ++t) {
-    if (keys[t] != keys[t - 1]) ++distinct;
+    if (!std::equal(row(order[t]), row(order[t]) + k, row(order[t - 1]))) {
+      ++distinct;
+    }
   }
   return distinct;
 }
@@ -33,41 +48,91 @@ size_t DistinctCount(const relation::Relation& rel,
                      const relation::AttrSet& attrs,
                      DistinctStrategy strategy) {
   if (strategy == DistinctStrategy::kSort) return SortDistinct(rel, attrs);
-  return GroupBy(rel, attrs).group_count;
+  return GroupCountBy(rel, attrs);
 }
 
 size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
-  return GroupFor(attrs).group_count;
+  if (auto memo = counts_.find(attrs); memo != counts_.end()) {
+    return memo->second;
+  }
+  size_t result;
+  if (rel_.tuple_count() == 0 || attrs.Empty() || attrs.Count() == 1) {
+    // O(1) via the dictionary fast path; not worth counting as a miss.
+    result = GroupCountBy(rel_, attrs, scratch_);
+  } else if (auto it = cache_.find(attrs); it != cache_.end()) {
+    result = it->second.group_count;
+  } else {
+    ++misses_;
+    SubsetMatch best = BestCachedSubset(attrs);
+    relation::AttrSet gap = best.key ? attrs.Minus(*best.key) : attrs;
+    if (gap.Count() <= 1) {
+      result = RefineCountBy(rel_, *best.grouping, gap, scratch_);
+    } else {
+      // Materialize all but one missing attribute: the repair search asks
+      // for |π_XA_1Y|, |π_XA_2Y|, ... and this caches the shared base once
+      // instead of regrouping it per sibling. Prefer dropping an attribute
+      // whose complement is already cached (the shared base may sit on
+      // either side of the index order); otherwise drop the largest.
+      const auto gap_attrs = gap.ToVector();
+      int dropped = gap_attrs.back();
+      for (int a : gap_attrs) {
+        relation::AttrSet head = attrs;
+        head.Remove(a);
+        if (cache_.find(head) != cache_.end()) {
+          dropped = a;
+          break;
+        }
+      }
+      relation::AttrSet head = attrs;
+      head.Remove(dropped);
+      const Grouping& base = GroupFor(head);
+      relation::AttrSet tail;
+      tail.Add(dropped);
+      result = RefineCountBy(rel_, base, tail, scratch_);
+    }
+  }
+  counts_.emplace(attrs, result);
+  return result;
 }
 
 const Grouping& DistinctEvaluator::GroupFor(const relation::AttrSet& attrs) {
-  auto it = cache_.find(attrs);
-  if (it != cache_.end()) return it->second;
+  if (auto it = cache_.find(attrs); it != cache_.end()) return it->second;
   ++misses_;
+  SubsetMatch best = BestCachedSubset(attrs);
+  Grouping g = best.key
+                   ? RefineBy(rel_, *best.grouping, attrs.Minus(*best.key),
+                              scratch_)
+                   : GroupBy(rel_, attrs, scratch_);
+  return Insert(attrs, std::move(g));
+}
 
-  // Find the largest cached subset to refine from; fall back to scratch.
-  // A linear scan over the cache is fine: the cache holds one entry per
-  // *evaluated* attribute set, and each lookup saves a full O(n·|attrs|)
-  // regroup when it hits.
-  const relation::AttrSet* best_key = nullptr;
-  const Grouping* best = nullptr;
-  int best_count = -1;
-  for (const auto& [key, grouping] : cache_) {
-    if (key.SubsetOf(attrs)) {
-      int c = key.Count();
-      if (c > best_count) {
-        best_count = c;
-        best_key = &key;
-        best = &grouping;
+DistinctEvaluator::SubsetMatch DistinctEvaluator::BestCachedSubset(
+    const relation::AttrSet& attrs) const {
+  SubsetMatch m;
+  int top = std::min<int>(attrs.Count(), static_cast<int>(by_size_.size()) - 1);
+  for (int c = top; c >= 0 && m.key == nullptr; --c) {
+    for (const relation::AttrSet& key : by_size_[static_cast<size_t>(c)]) {
+      if (key.SubsetOf(attrs)) {
+        auto it = cache_.find(key);
+        m.key = &it->first;
+        m.grouping = &it->second;
+        break;
       }
     }
   }
+  return m;
+}
 
-  Grouping g = (best != nullptr)
-                   ? RefineBy(rel_, *best, attrs.Minus(*best_key))
-                   : GroupBy(rel_, attrs);
-  auto [ins, _] = cache_.emplace(attrs, std::move(g));
-  return ins->second;
+const Grouping& DistinctEvaluator::Insert(const relation::AttrSet& attrs,
+                                          Grouping g) {
+  counts_.emplace(attrs, g.group_count);
+  auto [it, inserted] = cache_.emplace(attrs, std::move(g));
+  if (inserted) {
+    const auto bucket = static_cast<size_t>(attrs.Count());
+    if (by_size_.size() <= bucket) by_size_.resize(bucket + 1);
+    by_size_[bucket].push_back(attrs);
+  }
+  return it->second;
 }
 
 }  // namespace fdevolve::query

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
+#include <vector>
 
 #include "query/group_ids.h"
 #include "relation/relation.h"
@@ -15,12 +17,14 @@ namespace fdevolve::query {
 
 /// Strategy used by DistinctCount.
 enum class DistinctStrategy {
-  kHash,  ///< partition refinement with hash tables (default)
+  kHash,  ///< partition refinement (dense / open-addressing; default)
   kSort,  ///< sort composite keys, then count boundaries
 };
 
 /// |π_attrs(rel)| — the number of distinct projected tuples.
 /// Empty attrs yields 1 on non-empty relations, 0 on empty ones.
+/// The hash strategy is count-only: it never materializes group ids, and a
+/// single attribute is answered from the column dictionary in O(1).
 size_t DistinctCount(const relation::Relation& rel,
                      const relation::AttrSet& attrs,
                      DistinctStrategy strategy = DistinctStrategy::kHash);
@@ -28,11 +32,23 @@ size_t DistinctCount(const relation::Relation& rel,
 /// Batched evaluator with a per-instance memo. The repair search asks for
 /// |π_X|, |π_XY|, |π_XA|, |π_XAY| over many overlapping sets; memoising the
 /// groupings turns each new query into one refinement pass.
+///
+/// Two tiers of memoisation:
+///   * GroupFor() materializes and caches full groupings, indexed by
+///     popcount so the best cached subset to refine from is found without
+///     scanning the whole cache;
+///   * Count() is count-only — the final refinement pass never writes ids.
+///     It memoises the resulting cardinality, refines from the largest
+///     cached grouping, and when more than one attribute is missing it
+///     materializes all but the last so sibling queries (the search's
+///     XA_iY pattern) share the base.
+/// Scratch buffers are owned by the evaluator and reused across passes, so
+/// steady-state queries allocate only when a grouping enters the cache.
 class DistinctEvaluator {
  public:
   explicit DistinctEvaluator(const relation::Relation& rel) : rel_(rel) {}
 
-  /// |π_attrs(rel)| with memoisation.
+  /// |π_attrs(rel)| with memoisation (count-only; see class comment).
   size_t Count(const relation::AttrSet& attrs);
 
   /// Memoised grouping for an attribute set (shared with clustering code).
@@ -41,14 +57,29 @@ class DistinctEvaluator {
   /// Number of memoised groupings (exposed for tests / instrumentation).
   size_t cache_size() const { return cache_.size(); }
 
-  /// Total number of grouping computations performed (cache misses).
+  /// Total number of grouping/count computations performed (cache misses).
   size_t miss_count() const { return misses_; }
 
   const relation::Relation& rel() const { return rel_; }
 
  private:
+  struct SubsetMatch {
+    const relation::AttrSet* key = nullptr;
+    const Grouping* grouping = nullptr;
+  };
+
+  /// Largest cached subset of `attrs` (including `attrs` itself), found by
+  /// walking the popcount buckets from |attrs| downward.
+  SubsetMatch BestCachedSubset(const relation::AttrSet& attrs) const;
+
+  const Grouping& Insert(const relation::AttrSet& attrs, Grouping g);
+
   const relation::Relation& rel_;
   std::unordered_map<relation::AttrSet, Grouping, relation::AttrSetHash> cache_;
+  std::unordered_map<relation::AttrSet, size_t, relation::AttrSetHash> counts_;
+  /// Cache keys bucketed by AttrSet::Count() — the subset-search index.
+  std::vector<std::vector<relation::AttrSet>> by_size_;
+  RefineScratch scratch_;
   size_t misses_ = 0;
 };
 

@@ -1,76 +1,252 @@
 #include "query/group_ids.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
-#include <unordered_map>
-
-#include "util/hash.h"
+#include <string>
 
 namespace fdevolve::query {
 namespace {
 
-/// One refinement pass: combine current ids with a column's codes.
-Grouping RefineByCodes(const Grouping& base, const std::vector<uint32_t>& codes) {
-  Grouping out;
-  out.ids.resize(base.ids.size());
-  // (id, code) -> new dense id.
-  std::unordered_map<uint64_t, uint32_t> next;
-  next.reserve(base.group_count * 2 + 16);
-  uint32_t fresh = 0;
-  for (size_t t = 0; t < base.ids.size(); ++t) {
-    uint64_t key = (static_cast<uint64_t>(base.ids[t]) << 32) | codes[t];
-    auto [it, inserted] = next.emplace(key, fresh);
-    if (inserted) ++fresh;
-    out.ids[t] = it->second;
-  }
-  out.group_count = fresh;
-  return out;
+constexpr uint32_t kNoId = util::FlatIdTable::kVacant;
+
+/// Dense-path admission test: the direct-indexed array costs one O(cells)
+/// clear per pass, so it must stay within a small multiple of the per-tuple
+/// work. Small absolute sizes are always allowed (the clear is free next to
+/// the scan), larger ones only while cells stay O(n).
+bool UseDense(size_t groups, size_t stride, size_t n) {
+  if (stride == 0) return false;
+  if (groups > (std::numeric_limits<size_t>::max)() / stride) return false;
+  size_t cells = groups * stride;
+  return cells <= std::max<size_t>(size_t{1} << 16, 4 * n);
 }
 
-Grouping TrivialGrouping(size_t n) {
-  Grouping g;
-  g.ids.assign(n, 0);
-  g.group_count = n == 0 ? 0 : 1;
-  return g;
+/// One refinement pass: combines `base_ids` (nullptr = the trivial one-group
+/// partition) with `col`'s dictionary codes. Writes the refined ids to `out`
+/// unless it is nullptr (count-only), and returns the refined group count.
+/// `out` may alias `base_ids`: each slot is read before it is written.
+size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
+                  const relation::Column& col, size_t n, RefineScratch& s,
+                  uint32_t* out) {
+  if (n == 0) return 0;
+  const uint32_t* codes = col.codes().data();
+  const size_t dict = col.dict_size();
+  const size_t stride = dict + (col.has_nulls() ? 1 : 0);
+  uint32_t fresh = 0;
+  if (UseDense(base_groups, stride, n)) {
+    const size_t cells = base_groups * stride;
+    if (s.dense.size() < cells) s.dense.resize(cells);
+    std::fill(s.dense.begin(), s.dense.begin() + static_cast<ptrdiff_t>(cells),
+              kNoId);
+    for (size_t t = 0; t < n; ++t) {
+      const uint32_t code = codes[t];
+      const size_t c = code == relation::kNullCode ? dict : code;
+      const size_t id_in = base_ids ? base_ids[t] : 0u;
+      // Grouping is an open struct, so a hand-built base can lie about its
+      // group_count; the direct-indexed path must not turn that into an
+      // out-of-bounds write. One predictable branch per tuple.
+      if (id_in >= base_groups) {
+        throw std::invalid_argument("RefinePass: group id out of range");
+      }
+      const size_t cell = id_in * stride + c;
+      uint32_t id = s.dense[cell];
+      if (id == kNoId) {
+        id = fresh++;
+        s.dense[cell] = id;
+      }
+      if (out != nullptr) out[t] = id;
+    }
+  } else {
+    s.table.Reset(n);  // a pass introduces at most n distinct (id, code) pairs
+    for (size_t t = 0; t < n; ++t) {
+      const size_t id_in = base_ids ? base_ids[t] : 0u;
+      // Same contract as the dense branch: reject ids >= group_count, so a
+      // malformed base fails identically regardless of which path runs.
+      if (id_in >= base_groups) {
+        throw std::invalid_argument("RefinePass: group id out of range");
+      }
+      const uint64_t key = (static_cast<uint64_t>(id_in) << 32) | codes[t];
+      bool inserted = false;
+      const uint32_t id = s.table.FindOrInsert(key, fresh, &inserted);
+      if (inserted) ++fresh;
+      if (out != nullptr) out[t] = id;
+    }
+  }
+  return fresh;
+}
+
+void CheckBase(const relation::Relation& rel, const Grouping& base,
+               const char* where) {
+  if (base.ids.size() != rel.tuple_count()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": grouping size mismatch");
+  }
 }
 
 }  // namespace
 
-Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs) {
-  Grouping g = TrivialGrouping(rel.tuple_count());
-  for (int a : attrs.ToVector()) {
-    g = RefineByCodes(g, rel.column(a).codes());
+Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs,
+                 RefineScratch& scratch) {
+  Grouping g;
+  const size_t n = rel.tuple_count();
+  if (n == 0) return g;
+  const auto cols = attrs.ToVector();
+  if (cols.empty()) {
+    g.ids.assign(n, 0);
+    g.group_count = 1;
+    return g;
   }
+  if (cols.size() == 1 && !rel.column(cols[0]).has_nulls()) {
+    // Dictionary codes are already dense ids in first-appearance order.
+    g.ids = rel.column(cols[0]).codes();
+    g.group_count = rel.column(cols[0]).dict_size();
+    return g;
+  }
+  g.ids.resize(n);
+  const uint32_t* base = nullptr;
+  size_t groups = 1;
+  for (int a : cols) {
+    groups = RefinePass(base, groups, rel.column(a), n, scratch, g.ids.data());
+    base = g.ids.data();
+  }
+  g.group_count = groups;
   return g;
+}
+
+Grouping GroupBy(const relation::Relation& rel,
+                 const relation::AttrSet& attrs) {
+  RefineScratch scratch;
+  return GroupBy(rel, attrs, scratch);
+}
+
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  int attr, RefineScratch& scratch) {
+  CheckBase(rel, base, "RefineBy");
+  Grouping out;
+  const size_t n = base.ids.size();
+  if (n == 0) return out;
+  out.ids.resize(n);
+  out.group_count = RefinePass(base.ids.data(), base.group_count,
+                               rel.column(attr), n, scratch, out.ids.data());
+  return out;
 }
 
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   int attr) {
-  if (base.ids.size() != rel.tuple_count()) {
-    throw std::invalid_argument("RefineBy: grouping size mismatch");
+  RefineScratch scratch;
+  return RefineBy(rel, base, attr, scratch);
+}
+
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  const relation::AttrSet& attrs, RefineScratch& scratch) {
+  CheckBase(rel, base, "RefineBy");
+  const size_t n = base.ids.size();
+  const auto cols = attrs.ToVector();
+  if (cols.empty() || n == 0) {
+    Grouping copy = base;
+    return copy;
   }
-  return RefineByCodes(base, rel.column(attr).codes());
+  Grouping out;
+  out.ids.resize(n);
+  const uint32_t* ids = base.ids.data();
+  size_t groups = base.group_count;
+  for (int a : cols) {
+    groups = RefinePass(ids, groups, rel.column(a), n, scratch, out.ids.data());
+    ids = out.ids.data();
+  }
+  out.group_count = groups;
+  return out;
 }
 
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   const relation::AttrSet& attrs) {
-  Grouping g = base;
-  for (int a : attrs.ToVector()) {
-    g = RefineByCodes(g, rel.column(a).codes());
+  RefineScratch scratch;
+  return RefineBy(rel, base, attrs, scratch);
+}
+
+size_t GroupCountBy(const relation::Relation& rel,
+                    const relation::AttrSet& attrs, RefineScratch& scratch) {
+  const size_t n = rel.tuple_count();
+  if (n == 0) return 0;
+  const auto cols = attrs.ToVector();
+  if (cols.empty()) return 1;
+  if (cols.size() == 1) {
+    // |π_A| falls straight out of the dictionary: no per-tuple work.
+    const auto& col = rel.column(cols[0]);
+    return col.dict_size() + (col.has_nulls() ? 1 : 0);
   }
-  return g;
+  scratch.chain_ids.resize(n);
+  uint32_t* ids = scratch.chain_ids.data();
+  const uint32_t* base = nullptr;
+  size_t groups = 1;
+  for (size_t i = 0; i + 1 < cols.size(); ++i) {
+    groups = RefinePass(base, groups, rel.column(cols[i]), n, scratch, ids);
+    base = ids;
+  }
+  return RefinePass(base, groups, rel.column(cols.back()), n, scratch,
+                    nullptr);
+}
+
+size_t GroupCountBy(const relation::Relation& rel,
+                    const relation::AttrSet& attrs) {
+  RefineScratch scratch;
+  return GroupCountBy(rel, attrs, scratch);
+}
+
+size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
+                     const relation::AttrSet& attrs, RefineScratch& scratch) {
+  CheckBase(rel, base, "RefineCountBy");
+  const size_t n = base.ids.size();
+  const auto cols = attrs.ToVector();
+  if (cols.empty() || n == 0) return base.group_count;
+  const uint32_t* ids = base.ids.data();
+  size_t groups = base.group_count;
+  if (cols.size() > 1) {
+    scratch.chain_ids.resize(n);
+    uint32_t* tmp = scratch.chain_ids.data();
+    for (size_t i = 0; i + 1 < cols.size(); ++i) {
+      groups = RefinePass(ids, groups, rel.column(cols[i]), n, scratch, tmp);
+      ids = tmp;
+    }
+  }
+  return RefinePass(ids, groups, rel.column(cols.back()), n, scratch, nullptr);
+}
+
+size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
+                     const relation::AttrSet& attrs) {
+  RefineScratch scratch;
+  return RefineCountBy(rel, base, attrs, scratch);
 }
 
 size_t JointGroupCount(const Grouping& a, const Grouping& b) {
   if (a.ids.size() != b.ids.size()) {
     throw std::invalid_argument("JointGroupCount: size mismatch");
   }
-  std::unordered_map<uint64_t, uint32_t> seen;
-  seen.reserve(a.group_count + b.group_count);
-  uint32_t fresh = 0;
-  for (size_t t = 0; t < a.ids.size(); ++t) {
-    uint64_t key = (static_cast<uint64_t>(a.ids[t]) << 32) | b.ids[t];
-    auto [it, inserted] = seen.emplace(key, fresh);
-    if (inserted) ++fresh;
+  const size_t n = a.ids.size();
+  if (n == 0) return 0;
+  size_t fresh = 0;
+  if (UseDense(a.group_count, b.group_count, n)) {
+    std::vector<uint32_t> dense(a.group_count * b.group_count, kNoId);
+    for (size_t t = 0; t < n; ++t) {
+      if (a.ids[t] >= a.group_count || b.ids[t] >= b.group_count) {
+        throw std::invalid_argument("JointGroupCount: group id out of range");
+      }
+      uint32_t& cell =
+          dense[static_cast<size_t>(a.ids[t]) * b.group_count + b.ids[t]];
+      if (cell == kNoId) cell = static_cast<uint32_t>(fresh++);
+    }
+  } else {
+    util::FlatIdTable table;
+    table.Reset(n);
+    for (size_t t = 0; t < n; ++t) {
+      if (a.ids[t] >= a.group_count || b.ids[t] >= b.group_count) {
+        throw std::invalid_argument("JointGroupCount: group id out of range");
+      }
+      const uint64_t key = (static_cast<uint64_t>(a.ids[t]) << 32) | b.ids[t];
+      bool inserted = false;
+      table.FindOrInsert(key, static_cast<uint32_t>(fresh), &inserted);
+      if (inserted) ++fresh;
+    }
   }
   return fresh;
 }

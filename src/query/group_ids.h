@@ -1,20 +1,48 @@
 // Dense group-id assignment: the shared primitive behind distinct counting
 // (CB method) and clustering construction (EB baseline).
+//
+// Every refinement pass combines the current group ids with one column's
+// dictionary codes. Two execution paths share that loop:
+//
+//   * dense — when group_count * (dict_size + has_nulls) is O(tuples), a
+//     direct-indexed scratch array maps (id, code) to the next id with no
+//     hashing at all;
+//   * flat  — otherwise an open-addressing table (util::FlatIdTable) keyed
+//     on (id << 32 | code) takes over; no per-node allocation, linear
+//     probing, power-of-two capacity.
+//
+// Both paths assign fresh ids in scan order, so ids remain deterministic
+// and dense in order of first appearance. Passing a RefineScratch lets
+// long-lived callers (DistinctEvaluator, the EB ranking loop) reuse the
+// scratch buffers across passes; the overloads without one are conveniences
+// that pay a fresh allocation.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "relation/relation.h"
+#include "util/flat_table.h"
 
 namespace fdevolve::query {
 
 /// Partition of the tuples of a relation by equality on an attribute set.
 /// `ids[t]` is a dense cluster id in [0, group_count); ids are assigned in
 /// order of first appearance, so they are deterministic for a given relation.
+/// Invariant (enforced by the refinement engine, required of hand-built
+/// instances): every id is < group_count.
 struct Grouping {
   std::vector<uint32_t> ids;
   size_t group_count = 0;
+};
+
+/// Reusable scratch buffers for refinement passes. Default-constructible and
+/// cheap when unused; a long-lived instance makes repeated GroupBy/RefineBy/
+/// count calls allocation-free in steady state.
+struct RefineScratch {
+  std::vector<uint32_t> dense;     ///< direct-indexed (id * stride + code) map
+  util::FlatIdTable table;         ///< open-addressing fallback
+  std::vector<uint32_t> chain_ids; ///< intermediate ids for count-only chains
 };
 
 /// Groups all tuples of `rel` by the attributes in `attrs`.
@@ -24,19 +52,42 @@ struct Grouping {
 /// NULLs compare equal to each other for grouping purposes; the FD layer
 /// never passes NULL-able attributes here, but the clustering layer may.
 ///
-/// Cost: O(tuples * |attrs|) expected, via per-attribute partition
-/// refinement with a hash table keyed on (current id, next code).
+/// A single NULL-free attribute is answered by copying the column's
+/// dictionary codes (already dense first-appearance ids); otherwise cost is
+/// O(tuples * |attrs|) via per-attribute partition refinement.
 Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs);
+Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs,
+                 RefineScratch& scratch);
 
 /// Refines an existing grouping by one extra attribute. This is the
 /// incremental step the repair search uses so that evaluating candidate
 /// FA : XA -> Y reuses the X grouping instead of regrouping from scratch.
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   int attr);
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  int attr, RefineScratch& scratch);
 
 /// Refines an existing grouping by a whole attribute set.
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   const relation::AttrSet& attrs);
+Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
+                  const relation::AttrSet& attrs, RefineScratch& scratch);
+
+/// |GroupBy(rel, attrs).group_count| without materializing `Grouping::ids`.
+/// A single attribute is answered straight from the column dictionary
+/// (dict_size + has_nulls) with no per-tuple work at all; longer sets run
+/// the refinement chain but skip writing ids on the final pass.
+size_t GroupCountBy(const relation::Relation& rel,
+                    const relation::AttrSet& attrs);
+size_t GroupCountBy(const relation::Relation& rel,
+                    const relation::AttrSet& attrs, RefineScratch& scratch);
+
+/// Number of groups RefineBy(rel, base, attrs) would produce, without
+/// materializing the refined ids.
+size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
+                     const relation::AttrSet& attrs);
+size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
+                     const relation::AttrSet& attrs, RefineScratch& scratch);
 
 /// Number of groups induced jointly by two precomputed groupings, i.e.
 /// |C_{A ∪ B}| given C_A and C_B — without touching column data.

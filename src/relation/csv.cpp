@@ -51,6 +51,16 @@ std::string RenderCell(const Value& v) {
   return v.ToString();
 }
 
+/// std::getline splits on '\n' only, so CRLF input leaves a '\r' glued to
+/// the last field: string cells silently gain it (wrong dictionary codes),
+/// "\N\r" stops reading as NULL, and numeric last columns fail to parse.
+/// This dialect has no quoting, so a string value that itself ends in '\r'
+/// is not representable (just as embedded commas/newlines are not) — the
+/// strip is unconditional.
+void StripTrailingCr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 }  // namespace
 
 CsvResult ReadCsv(std::istream& in, const std::string& name) {
@@ -60,6 +70,7 @@ CsvResult ReadCsv(std::istream& in, const std::string& name) {
     result.error = "empty input";
     return result;
   }
+  StripTrailingCr(line);
 
   std::vector<Attribute> attrs;
   for (const auto& field : util::Split(line, ',')) {
@@ -80,6 +91,7 @@ CsvResult ReadCsv(std::istream& in, const std::string& name) {
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    StripTrailingCr(line);
     if (line.empty()) continue;
     auto fields = util::Split(line, ',');
     if (fields.size() != static_cast<size_t>(rel.attr_count())) {

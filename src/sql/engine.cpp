@@ -1,8 +1,7 @@
 #include "sql/engine.h"
 
-#include <unordered_map>
-
 #include "sql/parser.h"
+#include "util/flat_table.h"
 
 namespace fdevolve::sql {
 namespace {
@@ -109,19 +108,20 @@ uint64_t Execute(const CountQuery& query, const Database& db) {
   if (!query.distinct) return rows.size();
 
   // Exact distinct count via per-column partition refinement (same plan
-  // shape as query::GroupBy, restricted to surviving rows).
+  // shape as query::GroupBy, restricted to surviving rows; the open-
+  // addressing table replaces the per-pass unordered_map here too).
   std::vector<uint32_t> ids(rows.size(), 0);
   size_t groups = rows.empty() ? 0 : 1;
+  util::FlatIdTable next;
   for (int c : cols) {
-    std::unordered_map<uint64_t, uint32_t> next;
-    next.reserve(groups * 2 + 16);
+    next.Reset(rows.size());
     uint32_t fresh = 0;
     for (size_t i = 0; i < rows.size(); ++i) {
       uint64_t key = (static_cast<uint64_t>(ids[i]) << 32) |
                      rel.column(c).code(rows[i]);
-      auto [it, inserted] = next.emplace(key, fresh);
+      bool inserted = false;
+      ids[i] = next.FindOrInsert(key, fresh, &inserted);
       if (inserted) ++fresh;
-      ids[i] = it->second;
     }
     groups = fresh;
   }

@@ -100,6 +100,28 @@ TEST(ExtendTest, TopKStopsEarly) {
             res_all.stats.candidates_evaluated);
 }
 
+TEST(ExtendTest, TopKZeroMeansUnlimited) {
+  // top_k == 0 must behave exactly like kAllRepairs, not "stop before
+  // evaluating anything and report an exhausted, repair-free search".
+  auto rel = datagen::MakePlaces();
+  RepairOptions all;
+  all.mode = SearchMode::kAllRepairs;
+  RepairOptions topk0;
+  topk0.mode = SearchMode::kTopK;
+  topk0.top_k = 0;
+  Fd f4 = datagen::PlacesF4(rel.schema());
+  RepairResult res_all = Extend(rel, f4, all);
+  RepairResult res_k = Extend(rel, f4, topk0);
+  ASSERT_GE(res_all.repairs.size(), 2u);
+  ASSERT_EQ(res_k.repairs.size(), res_all.repairs.size());
+  for (size_t i = 0; i < res_all.repairs.size(); ++i) {
+    EXPECT_EQ(res_k.repairs[i].added, res_all.repairs[i].added) << i;
+  }
+  EXPECT_TRUE(res_k.stats.exhausted);
+  EXPECT_EQ(res_k.stats.candidates_evaluated,
+            res_all.stats.candidates_evaluated);
+}
+
 TEST(ExtendTest, MaxAddedAttrsBoundsDepth) {
   SyntheticSpec spec;
   spec.n_attrs = 8;

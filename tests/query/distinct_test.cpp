@@ -78,20 +78,54 @@ TEST(DistinctEvaluatorTest, CountsMatchDirect) {
 TEST(DistinctEvaluatorTest, CacheHitsDoNotRecompute) {
   Relation r = MakeRel();
   DistinctEvaluator eval(r);
-  eval.Count(AttrSet::Of({0}));
+  eval.Count(AttrSet::Of({0, 1}));
   size_t misses = eval.miss_count();
-  eval.Count(AttrSet::Of({0}));
+  eval.Count(AttrSet::Of({0, 1}));
   EXPECT_EQ(eval.miss_count(), misses);
+}
+
+TEST(DistinctEvaluatorTest, CountIsCountOnlyButGroupForCaches) {
+  Relation r = MakeRel();
+  DistinctEvaluator eval(r);
+  // Single-attribute counts come from the dictionary: nothing cached.
+  EXPECT_EQ(eval.Count(AttrSet::Of({0})), 2u);
+  EXPECT_EQ(eval.cache_size(), 0u);
+  // A multi-attribute count materializes the shared base ({0}) but not a
+  // grouping for the queried set itself.
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 3u);
   EXPECT_EQ(eval.cache_size(), 1u);
+  // GroupFor() materializes the full set.
+  eval.GroupFor(AttrSet::Of({0, 1}));
+  EXPECT_EQ(eval.cache_size(), 2u);
+  // And the two paths agree.
+  EXPECT_EQ(eval.GroupFor(AttrSet::Of({0, 1})).group_count,
+            eval.Count(AttrSet::Of({0, 1})));
 }
 
 TEST(DistinctEvaluatorTest, RefinesFromCachedSubset) {
   Relation r = MakeRel();
   DistinctEvaluator eval(r);
-  eval.Count(AttrSet::Of({0}));
+  eval.GroupFor(AttrSet::Of({0}));
   // Superset query must still be correct (and uses the cached base).
   EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 3u);
+  EXPECT_EQ(eval.GroupFor(AttrSet::Of({0, 1})).group_count, 3u);
   EXPECT_EQ(eval.cache_size(), 2u);
+}
+
+TEST(DistinctEvaluatorTest, MultiAttributeGapMaterializesSharedBase) {
+  // The repair-search pattern: with X cached, Count(XAY) for several A must
+  // reuse a shared materialized base rather than regrouping per sibling.
+  datagen::SyntheticSpec spec;
+  spec.n_attrs = 8;
+  spec.n_tuples = 400;
+  spec.repair_length = 2;
+  Relation r = datagen::MakeSynthetic(spec);
+  DistinctEvaluator eval(r);
+  eval.GroupFor(AttrSet::Of({0}));
+  for (int a = 2; a < 8; ++a) {
+    AttrSet xay = AttrSet::Of({0, 1, a});
+    EXPECT_EQ(eval.Count(xay), DistinctCount(r, xay)) << a;
+  }
 }
 
 TEST(DistinctEvaluatorTest, GroupForExposesGrouping) {

@@ -119,6 +119,26 @@ TEST(RefineByTest, SizeMismatchThrows) {
   EXPECT_THROW(RefineBy(r, wrong, 1), std::invalid_argument);
 }
 
+TEST(RefineByTest, OutOfRangeIdsThrowInsteadOfCorrupting) {
+  // Grouping is an open struct; a base that understates group_count must
+  // not drive the dense path out of bounds.
+  Relation r = MakeRel();
+  Grouping lying;
+  lying.ids = {4, 0, 1, 2, 3};  // id 4 >= group_count
+  lying.group_count = 3;
+  EXPECT_THROW(RefineBy(r, lying, 1), std::invalid_argument);
+}
+
+TEST(JointGroupCountTest, OutOfRangeIdsThrow) {
+  Grouping a;
+  a.ids = {0, 1, 5};  // 5 >= group_count
+  a.group_count = 2;
+  Grouping b;
+  b.ids = {0, 0, 0};
+  b.group_count = 1;
+  EXPECT_THROW(JointGroupCount(a, b), std::invalid_argument);
+}
+
 TEST(JointGroupCountTest, MatchesUnionGroupBy) {
   Relation r = MakeRel();
   Grouping ga = GroupBy(r, AttrSet::Of({0}));

@@ -97,6 +97,76 @@ TEST(CsvTest, RoundTrip) {
   EXPECT_TRUE(r2.relation->Get(1, 1).is_null());
 }
 
+TEST(CsvTest, CrlfLineEndingsAreStripped) {
+  // CRLF input: the '\r' must not leak into the last column of any row —
+  // not into string cells (it would corrupt dictionary codes), and not into
+  // numeric cells (they would fail to parse).
+  std::istringstream in(
+      "id:int64,name:string\r\n"
+      "1,alpha\r\n"
+      "2,beta\r\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.relation->tuple_count(), 2u);
+  EXPECT_EQ(r.relation->Get(0, 1), Value("alpha"));
+  EXPECT_EQ(r.relation->Get(1, 1), Value("beta"));
+  // "alpha" and "alpha\r" would be two dictionary entries; assert one each.
+  EXPECT_EQ(r.relation->column(1).dict_size(), 2u);
+}
+
+TEST(CsvTest, CrlfNumericLastColumnParses) {
+  std::istringstream in(
+      "name:string,score:double\r\n"
+      "a,1.5\r\n"
+      "b,2.25\r\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_DOUBLE_EQ(r.relation->Get(1, 1).as_double(), 2.25);
+
+  std::istringstream in2("a:string,b:int64\r\nx,7\r\n");
+  CsvResult r2 = ReadCsv(in2, "t");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r2.relation->Get(0, 1), Value(int64_t{7}));
+}
+
+TEST(CsvTest, CrlfNullMarkerLastColumnIsNull) {
+  std::istringstream in(
+      "a:int64,s:string\r\n"
+      "1,\\N\r\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.relation->Get(0, 1).is_null());
+}
+
+TEST(CsvTest, CrlfBlankLineIsSkipped) {
+  // A CRLF "blank" line is "\r" after getline; it must be skipped like a
+  // plain blank line, not parsed as a one-field row.
+  std::istringstream in("a:int64\r\n1\r\n\r\n2\r\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.relation->tuple_count(), 2u);
+}
+
+TEST(CsvTest, CrlfRoundTrip) {
+  std::istringstream in(
+      "id:int64,name:string,score:double\r\n"
+      "1,a,0.5\r\n"
+      "2,\\N,\\N\r\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  std::ostringstream out;
+  WriteCsv(*r.relation, out);
+  std::istringstream back(out.str());
+  CsvResult r2 = ReadCsv(back, "t2");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  ASSERT_EQ(r2.relation->tuple_count(), 2u);
+  EXPECT_EQ(r2.relation->Get(0, 1), Value("a"));
+  EXPECT_TRUE(r2.relation->Get(1, 1).is_null());
+  EXPECT_TRUE(r2.relation->Get(1, 2).is_null());
+  EXPECT_DOUBLE_EQ(r2.relation->Get(0, 2).as_double(), 0.5);
+}
+
 TEST(CsvTest, IntAliasAccepted) {
   std::istringstream in("a:int,b:str,c:float\n1,x,2.0\n");
   CsvResult r = ReadCsv(in, "t");

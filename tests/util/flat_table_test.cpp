@@ -1,0 +1,72 @@
+#include "util/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(FlatIdTableTest, InsertThenFind) {
+  FlatIdTable t;
+  t.Reset(4);
+  bool inserted = false;
+  EXPECT_EQ(t.FindOrInsert(42, 0, &inserted), 0u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.FindOrInsert(42, 1, &inserted), 0u);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatIdTableTest, ResetVacatesAndReusesStorage) {
+  FlatIdTable t;
+  t.Reset(100);
+  bool inserted = false;
+  for (uint64_t k = 0; k < 100; ++k) t.FindOrInsert(k, static_cast<uint32_t>(k), &inserted);
+  EXPECT_EQ(t.size(), 100u);
+  const size_t cap = t.capacity();
+  t.Reset(10);  // smaller: capacity must not shrink, slots must be vacated
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), cap);
+  EXPECT_EQ(t.FindOrInsert(5, 7, &inserted), 7u);
+  EXPECT_TRUE(inserted);
+}
+
+TEST(FlatIdTableTest, CapacityIsPowerOfTwoWithHalfLoad) {
+  FlatIdTable t;
+  t.Reset(100);
+  EXPECT_GE(t.capacity(), 200u);
+  EXPECT_EQ(t.capacity() & (t.capacity() - 1), 0u);
+}
+
+TEST(FlatIdTableTest, GrowsWhenUnderprovisionedAndMatchesReference) {
+  // Start tiny and insert far past the reserved size: growth must rehash
+  // without losing or duplicating any mapping. Adversarial-ish keys: dense
+  // low bits and (id << 32 | code) shapes, like the refinement loop emits.
+  FlatIdTable t;
+  t.Reset(2);
+  std::unordered_map<uint64_t, uint32_t> ref;
+  uint32_t fresh = 0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const uint64_t key = (i % 37) << 32 | (i * i % 101);
+    bool inserted = false;
+    const uint32_t got = t.FindOrInsert(key, fresh, &inserted);
+    auto [it, ref_inserted] = ref.emplace(key, fresh);
+    EXPECT_EQ(inserted, ref_inserted);
+    EXPECT_EQ(got, it->second);
+    if (inserted) ++fresh;
+  }
+  EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(FlatIdTableTest, WorksWithoutReset) {
+  FlatIdTable t;  // first insert must self-initialize via growth
+  bool inserted = false;
+  EXPECT_EQ(t.FindOrInsert(9, 3, &inserted), 3u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.FindOrInsert(9, 4, &inserted), 3u);
+  EXPECT_FALSE(inserted);
+}
+
+}  // namespace
+}  // namespace fdevolve::util
