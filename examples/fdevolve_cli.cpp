@@ -7,6 +7,9 @@
 //       --target=0.95             (AFD confidence target, default 1.0)
 //       --goodness-threshold=N    (prefer repairs with |g| <= N)
 //       --exclude-unique          (drop UNIQUE columns from the pool)
+//       --threads=N               (execution width; 0 = all cores, 1 =
+//                                  sequential; results are identical for
+//                                  every value, only wall time changes)
 //
 // Example (the paper's running example, exported to CSV):
 //   $ ./catalog_workflow /tmp/cat
@@ -28,7 +31,7 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <data.csv> \"A, B -> C\" [--mode=first|all|topk] [--k=N]\n"
                "       [--max-attrs=N] [--target=X] [--goodness-threshold=N]\n"
-               "       [--exclude-unique]\n";
+               "       [--exclude-unique] [--threads=N]\n";
   return 2;
 }
 
@@ -71,6 +74,8 @@ int main(int argc, char** argv) {
       opts.target_confidence = std::atof(value.c_str());
     } else if (ParseFlag(arg, "goodness-threshold", &value)) {
       opts.goodness_threshold = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      opts.threads = std::atoi(value.c_str());
     } else if (arg == "--exclude-unique") {
       opts.pool.exclude_unique = true;
     } else {

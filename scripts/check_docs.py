@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Docs consistency gate, run by the CI docs job.
+
+Checks, over README.md and docs/*.md:
+  1. every relative markdown link ([text](path), images included) resolves
+     to an existing file or directory, anchors stripped;
+  2. every bench binary named in docs/PAPER_MAPPING.md exists as a CMake
+     target in bench/CMakeLists.txt (fdevolve_add_bench(<name> ...)).
+
+Exits non-zero with one line per problem, so a stale rename fails CI
+instead of rotting in the docs.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — skips images' leading '!' implicitly, captures target.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_RE = re.compile(r"\b(bench_[a-z0-9_]+)\b")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_links(md_path: Path) -> list[str]:
+    problems = []
+    text = md_path.read_text(encoding="utf-8")
+    # Fenced code blocks may show illustrative links; skip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (md_path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{md_path.relative_to(REPO)}: broken link -> {target}")
+    return problems
+
+
+def check_bench_targets(mapping_path: Path, cmake_path: Path) -> list[str]:
+    problems = []
+    named = set(BENCH_RE.findall(mapping_path.read_text(encoding="utf-8")))
+    cmake = cmake_path.read_text(encoding="utf-8")
+    declared = set(re.findall(r"fdevolve_add_bench\((bench_[a-z0-9_]+)", cmake))
+    for bench in sorted(named - declared):
+        problems.append(
+            f"{mapping_path.relative_to(REPO)}: names '{bench}' but "
+            f"{cmake_path.relative_to(REPO)} declares no such target"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = []
+    doc_files = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    for md in doc_files:
+        if md.exists():
+            problems.extend(check_links(md))
+        else:
+            problems.append(f"missing expected doc: {md.relative_to(REPO)}")
+
+    mapping = REPO / "docs" / "PAPER_MAPPING.md"
+    cmake = REPO / "bench" / "CMakeLists.txt"
+    if mapping.exists() and cmake.exists():
+        problems.extend(check_bench_targets(mapping, cmake))
+
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if not problems:
+        checked = ", ".join(str(d.relative_to(REPO)) for d in doc_files)
+        print(f"check_docs: OK ({checked})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

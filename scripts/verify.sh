@@ -6,6 +6,7 @@
 #   scripts/verify.sh                 # full build + full test suite
 #   scripts/verify.sh --tier1         # run only the tier1-labeled suites
 #   scripts/verify.sh --sanitize      # ASan+UBSan build (own build dir)
+#   scripts/verify.sh --tsan          # ThreadSanitizer build (build-tsan/)
 #   scripts/verify.sh --seed 42       # base seed for the fuzz suites
 #
 # Extra args after `--` are passed straight to ctest, e.g.:
@@ -28,6 +29,11 @@ while [[ $# -gt 0 ]]; do
     --sanitize)
       BUILD_DIR=build-asan
       CMAKE_ARGS+=(-DFDEVOLVE_SANITIZE=address,undefined)
+      shift
+      ;;
+    --tsan)
+      BUILD_DIR=build-tsan
+      CMAKE_ARGS+=(-DFDEVOLVE_SANITIZE=thread)
       shift
       ;;
     --seed)

@@ -2,32 +2,66 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace fdevolve::clustering {
+namespace {
+
+/// Scores one candidate attribute against the shared ground truth. Pure
+/// function of (rel, ground_truth, base_x, attr) — workers call it
+/// concurrently, each with its own scratch.
+EbCandidate ScoreCandidate(const relation::Relation& rel,
+                           const Clustering& ground_truth,
+                           const query::Grouping& base_x, int attr,
+                           query::RefineScratch& scratch) {
+  EbCandidate c;
+  c.attr = attr;
+  Clustering c_xa(query::RefineBy(rel, base_x, attr, scratch));
+  relation::AttrSet only_a;
+  only_a.Add(attr);
+  Clustering c_a(query::GroupBy(rel, only_a, scratch));
+  c.h_xy_given_xa = ConditionalEntropy(ground_truth, c_xa);
+  c.h_a_given_xy = ConditionalEntropy(c_a, ground_truth);
+  c.vi = VariationOfInformation(ground_truth, c_xa);
+  return c;
+}
+
+}  // namespace
 
 std::vector<EbCandidate> RankEb(const relation::Relation& rel,
                                 const fd::Fd& fd,
                                 const relation::AttrSet& pool,
-                                EbVariant variant) {
+                                EbVariant variant, int threads) {
   // Ground truth: C_XY (§5). Built once; each candidate costs one
-  // refinement of C_X plus two entropy passes. One scratch arena serves
-  // every refinement pass in the loop.
+  // refinement of C_X plus two entropy passes. The builds themselves
+  // range-partition through the scratch's threads knob; candidate scoring
+  // then fans out across the pool, one scratch arena per chunk.
+  const int width = util::ResolveThreads(threads);
   query::RefineScratch scratch;
+  scratch.threads = width;
   const Clustering ground_truth(query::GroupBy(rel, fd.AllAttrs(), scratch));
   const query::Grouping base_x = query::GroupBy(rel, fd.lhs(), scratch);
 
-  std::vector<EbCandidate> out;
-  out.reserve(static_cast<size_t>(pool.Count()));
-  for (int a : pool.ToVector()) {
-    EbCandidate c;
-    c.attr = a;
-    Clustering c_xa(query::RefineBy(rel, base_x, a, scratch));
-    relation::AttrSet only_a;
-    only_a.Add(a);
-    Clustering c_a(query::GroupBy(rel, only_a, scratch));
-    c.h_xy_given_xa = ConditionalEntropy(ground_truth, c_xa);
-    c.h_a_given_xy = ConditionalEntropy(c_a, ground_truth);
-    c.vi = VariationOfInformation(ground_truth, c_xa);
-    out.push_back(c);
+  const std::vector<int> attrs = pool.ToVector();
+  std::vector<EbCandidate> out(attrs.size());
+  if (width > 1 && attrs.size() > 1) {
+    // Slot-per-candidate writes keep the result order independent of
+    // scheduling; ground_truth/base_x are shared read-only. ParallelFor
+    // caps the width at the candidate count, so size scratches to that.
+    std::vector<query::RefineScratch> worker(
+        std::min<size_t>(static_cast<size_t>(width), attrs.size()));
+    util::ThreadPool::Global().ParallelFor(
+        attrs.size(), 1, width, [&](int chunk, size_t lo, size_t hi) {
+          query::RefineScratch& ws = worker[static_cast<size_t>(chunk)];
+          for (size_t i = lo; i < hi; ++i) {
+            out[i] = ScoreCandidate(rel, ground_truth, base_x, attrs[i], ws);
+          }
+        });
+  } else {
+    scratch.threads = 1;  // candidate passes are small; reuse one arena
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      out[i] = ScoreCandidate(rel, ground_truth, base_x, attrs[i], scratch);
+    }
   }
 
   auto original_less = [](const EbCandidate& a, const EbCandidate& b) {
@@ -54,8 +88,8 @@ std::vector<EbCandidate> RankEb(const relation::Relation& rel,
 std::vector<EbCandidate> RankEb(const relation::Relation& rel,
                                 const fd::Fd& fd,
                                 const fd::PoolOptions& opts,
-                                EbVariant variant) {
-  return RankEb(rel, fd, fd::CandidatePool(rel, fd, opts), variant);
+                                EbVariant variant, int threads) {
+  return RankEb(rel, fd, fd::CandidatePool(rel, fd, opts), variant, threads);
 }
 
 }  // namespace fdevolve::clustering

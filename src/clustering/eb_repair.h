@@ -41,15 +41,25 @@ struct EbCandidate {
 
 /// Scores and ranks all candidates in `pool` for repairing `fd`.
 /// Ordering follows `variant`; ties broken by attribute index.
+///
+/// `threads` is the execution width: 0 (default) resolves to
+/// `hardware_concurrency`, 1 forces the exact sequential code path, k > 1
+/// scores candidate slices on the shared thread pool (each worker refines
+/// C_X and runs its entropy passes against its own scratch; the ground
+/// truth C_XY is shared read-only). Scores land in a slot per candidate
+/// and the final sort's tie-break is total, so the ranking is identical
+/// for every thread count.
 std::vector<EbCandidate> RankEb(const relation::Relation& rel,
                                 const fd::Fd& fd,
                                 const relation::AttrSet& pool,
-                                EbVariant variant = EbVariant::kOriginal);
+                                EbVariant variant = EbVariant::kOriginal,
+                                int threads = 0);
 
 /// Convenience: pool built with the same rules as the CB method.
 std::vector<EbCandidate> RankEb(const relation::Relation& rel,
                                 const fd::Fd& fd,
                                 const fd::PoolOptions& opts = {},
-                                EbVariant variant = EbVariant::kOriginal);
+                                EbVariant variant = EbVariant::kOriginal,
+                                int threads = 0);
 
 }  // namespace fdevolve::clustering

@@ -23,8 +23,12 @@ struct DataRepairResult {
 /// Minimum tuple deletions making X -> Y exact. For a single FD this is
 /// solvable exactly: within each X-cluster keep one majority XY-class and
 /// delete the rest (per-cluster optimum, independent across clusters).
+///
+/// `threads` is the execution width for the underlying grouping passes
+/// (0 = hardware_concurrency, 1 = exact sequential path); the deletion set
+/// is identical for every value.
 DataRepairResult RepairByDeletion(const relation::Relation& rel,
-                                  const fd::Fd& fd);
+                                  const fd::Fd& fd, int threads = 0);
 
 /// Applies a deletion set, producing the surviving instance.
 relation::Relation ApplyDeletion(const relation::Relation& rel,
@@ -33,13 +37,14 @@ relation::Relation ApplyDeletion(const relation::Relation& rel,
 /// Repairs several FDs by iterating single-FD deletion to a fixpoint.
 /// The multi-FD minimum-deletion problem is NP-hard; this converges (each
 /// pass only removes tuples) but may over-delete. `max_rounds` bounds the
-/// loop defensively.
+/// loop defensively. `threads` flows into each per-FD deletion pass.
 DataRepairResult RepairAllByDeletion(const relation::Relation& rel,
                                      const std::vector<fd::Fd>& fds,
-                                     int max_rounds = 16);
+                                     int max_rounds = 16, int threads = 0);
 
 /// Number of unordered tuple pairs violating Definition 2 — a direct
-/// violation count used by tests and monitors.
-size_t CountViolatingPairs(const relation::Relation& rel, const fd::Fd& fd);
+/// violation count used by tests and monitors. `threads` as above.
+size_t CountViolatingPairs(const relation::Relation& rel, const fd::Fd& fd,
+                           int threads = 0);
 
 }  // namespace fdevolve::discovery

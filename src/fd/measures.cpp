@@ -1,9 +1,8 @@
 #include "fd/measures.h"
 
 namespace fdevolve::fd {
-namespace {
 
-FdMeasures FromCounts(size_t x, size_t xy, size_t y) {
+FdMeasures MeasuresFromCounts(size_t x, size_t xy, size_t y) {
   FdMeasures m;
   m.distinct_x = x;
   m.distinct_xy = xy;
@@ -21,8 +20,6 @@ FdMeasures FromCounts(size_t x, size_t xy, size_t y) {
   return m;
 }
 
-}  // namespace
-
 FdMeasures ComputeMeasures(const relation::Relation& rel, const Fd& fd) {
   query::DistinctEvaluator eval(rel);
   return ComputeMeasures(eval, fd);
@@ -32,7 +29,7 @@ FdMeasures ComputeMeasures(query::DistinctEvaluator& eval, const Fd& fd) {
   size_t x = eval.Count(fd.lhs());
   size_t xy = eval.Count(fd.AllAttrs());
   size_t y = eval.Count(fd.rhs());
-  return FromCounts(x, xy, y);
+  return MeasuresFromCounts(x, xy, y);
 }
 
 bool Satisfies(const relation::Relation& rel, const Fd& fd) {

@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace fdevolve::fd {
@@ -60,7 +61,7 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
     return target >= 1.0 ? x == xy : confidence >= target;
   };
 
-  query::DistinctEvaluator eval(rel);
+  query::DistinctEvaluator eval(rel, opts.threads);
   result.original_measures = ComputeMeasures(eval, fd);
   if (satisfies_target(result.original_measures.distinct_x,
                        result.original_measures.distinct_xy,
@@ -87,38 +88,103 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
   std::vector<relation::AttrSet> found_sets;
   uint64_t seq = 0;
 
-  auto evaluate_and_push = [&](const relation::AttrSet& added) -> bool {
-    if (opts.max_evaluations != 0 &&
-        result.stats.candidates_evaluated >= opts.max_evaluations) {
-      result.stats.exhausted = false;
-      return false;
+  // Candidate evaluation is batched: one batch is the seed phase or one
+  // node expansion — exactly the set of siblings the sequential loop would
+  // evaluate back to back. With exec_width > 1 the batch fans out across
+  // the shared pool; every worker counts its candidate slice against its
+  // own scratch while sharing the batch's two base groupings read-only
+  // (the evaluator itself is single-owner and is never touched inside the
+  // parallel region). Results are folded back in pool order with the same
+  // budget, dedup, and seq-number semantics as the sequential loop, so the
+  // frontier — and therefore the ranked output — is bit-identical for
+  // every thread count.
+  const int exec_width = util::ResolveThreads(opts.threads);
+  const size_t y_count = result.original_measures.distinct_y;
+  std::vector<query::RefineScratch> worker_scratch;
+  std::vector<relation::AttrSet> batch_sets;
+  std::vector<int> batch_attrs;
+  std::vector<FdMeasures> batch_measures;
+
+  // Evaluates the candidates `base_added ∪ {a}` for each `a` of `attrs`
+  // in order; returns false when the evaluation budget stopped the batch.
+  auto evaluate_batch = [&](const relation::AttrSet& base_added,
+                            const std::vector<int>& attrs) -> bool {
+    batch_sets.clear();
+    batch_attrs.clear();
+    bool budget_hit = false;
+    for (int a : attrs) {
+      // Budget check before dedup, per candidate — the order the
+      // sequential evaluate-and-push used.
+      if (opts.max_evaluations != 0 &&
+          result.stats.candidates_evaluated + batch_sets.size() >=
+              opts.max_evaluations) {
+        result.stats.exhausted = false;
+        budget_hit = true;
+        break;
+      }
+      relation::AttrSet added = base_added.With(a);
+      if (!visited.insert(added).second) continue;  // duplicate set
+      batch_sets.push_back(std::move(added));
+      batch_attrs.push_back(a);
     }
-    if (!visited.insert(added).second) return true;  // duplicate set
-    Fd candidate = fd.WithAntecedent(added);
-    FdMeasures m = ComputeMeasures(eval, candidate);
-    ++result.stats.candidates_evaluated;
-    Node n;
-    n.added = added;
-    n.confidence = m.confidence;
-    n.abs_goodness = m.abs_goodness();
-    n.goodness = m.goodness;
-    n.distinct_x = m.distinct_x;
-    n.distinct_xy = m.distinct_xy;
-    n.distinct_y = m.distinct_y;
-    n.seq = seq++;
-    frontier.push(std::move(n));
-    result.stats.frontier_peak =
-        std::max(result.stats.frontier_peak, frontier.size());
-    return true;
+
+    batch_measures.assign(batch_sets.size(), FdMeasures{});
+    if (exec_width > 1 && batch_sets.size() > 1) {
+      // Materialize the shared bases once (both are one refinement off a
+      // cached grouping); cache references stay valid while workers read.
+      const relation::AttrSet base_x = fd.lhs().Union(base_added);
+      const query::Grouping& gx = eval.GroupFor(base_x);
+      const query::Grouping& gxy = eval.GroupFor(base_x.Union(fd.rhs()));
+      // One scratch per chunk actually used — ParallelFor caps the width
+      // at the batch size, so an absurd threads value must not allocate
+      // past it.
+      const size_t slots = std::min<size_t>(
+          static_cast<size_t>(exec_width), batch_sets.size());
+      if (worker_scratch.size() < slots) worker_scratch.resize(slots);
+      util::ThreadPool::Global().ParallelFor(
+          batch_sets.size(), 1, exec_width,
+          [&](int chunk, size_t lo, size_t hi) {
+            query::RefineScratch& ws =
+                worker_scratch[static_cast<size_t>(chunk)];
+            for (size_t i = lo; i < hi; ++i) {
+              relation::AttrSet one;
+              one.Add(batch_attrs[i]);
+              const size_t x = query::RefineCountBy(rel, gx, one, ws);
+              const size_t xy = query::RefineCountBy(rel, gxy, one, ws);
+              batch_measures[i] = MeasuresFromCounts(x, xy, y_count);
+            }
+          });
+    } else {
+      for (size_t i = 0; i < batch_sets.size(); ++i) {
+        batch_measures[i] =
+            ComputeMeasures(eval, fd.WithAntecedent(batch_sets[i]));
+      }
+    }
+
+    for (size_t i = 0; i < batch_sets.size(); ++i) {
+      const FdMeasures& m = batch_measures[i];
+      ++result.stats.candidates_evaluated;
+      Node n;
+      n.added = batch_sets[i];
+      n.confidence = m.confidence;
+      n.abs_goodness = m.abs_goodness();
+      n.goodness = m.goodness;
+      n.distinct_x = m.distinct_x;
+      n.distinct_xy = m.distinct_xy;
+      n.distinct_y = m.distinct_y;
+      n.seq = seq++;
+      frontier.push(std::move(n));
+      result.stats.frontier_peak =
+          std::max(result.stats.frontier_peak, frontier.size());
+    }
+    return !budget_hit;
   };
 
   // Seed the frontier with every single-attribute extension (Algorithm 3
-  // line 1: ExtendByOne on the original FD).
-  for (int a : pool.ToVector()) {
-    relation::AttrSet one;
-    one.Add(a);
-    if (!evaluate_and_push(one)) break;
-  }
+  // line 1: ExtendByOne on the original FD). A budget hit here still falls
+  // through to the main loop: already-evaluated exact seeds are accepted
+  // before the first expansion attempt stops the search.
+  evaluate_batch(relation::AttrSet(), pool.ToVector());
 
   const bool has_threshold = opts.goodness_threshold >= 0;
   const auto threshold = static_cast<uint64_t>(
@@ -176,14 +242,7 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
     ++result.stats.nodes_expanded;
     if (node.added.Count() >= max_depth) continue;
 
-    bool keep_going = true;
-    for (int a : pool.Minus(node.added).ToVector()) {
-      if (!evaluate_and_push(node.added.With(a))) {
-        keep_going = false;
-        break;
-      }
-    }
-    if (!keep_going) break;
+    if (!evaluate_batch(node.added, pool.Minus(node.added).ToVector())) break;
   }
 
   if (opts.max_evaluations != 0 &&

@@ -20,14 +20,14 @@
 
 namespace fdevolve::fd {
 
-/// How much of the repair space to explore.
+/// \brief How much of the repair space to explore.
 enum class SearchMode {
   kFirstRepair,  ///< stop at the first (minimal) repair found
   kAllRepairs,   ///< enumerate all minimal repairs (exponential worst case)
   kTopK,         ///< stop after `top_k` repairs
 };
 
-/// Tuning knobs for one Extend run.
+/// \brief Tuning knobs for one Extend run.
 struct RepairOptions {
   SearchMode mode = SearchMode::kAllRepairs;
   size_t top_k = 3;  ///< used by SearchMode::kTopK; 0 means unlimited
@@ -54,10 +54,24 @@ struct RepairOptions {
   /// tolerates 5% residual inconsistency — typically a shorter repair.
   double target_confidence = 1.0;
 
+  /// Execution width for candidate evaluation: 0 (default) resolves to
+  /// `hardware_concurrency`, 1 forces the exact pre-parallel sequential
+  /// code path, k > 1 evaluates each frontier batch (the seed candidates,
+  /// then every node expansion's children) across the shared thread pool.
+  ///
+  /// Every candidate in a batch counts against its own per-worker scratch
+  /// while sharing the batch's two materialized base groupings (C_XU and
+  /// C_XUY) read-only; results are merged back in pool order with the same
+  /// `seq` tie-break numbers the sequential loop would assign. Ranked
+  /// output — repairs, measures, and all stats except `elapsed_ms` — is
+  /// therefore bit-identical for every thread count.
+  int threads = 0;
+
   PoolOptions pool;
 };
 
-/// One exact repair: the attribute set added to the original antecedent.
+/// \brief One exact repair: the attribute set added to the original
+/// antecedent.
 struct Repair {
   relation::AttrSet added;  ///< U such that XU -> Y is exact
   Fd repaired;              ///< XU -> Y
@@ -67,7 +81,9 @@ struct Repair {
   bool within_goodness_threshold = true;
 };
 
-/// Search instrumentation.
+/// \brief Search instrumentation.
+///
+/// Deterministic across thread counts except `elapsed_ms` (wall time).
 struct SearchStats {
   size_t nodes_expanded = 0;        ///< frontier pops that were not exact
   size_t candidates_evaluated = 0;  ///< measure computations performed
@@ -77,7 +93,7 @@ struct SearchStats {
   double elapsed_ms = 0.0;
 };
 
-/// Result of Extend on one FD.
+/// \brief Result of Extend on one FD.
 struct RepairResult {
   Fd original;
   FdMeasures original_measures;
@@ -93,17 +109,26 @@ struct RepairResult {
   }
 };
 
-/// Runs Algorithm 3 on a single FD.
+/// \brief Runs Algorithm 3 on a single FD.
+///
+/// \param rel the (drifted) instance; must outlive the call only.
+/// \param fd the violated dependency X -> Y to repair.
+/// \param opts search mode, depth/budget limits, AFD target, and the
+///        `threads` execution width (see RepairOptions::threads).
+/// \return all discovered minimal repairs in discovery rank order, plus
+///         instrumentation. Deterministic for a given (rel, fd, opts)
+///         modulo `stats.elapsed_ms`, for every thread count.
 RepairResult Extend(const relation::Relation& rel, const Fd& fd,
                     const RepairOptions& opts = {});
 
-/// Outcome of Algorithm 1 over a whole declared FD set.
+/// \brief Outcome of Algorithm 1 over a whole declared FD set.
 struct FindRepairsOutcome {
   std::vector<OrderedFd> order;        ///< repair order actually used
   std::vector<RepairResult> results;   ///< one per FD, in `order` sequence
 };
 
-/// Runs Algorithm 1: orders the FDs by O_F, then repairs each violated one.
+/// \brief Runs Algorithm 1: orders the FDs by O_F, then repairs each
+/// violated one. `opts.threads` applies to each per-FD Extend run.
 FindRepairsOutcome FindFdRepairs(const relation::Relation& rel,
                                  const std::vector<Fd>& fds,
                                  const RepairOptions& opts = {},

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace fdevolve::query {
 namespace {
 
@@ -46,9 +48,17 @@ size_t SortDistinct(const relation::Relation& rel,
 
 size_t DistinctCount(const relation::Relation& rel,
                      const relation::AttrSet& attrs,
-                     DistinctStrategy strategy) {
+                     DistinctStrategy strategy, int threads) {
   if (strategy == DistinctStrategy::kSort) return SortDistinct(rel, attrs);
-  return GroupCountBy(rel, attrs);
+  RefineScratch scratch;
+  scratch.threads = util::ResolveThreads(threads);
+  return GroupCountBy(rel, attrs, scratch);
+}
+
+DistinctEvaluator::DistinctEvaluator(const relation::Relation& rel,
+                                     int threads)
+    : rel_(rel) {
+  scratch_.threads = util::ResolveThreads(threads);
 }
 
 size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {

@@ -15,23 +15,35 @@
 
 namespace fdevolve::query {
 
-/// Strategy used by DistinctCount.
+/// \brief Strategy used by DistinctCount.
 enum class DistinctStrategy {
   kHash,  ///< partition refinement (dense / open-addressing; default)
   kSort,  ///< sort composite keys, then count boundaries
 };
 
-/// |π_attrs(rel)| — the number of distinct projected tuples.
+/// \brief |π_attrs(rel)| — the number of distinct projected tuples.
+///
 /// Empty attrs yields 1 on non-empty relations, 0 on empty ones.
 /// The hash strategy is count-only: it never materializes group ids, and a
 /// single attribute is answered from the column dictionary in O(1).
+///
+/// \param threads execution width for the hash strategy's refinement
+///        passes: 0 (default) resolves to `hardware_concurrency`, 1 forces
+///        the exact sequential code path, k > 1 range-partitions large
+///        scans across the shared thread pool. The result is identical for
+///        every value — parallelism changes wall time, never the count.
+///        The sort strategy ignores it.
+/// \return the distinct count.
 size_t DistinctCount(const relation::Relation& rel,
                      const relation::AttrSet& attrs,
-                     DistinctStrategy strategy = DistinctStrategy::kHash);
+                     DistinctStrategy strategy = DistinctStrategy::kHash,
+                     int threads = 0);
 
-/// Batched evaluator with a per-instance memo. The repair search asks for
-/// |π_X|, |π_XY|, |π_XA|, |π_XAY| over many overlapping sets; memoising the
-/// groupings turns each new query into one refinement pass.
+/// \brief Batched evaluator with a per-instance memo.
+///
+/// The repair search asks for |π_X|, |π_XY|, |π_XA|, |π_XAY| over many
+/// overlapping sets; memoising the groupings turns each new query into one
+/// refinement pass.
 ///
 /// Two tiers of memoisation:
 ///   * GroupFor() materializes and caches full groupings, indexed by
@@ -44,14 +56,38 @@ size_t DistinctCount(const relation::Relation& rel,
 ///     XA_iY pattern) share the base.
 /// Scratch buffers are owned by the evaluator and reused across passes, so
 /// steady-state queries allocate only when a grouping enters the cache.
+///
+/// \par Thread-safety contract
+/// An evaluator instance is **single-owner**: Count() and GroupFor() mutate
+/// the memo caches, so two threads must never call into the same instance
+/// concurrently (including "read-only looking" calls — every query may
+/// insert). External synchronization or one evaluator per thread is
+/// required. The `threads` knob is *internal* parallelism and is safe: the
+/// evaluator stays the only writer to its caches while worker threads
+/// range-partition individual scans through chunk-private state, and all
+/// workers have finished (with a happens-before edge) when a query
+/// returns. Callers that parallelize *across* candidates (the repair
+/// search) instead snapshot `const Grouping&` references from GroupFor()
+/// up front and hand worker threads their own RefineScratch — cached
+/// groupings are stable (never mutated or moved once inserted), so
+/// concurrent reads of them are safe as long as no thread is inside
+/// Count()/GroupFor() at the same time.
 class DistinctEvaluator {
  public:
-  explicit DistinctEvaluator(const relation::Relation& rel) : rel_(rel) {}
+  /// \param rel relation queried; must outlive the evaluator.
+  /// \param threads execution width for refinement passes (see
+  ///        DistinctCount); 0 = auto, 1 = exact sequential path.
+  explicit DistinctEvaluator(const relation::Relation& rel, int threads = 0);
 
-  /// |π_attrs(rel)| with memoisation (count-only; see class comment).
+  /// \brief |π_attrs(rel)| with memoisation (count-only; see class
+  /// comment). Identical for every `threads` setting.
   size_t Count(const relation::AttrSet& attrs);
 
-  /// Memoised grouping for an attribute set (shared with clustering code).
+  /// \brief Memoised grouping for an attribute set (shared with clustering
+  /// code).
+  ///
+  /// The returned reference is stable for the evaluator's lifetime: cache
+  /// entries are never evicted, mutated, or moved after insertion.
   const Grouping& GroupFor(const relation::AttrSet& attrs);
 
   /// Number of memoised groupings (exposed for tests / instrumentation).
@@ -59,6 +95,9 @@ class DistinctEvaluator {
 
   /// Total number of grouping/count computations performed (cache misses).
   size_t miss_count() const { return misses_; }
+
+  /// Resolved execution width (>= 1) used by this evaluator's passes.
+  int threads() const { return scratch_.threads; }
 
   const relation::Relation& rel() const { return rel_; }
 

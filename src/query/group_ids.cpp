@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/thread_pool.h"
+
 namespace fdevolve::query {
 namespace {
 
@@ -75,6 +77,154 @@ size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
   return fresh;
 }
 
+/// Range-partitioned refinement pass (the `scratch.threads > 1` path).
+///
+/// Phase 1 (parallel)   — each chunk scans its tuple range and assigns
+///   *local* first-appearance ids through its own FlatIdTable partial,
+///   recording the (id, code) key of every local id in assignment order.
+///   When materializing, local ids are written to `out` in place.
+/// Phase 2 (sequential) — chunk key lists are merged in chunk (= range)
+///   order through one global table. A chunk's key list is in local
+///   first-appearance order and chunks cover ascending tuple ranges, so
+///   the global ids this assigns are exactly the sequential scan's
+///   first-appearance ids — the parallel path is bit-identical, not just
+///   partition-equivalent.
+/// Phase 3 (parallel)   — local ids in `out` are rewritten via each chunk's
+///   local->global remap (skipped when count-only).
+///
+/// Each chunk picks dense or flat on its own, with the admission test
+/// scaled to the *chunk* length: a chunk-local dense array costs its own
+/// O(cells) clear, so per-chunk memory and clear time stay bounded the
+/// same way the sequential pass bounds them (total extra memory across
+/// chunks is O(n) cells). Dense or flat, the key recorded per fresh local
+/// id is the same (id << 32 | raw code), so the merge cannot tell the
+/// paths apart.
+size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
+                          const relation::Column& col, size_t n,
+                          RefineScratch& s, int width, uint32_t* out) {
+  const uint32_t* codes = col.codes().data();
+  const size_t dict = col.dict_size();
+  const size_t stride = dict + (col.has_nulls() ? 1 : 0);
+  const size_t chunk_rows =
+      (n + static_cast<size_t>(width) - 1) / static_cast<size_t>(width);
+  // Shrink to the number of non-empty chunks: with width near n/grain a
+  // trailing chunk can otherwise start past n, and its wrapped length
+  // would poison the per-chunk dense-admission test.
+  width = static_cast<int>((n + chunk_rows - 1) / chunk_rows);
+  if (s.chunks.size() < static_cast<size_t>(width)) {
+    s.chunks.resize(static_cast<size_t>(width));
+  }
+  util::ThreadPool& pool = util::ThreadPool::Global();
+
+  // The parallel-for iterates chunk indices, not tuples: the tuple
+  // partition is fixed here (chunk_rows) so phases 1 and 3 agree on it.
+  pool.ParallelFor(
+      static_cast<size_t>(width), 1, width,
+      [&](int, size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          RefineScratch::ChunkState& cs = s.chunks[c];
+          const size_t lo = c * chunk_rows;
+          const size_t hi = std::min(n, lo + chunk_rows);
+          cs.keys.clear();
+          uint32_t fresh = 0;
+          if (UseDense(base_groups, stride, hi - lo)) {
+            const size_t cells = base_groups * stride;
+            if (cs.dense.size() < cells) cs.dense.resize(cells);
+            std::fill(cs.dense.begin(),
+                      cs.dense.begin() + static_cast<ptrdiff_t>(cells), kNoId);
+            for (size_t t = lo; t < hi; ++t) {
+              const uint32_t code = codes[t];
+              const size_t cc = code == relation::kNullCode ? dict : code;
+              const size_t id_in = base_ids ? base_ids[t] : 0u;
+              // Same contract as the sequential paths: a hand-built base
+              // lying about group_count must fail, not corrupt memory.
+              if (id_in >= base_groups) {
+                throw std::invalid_argument(
+                    "RefinePass: group id out of range");
+              }
+              const size_t cell = id_in * stride + cc;
+              uint32_t id = cs.dense[cell];
+              if (id == kNoId) {
+                id = fresh++;
+                cs.dense[cell] = id;
+                cs.keys.push_back((static_cast<uint64_t>(id_in) << 32) |
+                                  code);
+              }
+              if (out != nullptr) out[t] = id;
+            }
+          } else {
+            cs.table.Reset(hi - lo);
+            for (size_t t = lo; t < hi; ++t) {
+              const size_t id_in = base_ids ? base_ids[t] : 0u;
+              if (id_in >= base_groups) {
+                throw std::invalid_argument(
+                    "RefinePass: group id out of range");
+              }
+              const uint64_t key =
+                  (static_cast<uint64_t>(id_in) << 32) | codes[t];
+              bool inserted = false;
+              const uint32_t id = cs.table.FindOrInsert(key, fresh, &inserted);
+              if (inserted) {
+                cs.keys.push_back(key);
+                ++fresh;
+              }
+              if (out != nullptr) out[t] = id;
+            }
+          }
+        }
+      });
+
+  size_t total_keys = 0;
+  for (int c = 0; c < width; ++c) {
+    total_keys += s.chunks[static_cast<size_t>(c)].keys.size();
+  }
+  s.merge.Reset(total_keys);
+  uint32_t fresh = 0;
+  for (int c = 0; c < width; ++c) {
+    RefineScratch::ChunkState& cs = s.chunks[static_cast<size_t>(c)];
+    cs.remap.resize(cs.keys.size());
+    for (size_t j = 0; j < cs.keys.size(); ++j) {
+      bool inserted = false;
+      const uint32_t gid = s.merge.FindOrInsert(cs.keys[j], fresh, &inserted);
+      if (inserted) ++fresh;
+      cs.remap[j] = gid;
+    }
+  }
+
+  if (out != nullptr) {
+    pool.ParallelFor(
+        static_cast<size_t>(width), 1, width,
+        [&](int, size_t cb, size_t ce) {
+          for (size_t c = cb; c < ce; ++c) {
+            const std::vector<uint32_t>& remap = s.chunks[c].remap;
+            const size_t lo = c * chunk_rows;
+            const size_t hi = std::min(n, lo + chunk_rows);
+            for (size_t t = lo; t < hi; ++t) out[t] = remap[out[t]];
+          }
+        });
+  }
+  return fresh;
+}
+
+/// Pass dispatcher: picks the parallel path when the scratch's `threads`
+/// knob and the pass size justify it, the sequential dense/flat paths
+/// otherwise. `threads == 1` never reaches the pool — the exact sequential
+/// code path.
+size_t RunRefinePass(const uint32_t* base_ids, size_t base_groups,
+                     const relation::Column& col, size_t n, RefineScratch& s,
+                     uint32_t* out) {
+  if (s.threads != 1 && n > s.grain) {
+    const size_t grain = std::max<size_t>(s.grain, 1);
+    const int width = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(util::ResolveThreads(s.threads)),
+        (n + grain - 1) / grain));
+    if (width > 1) {
+      return ParallelRefinePass(base_ids, base_groups, col, n, s, width, out);
+    }
+  }
+  return RefinePass(base_ids, base_groups, col, n, s, out);
+}
+
 void CheckBase(const relation::Relation& rel, const Grouping& base,
                const char* where) {
   if (base.ids.size() != rel.tuple_count()) {
@@ -106,7 +256,8 @@ Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs,
   const uint32_t* base = nullptr;
   size_t groups = 1;
   for (int a : cols) {
-    groups = RefinePass(base, groups, rel.column(a), n, scratch, g.ids.data());
+    groups =
+        RunRefinePass(base, groups, rel.column(a), n, scratch, g.ids.data());
     base = g.ids.data();
   }
   g.group_count = groups;
@@ -126,8 +277,8 @@ Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
   const size_t n = base.ids.size();
   if (n == 0) return out;
   out.ids.resize(n);
-  out.group_count = RefinePass(base.ids.data(), base.group_count,
-                               rel.column(attr), n, scratch, out.ids.data());
+  out.group_count = RunRefinePass(base.ids.data(), base.group_count,
+                                  rel.column(attr), n, scratch, out.ids.data());
   return out;
 }
 
@@ -151,7 +302,8 @@ Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
   const uint32_t* ids = base.ids.data();
   size_t groups = base.group_count;
   for (int a : cols) {
-    groups = RefinePass(ids, groups, rel.column(a), n, scratch, out.ids.data());
+    groups =
+        RunRefinePass(ids, groups, rel.column(a), n, scratch, out.ids.data());
     ids = out.ids.data();
   }
   out.group_count = groups;
@@ -180,11 +332,11 @@ size_t GroupCountBy(const relation::Relation& rel,
   const uint32_t* base = nullptr;
   size_t groups = 1;
   for (size_t i = 0; i + 1 < cols.size(); ++i) {
-    groups = RefinePass(base, groups, rel.column(cols[i]), n, scratch, ids);
+    groups = RunRefinePass(base, groups, rel.column(cols[i]), n, scratch, ids);
     base = ids;
   }
-  return RefinePass(base, groups, rel.column(cols.back()), n, scratch,
-                    nullptr);
+  return RunRefinePass(base, groups, rel.column(cols.back()), n, scratch,
+                       nullptr);
 }
 
 size_t GroupCountBy(const relation::Relation& rel,
@@ -205,11 +357,13 @@ size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
     scratch.chain_ids.resize(n);
     uint32_t* tmp = scratch.chain_ids.data();
     for (size_t i = 0; i + 1 < cols.size(); ++i) {
-      groups = RefinePass(ids, groups, rel.column(cols[i]), n, scratch, tmp);
+      groups =
+          RunRefinePass(ids, groups, rel.column(cols[i]), n, scratch, tmp);
       ids = tmp;
     }
   }
-  return RefinePass(ids, groups, rel.column(cols.back()), n, scratch, nullptr);
+  return RunRefinePass(ids, groups, rel.column(cols.back()), n, scratch,
+                       nullptr);
 }
 
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,

@@ -2,22 +2,32 @@
 // (CB method) and clustering construction (EB baseline).
 //
 // Every refinement pass combines the current group ids with one column's
-// dictionary codes. Two execution paths share that loop:
+// dictionary codes. Three execution paths share that loop:
 //
 //   * dense — when group_count * (dict_size + has_nulls) is O(tuples), a
 //     direct-indexed scratch array maps (id, code) to the next id with no
 //     hashing at all;
 //   * flat  — otherwise an open-addressing table (util::FlatIdTable) keyed
 //     on (id << 32 | code) takes over; no per-node allocation, linear
-//     probing, power-of-two capacity.
+//     probing, power-of-two capacity;
+//   * parallel — with `RefineScratch::threads > 1` and enough tuples
+//     (more than `RefineScratch::grain`), the pass is range-partitioned across the
+//     shared util::ThreadPool: each chunk assigns *local* first-appearance
+//     ids through its own FlatIdTable partial, a sequential chunk-order
+//     merge maps local ids to global ones, and a second parallel sweep
+//     rewrites the output. Because the merge walks chunks in range order
+//     and each chunk's key list is in local first-appearance order, the
+//     global ids are bit-identical to what the sequential scan assigns.
 //
-// Both paths assign fresh ids in scan order, so ids remain deterministic
-// and dense in order of first appearance. Passing a RefineScratch lets
-// long-lived callers (DistinctEvaluator, the EB ranking loop) reuse the
-// scratch buffers across passes; the overloads without one are conveniences
-// that pay a fresh allocation.
+// All paths assign fresh ids in (logical) scan order, so ids remain
+// deterministic and dense in order of first appearance — regardless of
+// thread count. Passing a RefineScratch lets long-lived callers
+// (DistinctEvaluator, the EB ranking loop) reuse the scratch buffers across
+// passes; the overloads without one are conveniences that pay a fresh
+// allocation and always run sequentially.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -26,71 +36,116 @@
 
 namespace fdevolve::query {
 
-/// Partition of the tuples of a relation by equality on an attribute set.
+/// \brief Partition of the tuples of a relation by equality on an attribute
+/// set.
+///
 /// `ids[t]` is a dense cluster id in [0, group_count); ids are assigned in
-/// order of first appearance, so they are deterministic for a given relation.
+/// order of first appearance, so they are deterministic for a given relation
+/// — the parallel execution path reproduces exactly the same assignment.
 /// Invariant (enforced by the refinement engine, required of hand-built
 /// instances): every id is < group_count.
 struct Grouping {
-  std::vector<uint32_t> ids;
-  size_t group_count = 0;
+  std::vector<uint32_t> ids;   ///< per-tuple dense group id
+  size_t group_count = 0;      ///< number of distinct groups
 };
 
-/// Reusable scratch buffers for refinement passes. Default-constructible and
-/// cheap when unused; a long-lived instance makes repeated GroupBy/RefineBy/
-/// count calls allocation-free in steady state.
+/// \brief Reusable scratch buffers and execution knobs for refinement
+/// passes.
+///
+/// Default-constructible and cheap when unused; a long-lived instance makes
+/// repeated GroupBy/RefineBy/count calls allocation-free in steady state.
+///
+/// Thread-safety: a RefineScratch belongs to exactly one logical caller at
+/// a time — two threads must not share one. The parallel pass hands each
+/// *chunk* its own `ChunkState`, so internal parallelism never contends on
+/// shared buffers.
 struct RefineScratch {
   std::vector<uint32_t> dense;     ///< direct-indexed (id * stride + code) map
   util::FlatIdTable table;         ///< open-addressing fallback
   std::vector<uint32_t> chain_ids; ///< intermediate ids for count-only chains
+
+  /// Execution width for refinement passes over this scratch.
+  /// 1 (the default) is the exact sequential code path; 0 resolves to
+  /// `hardware_concurrency`; k > 1 range-partitions large passes into at
+  /// most k chunks on the shared util::ThreadPool.
+  int threads = 1;
+
+  /// Minimum tuples per chunk: passes shorter than `grain` stay sequential,
+  /// so unit-test-sized relations never pay parallel overhead. Exposed so
+  /// differential tests can force chunking on small inputs.
+  size_t grain = size_t{1} << 15;
+
+  /// Per-chunk state of one parallel pass ("thread-local" by chunk index,
+  /// which is what keeps the merge deterministic). Each chunk runs the
+  /// same dense-or-flat choice as a sequential pass, with the admission
+  /// test scaled to its chunk length.
+  struct ChunkState {
+    std::vector<uint32_t> dense; ///< chunk-local direct-indexed map
+    util::FlatIdTable table;     ///< local (id, code) -> local id partial
+    std::vector<uint64_t> keys;  ///< key of each local id, in local id order
+    std::vector<uint32_t> remap; ///< local id -> merged global id
+  };
+  std::vector<ChunkState> chunks; ///< sized to the pass width on demand
+  util::FlatIdTable merge;        ///< global table for the chunk-order merge
 };
 
-/// Groups all tuples of `rel` by the attributes in `attrs`.
+/// \brief Groups all tuples of `rel` by the attributes in `attrs`.
 ///
 /// Empty `attrs` puts every tuple in one group (the projection on zero
-/// attributes has exactly one distinct value), matching relational semantics.
-/// NULLs compare equal to each other for grouping purposes; the FD layer
-/// never passes NULL-able attributes here, but the clustering layer may.
+/// attributes has exactly one distinct value), matching relational
+/// semantics. NULLs compare equal to each other for grouping purposes; the
+/// FD layer never passes NULL-able attributes here, but the clustering
+/// layer may.
 ///
 /// A single NULL-free attribute is answered by copying the column's
 /// dictionary codes (already dense first-appearance ids); otherwise cost is
-/// O(tuples * |attrs|) via per-attribute partition refinement.
+/// O(tuples * |attrs|) via per-attribute partition refinement, parallelized
+/// per `scratch.threads`.
+///
+/// \param scratch reusable buffers + the `threads` execution knob; the
+///        overload without one runs sequentially on fresh buffers.
 Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs);
 Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs,
                  RefineScratch& scratch);
 
-/// Refines an existing grouping by one extra attribute. This is the
-/// incremental step the repair search uses so that evaluating candidate
-/// FA : XA -> Y reuses the X grouping instead of regrouping from scratch.
+/// \brief Refines an existing grouping by one extra attribute.
+///
+/// This is the incremental step the repair search uses so that evaluating
+/// candidate FA : XA -> Y reuses the X grouping instead of regrouping from
+/// scratch.
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   int attr);
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   int attr, RefineScratch& scratch);
 
-/// Refines an existing grouping by a whole attribute set.
+/// \brief Refines an existing grouping by a whole attribute set.
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   const relation::AttrSet& attrs);
 Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   const relation::AttrSet& attrs, RefineScratch& scratch);
 
-/// |GroupBy(rel, attrs).group_count| without materializing `Grouping::ids`.
+/// \brief |GroupBy(rel, attrs).group_count| without materializing
+/// `Grouping::ids`.
+///
 /// A single attribute is answered straight from the column dictionary
 /// (dict_size + has_nulls) with no per-tuple work at all; longer sets run
-/// the refinement chain but skip writing ids on the final pass.
+/// the refinement chain but skip writing ids on the final pass (the
+/// parallel path still merges chunk key sets, which is what produces the
+/// global count).
 size_t GroupCountBy(const relation::Relation& rel,
                     const relation::AttrSet& attrs);
 size_t GroupCountBy(const relation::Relation& rel,
                     const relation::AttrSet& attrs, RefineScratch& scratch);
 
-/// Number of groups RefineBy(rel, base, attrs) would produce, without
+/// \brief Number of groups RefineBy(rel, base, attrs) would produce, without
 /// materializing the refined ids.
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
                      const relation::AttrSet& attrs);
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
                      const relation::AttrSet& attrs, RefineScratch& scratch);
 
-/// Number of groups induced jointly by two precomputed groupings, i.e.
-/// |C_{A ∪ B}| given C_A and C_B — without touching column data.
+/// \brief Number of groups induced jointly by two precomputed groupings,
+/// i.e. |C_{A ∪ B}| given C_A and C_B — without touching column data.
 size_t JointGroupCount(const Grouping& a, const Grouping& b);
 
 }  // namespace fdevolve::query

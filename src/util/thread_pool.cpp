@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace fdevolve::util {
+namespace {
+
+/// True while the current thread is executing a pool chunk; a ParallelFor
+/// issued from such a context runs inline instead of re-entering the pool.
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+int ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int prespawn) {
+  if (prespawn > 0) EnsureWorkers(prespawn);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::EnsureWorkers(int target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_task = true;  // chunks run by this thread are pool tasks
+  uint64_t seen_gen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) return;
+    if (job_ != nullptr && job_gen_ != seen_gen) {
+      seen_gen = job_gen_;
+      std::shared_ptr<Job> job = job_;
+      lock.unlock();
+      RunChunks(job);
+      lock.lock();
+      continue;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
+  int ran = 0;
+  std::exception_ptr first_error;
+  while (true) {
+    const int c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->width) break;
+    const size_t begin = static_cast<size_t>(c) * job->chunk_size;
+    const size_t end = std::min(job->n, begin + job->chunk_size);
+    try {
+      (*job->fn)(c, begin, end);
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+    ++ran;
+  }
+  if (ran == 0 && first_error == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error != nullptr && job->error == nullptr) {
+    job->error = first_error;
+  }
+  job->finished += ran;
+  if (job->finished == job->width) done_cv_.notify_all();
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain, int threads,
+                             const RangeFn& fn) {
+  if (n == 0) return;
+  const size_t g = std::max<size_t>(grain, 1);
+  const size_t max_chunks = (n + g - 1) / g;
+  int width = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ResolveThreads(threads)), max_chunks));
+  if (width <= 1 || t_in_pool_task) {
+    fn(0, 0, n);
+    return;
+  }
+  // ceil(n / width) rows per chunk can leave trailing chunks empty when
+  // width does not divide n (e.g. n=5, width=4 -> chunk 3 starts past n);
+  // shrink width to the number of non-empty chunks so every invocation
+  // honors the documented non-empty [begin, end) contract.
+  const size_t chunk_size =
+      (n + static_cast<size_t>(width) - 1) / static_cast<size_t>(width);
+  width = static_cast<int>((n + chunk_size - 1) / chunk_size);
+  if (width <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  // One job at a time: a second submitter blocks here until the first
+  // drains, keeping the worker protocol single-job simple.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  EnsureWorkers(width - 1);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->width = width;
+  job->chunk_size = chunk_size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_gen_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is an executor too; with chunk claiming this also covers the
+  // case where workers are busy waking up.
+  const bool was_in_task = t_in_pool_task;
+  t_in_pool_task = true;
+  RunChunks(job);
+  t_in_pool_task = was_in_task;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->finished == job->width; });
+    job_ = nullptr;
+    error = job->error;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace fdevolve::util

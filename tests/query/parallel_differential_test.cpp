@@ -1,0 +1,195 @@
+// Sequential-vs-parallel differential fuzzing of the refinement engine.
+//
+// The parallel execution layer documents a strict contract: for every
+// thread count, group ids are *bit-identical* to the sequential
+// first-appearance assignment — not merely partition-equivalent. This
+// suite enforces that on randomized NULL-bearing relations with the grain
+// forced low enough that small instances really exercise the chunked
+// path, plus the error-path and large-instance cases the random sweep
+// would miss. Reproducible via --seed=N / FDEVOLVE_SEED.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "query/distinct.h"
+#include "relation/relation.h"
+#include "support/fuzz_seed.h"
+#include "util/rng.h"
+
+namespace fdevolve {
+namespace {
+
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+using relation::Value;
+
+constexpr int kThreadCounts[] = {2, 3, 4, 8};
+
+Relation RandomNullableRelation(uint64_t seed, int n_attrs, size_t n_tuples,
+                                size_t domain, double null_rate) {
+  std::vector<relation::Attribute> attrs;
+  for (int i = 0; i < n_attrs; ++i) {
+    attrs.push_back({"a" + std::to_string(i), DataType::kInt64});
+  }
+  Relation rel("fuzz", Schema(std::move(attrs)));
+  util::Rng rng(seed);
+  for (size_t t = 0; t < n_tuples; ++t) {
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(n_attrs));
+    for (int i = 0; i < n_attrs; ++i) {
+      if (rng.Chance(null_rate)) {
+        row.push_back(Value::Null());
+      } else {
+        row.emplace_back(static_cast<int64_t>(rng.Below(domain)));
+      }
+    }
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+AttrSet RandomSubset(util::Rng& rng, int n_attrs, double p) {
+  AttrSet s;
+  for (int a = 0; a < n_attrs; ++a) {
+    if (rng.Chance(p)) s.Add(a);
+  }
+  return s;
+}
+
+/// Scratch wired to really chunk on tiny instances.
+query::RefineScratch ParallelScratch(int threads, size_t grain = 16) {
+  query::RefineScratch s;
+  s.threads = threads;
+  s.grain = grain;
+  return s;
+}
+
+class ParallelQueryFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return testsupport::DeriveSeed(GetParam()); }
+};
+
+TEST_P(ParallelQueryFuzz, GroupByBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(seed());
+  for (int round = 0; round < 4; ++round) {
+    const int n_attrs = 2 + static_cast<int>(rng.Below(5));
+    const size_t n_tuples = rng.Below(600);
+    const size_t domain = 1 + rng.Below(10);
+    const double null_rate = round % 2 == 0 ? 0.0 : 0.2;
+    Relation rel = RandomNullableRelation(seed() + static_cast<uint64_t>(round),
+                                          n_attrs, n_tuples, domain, null_rate);
+    for (int trial = 0; trial < 6; ++trial) {
+      AttrSet s = RandomSubset(rng, n_attrs, 0.5);
+      query::RefineScratch seq;  // threads == 1: the exact sequential path
+      query::Grouping expected = query::GroupBy(rel, s, seq);
+      for (int k : kThreadCounts) {
+        query::RefineScratch par = ParallelScratch(k);
+        query::Grouping got = query::GroupBy(rel, s, par);
+        ASSERT_EQ(got.group_count, expected.group_count)
+            << "threads=" << k << " attrs=" << s.Count();
+        // Bit-identical ids, not just the same partition.
+        ASSERT_EQ(got.ids, expected.ids)
+            << "threads=" << k << " attrs=" << s.Count()
+            << " tuples=" << n_tuples;
+      }
+    }
+  }
+}
+
+TEST_P(ParallelQueryFuzz, CountsAgreeAcrossThreadCountsAndStrategies) {
+  util::Rng rng(seed() + 17);
+  Relation rel = RandomNullableRelation(seed() + 17, 6, 500, 7, 0.15);
+  for (int trial = 0; trial < 10; ++trial) {
+    AttrSet s = RandomSubset(rng, 6, 0.4);  // may be empty
+    const size_t expected =
+        query::DistinctCount(rel, s, query::DistinctStrategy::kSort);
+    EXPECT_EQ(query::DistinctCount(rel, s, query::DistinctStrategy::kHash, 1),
+              expected);
+    for (int k : kThreadCounts) {
+      EXPECT_EQ(query::DistinctCount(rel, s, query::DistinctStrategy::kHash, k),
+                expected)
+          << "threads=" << k;
+      query::RefineScratch par = ParallelScratch(k);
+      EXPECT_EQ(query::GroupCountBy(rel, s, par), expected) << "threads=" << k;
+    }
+  }
+}
+
+TEST_P(ParallelQueryFuzz, RefinementFromSharedBaseBitIdentical) {
+  util::Rng rng(seed() + 31);
+  Relation rel = RandomNullableRelation(seed() + 31, 6, 400, 5, 0.1);
+  query::RefineScratch seq;
+  for (int trial = 0; trial < 8; ++trial) {
+    AttrSet base_attrs = RandomSubset(rng, 6, 0.4);
+    AttrSet more = RandomSubset(rng, 6, 0.4);
+    query::Grouping base = query::GroupBy(rel, base_attrs, seq);
+    query::Grouping expected = query::RefineBy(rel, base, more, seq);
+    const size_t expected_count = query::RefineCountBy(rel, base, more, seq);
+    ASSERT_EQ(expected.group_count, expected_count);
+    for (int k : kThreadCounts) {
+      query::RefineScratch par = ParallelScratch(k);
+      query::Grouping got = query::RefineBy(rel, base, more, par);
+      ASSERT_EQ(got.ids, expected.ids) << "threads=" << k;
+      query::RefineScratch par2 = ParallelScratch(k);
+      ASSERT_EQ(query::RefineCountBy(rel, base, more, par2), expected_count)
+          << "threads=" << k;
+    }
+  }
+}
+
+TEST_P(ParallelQueryFuzz, EvaluatorMatchesAtDefaultGrainOnLargeInstance) {
+  // No forced grain here: a relation big enough that the evaluator's
+  // default-grain passes genuinely chunk (ceil(70000 / 2^15) = 3 chunks).
+  Relation rel = RandomNullableRelation(seed() + 47, 5, 70000, 6, 0.05);
+  query::DistinctEvaluator seq(rel, 1);
+  query::DistinctEvaluator par(rel, 8);
+  EXPECT_EQ(par.threads(), 8);
+  util::Rng rng(seed() + 47);
+  for (int trial = 0; trial < 6; ++trial) {
+    AttrSet s = RandomSubset(rng, 5, 0.5);
+    EXPECT_EQ(par.Count(s), seq.Count(s)) << "trial=" << trial;
+    const query::Grouping& gs = seq.GroupFor(s);
+    const query::Grouping& gp = par.GroupFor(s);
+    EXPECT_EQ(gp.ids, gs.ids) << "trial=" << trial;
+  }
+}
+
+TEST_P(ParallelQueryFuzz, ExtremeWidthsStayIdentical) {
+  // Widths far beyond ceil(n / grain) used to leave trailing chunks whose
+  // start lay past the relation, wrapping the chunk length (regression).
+  // Also covers width == n and grain == 1 degenerate partitions.
+  Relation rel = RandomNullableRelation(seed() + 73, 4, 200, 5, 0.1);
+  AttrSet s = AttrSet::Of({0, 1, 3});
+  query::RefineScratch seq;
+  query::Grouping expected = query::GroupBy(rel, s, seq);
+  for (int k : {7, 64, 199, 200, 1999}) {
+    query::RefineScratch par = ParallelScratch(k, /*grain=*/1);
+    query::Grouping got = query::GroupBy(rel, s, par);
+    ASSERT_EQ(got.ids, expected.ids) << "threads=" << k;
+    query::RefineScratch par2 = ParallelScratch(k, /*grain=*/1);
+    ASSERT_EQ(query::GroupCountBy(rel, s, par2), expected.group_count)
+        << "threads=" << k;
+  }
+}
+
+TEST_P(ParallelQueryFuzz, MalformedBaseThrowsThroughThePool) {
+  // The bounds check must fail identically on the chunked path — the
+  // worker's exception propagates out of ParallelFor.
+  Relation rel = RandomNullableRelation(seed() + 61, 3, 300, 4, 0.0);
+  query::Grouping lying;
+  lying.ids.assign(rel.tuple_count(), 2);  // ids >= group_count
+  lying.group_count = 1;
+  AttrSet one = AttrSet::Of({1});
+  for (int k : kThreadCounts) {
+    query::RefineScratch par = ParallelScratch(k);
+    EXPECT_THROW(query::RefineBy(rel, lying, one, par), std::invalid_argument)
+        << "threads=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelQueryFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fdevolve

@@ -1,0 +1,196 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace fdevolve {
+namespace {
+
+TEST(ResolveThreadsTest, ZeroAndNegativeMeanAuto) {
+  EXPECT_GE(util::ResolveThreads(0), 1);
+  EXPECT_GE(util::ResolveThreads(-3), 1);
+  EXPECT_EQ(util::ResolveThreads(1), 1);
+  EXPECT_EQ(util::ResolveThreads(7), 7);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  util::ThreadPool pool;
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, 1, 8, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreDeterministic) {
+  // Chunk layout must be a pure function of (n, grain, width) — two runs
+  // see identical (chunk, begin, end) triples regardless of scheduling.
+  util::ThreadPool pool;
+  auto collect = [&] {
+    std::mutex mu;
+    std::vector<std::tuple<int, size_t, size_t>> chunks;
+    pool.ParallelFor(103, 10, 4, [&](int c, size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(c, b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  auto a = collect();
+  auto b = collect();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4u);  // ceil(103/10)=11 chunks possible, capped at 4
+  // Contiguous, in chunk-index order, covering [0, 103).
+  size_t expect_begin = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::get<0>(a[i]), static_cast<int>(i));
+    EXPECT_EQ(std::get<1>(a[i]), expect_begin);
+    expect_begin = std::get<2>(a[i]);
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPoolTest, GrainCapsWidth) {
+  util::ThreadPool pool;
+  std::atomic<int> chunks{0};
+  std::atomic<int> max_index{-1};
+  pool.ParallelFor(100, 40, 8, [&](int c, size_t, size_t) {
+    chunks.fetch_add(1);
+    int cur = max_index.load();
+    while (c > cur && !max_index.compare_exchange_weak(cur, c)) {
+    }
+  });
+  // ceil(100/40) = 3 chunks even though 8 threads were requested.
+  EXPECT_EQ(chunks.load(), 3);
+  EXPECT_LT(max_index.load(), 3);
+}
+
+TEST(ThreadPoolTest, WidthOneRunsInline) {
+  util::ThreadPool pool;
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(50, 1, 1, [&](int c, size_t b, size_t e) {
+    EXPECT_EQ(c, 0);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 50u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_EQ(pool.worker_count(), 0);  // no workers spawned for inline runs
+}
+
+TEST(ThreadPoolTest, NoEmptyChunksWhenWidthDoesNotDivideRange) {
+  // n=5 at width 4 gives chunk_size 2 and only 3 non-empty chunks; the
+  // pool must shrink the width instead of invoking fn(3, 6, 5) with a
+  // begin past the range (regression: wrapped end - begin).
+  util::ThreadPool pool;
+  std::mutex mu;
+  std::vector<std::tuple<int, size_t, size_t>> chunks;
+  pool.ParallelFor(5, 1, 4, [&](int c, size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_LT(b, e);  // every chunk non-empty, never inverted
+    chunks.emplace_back(c, b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 3u);
+  size_t expect_begin = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(std::get<0>(chunks[i]), static_cast<int>(i));
+    EXPECT_EQ(std::get<1>(chunks[i]), expect_begin);
+    expect_begin = std::get<2>(chunks[i]);
+  }
+  EXPECT_EQ(expect_begin, 5u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeDoesNothing) {
+  util::ThreadPool pool;
+  bool called = false;
+  pool.ParallelFor(0, 1, 8, [&](int, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SumReductionMatchesSequential) {
+  util::ThreadPool pool;
+  const size_t n = 100000;
+  std::vector<uint64_t> partial(8, 0);
+  pool.ParallelFor(n, 1, 8, [&](int chunk, size_t begin, size_t end) {
+    uint64_t s = 0;
+    for (size_t i = begin; i < end; ++i) s += i;
+    partial[static_cast<size_t>(chunk)] = s;
+  });
+  const uint64_t total = std::accumulate(partial.begin(), partial.end(),
+                                         uint64_t{0});
+  EXPECT_EQ(total, uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  util::ThreadPool pool;
+  std::atomic<int> completed{0};
+  auto run = [&] {
+    pool.ParallelFor(100, 10, 4, [&](int chunk, size_t, size_t) {
+      if (chunk == 2) throw std::invalid_argument("chunk 2 failed");
+      completed.fetch_add(1);
+    });
+  };
+  EXPECT_THROW(run(), std::invalid_argument);
+  // All other chunks still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  util::ThreadPool pool;
+  std::atomic<int> inner_chunks{0};
+  pool.ParallelFor(16, 1, 4, [&](int, size_t begin, size_t end) {
+    // Nested call from inside a pool task: must not deadlock, must still
+    // cover its whole range (inline, as one chunk).
+    pool.ParallelFor(end - begin, 1, 4, [&](int c, size_t b, size_t e) {
+      EXPECT_EQ(c, 0);
+      EXPECT_EQ(b, 0u);
+      EXPECT_EQ(e, end - begin);
+      inner_chunks.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_chunks.load(), 4);
+}
+
+TEST(ThreadPoolTest, PoolGrowsOnDemandAndIsReusable) {
+  util::ThreadPool pool;
+  EXPECT_EQ(pool.worker_count(), 0);
+  pool.ParallelFor(100, 1, 3, [](int, size_t, size_t) {});
+  EXPECT_EQ(pool.worker_count(), 2);  // width 3 = caller + 2 workers
+  pool.ParallelFor(100, 1, 6, [](int, size_t, size_t) {});
+  EXPECT_EQ(pool.worker_count(), 5);
+  // Narrower follow-up jobs reuse the grown pool without shrinking.
+  pool.ParallelFor(100, 1, 2, [](int, size_t, size_t) {});
+  EXPECT_EQ(pool.worker_count(), 5);
+}
+
+TEST(ThreadPoolTest, ManySmallJobsBackToBack) {
+  // Exercises the job generation/wakeup protocol more than the math.
+  util::ThreadPool pool;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(64, 1, 4, [&](int, size_t begin, size_t end) {
+      uint64_t s = 0;
+      for (size_t i = begin; i < end; ++i) s += i + 1;
+      sum.fetch_add(s);
+    });
+    ASSERT_EQ(sum.load(), uint64_t{64} * 65 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&util::ThreadPool::Global(), &util::ThreadPool::Global());
+}
+
+}  // namespace
+}  // namespace fdevolve
