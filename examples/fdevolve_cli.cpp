@@ -1,5 +1,6 @@
 // Command-line front end: evolve FDs on any CSV file.
 //
+// Repair mode (default):
 //   $ ./fdevolve_cli <data.csv> "<A, B -> C>" [options]
 //       --mode=first|all|topk     (default first)
 //       --k=N                     (top-k size, default 3)
@@ -11,17 +12,34 @@
 //                                  sequential; results are identical for
 //                                  every value, only wall time changes)
 //
+// Monitor mode — stream a CSV through the incremental SchemaMonitor (the
+// paper's §1 drift scenario): seed it with the first rows, ingest the rest
+// in batches, and report every FD that drifts from exact to violated:
+//   $ ./fdevolve_cli monitor <data.csv> "A -> B" ["C -> D" ...] [options]
+//       --check-interval=N        (validate every N inserts, default 1000)
+//       --initial=N               (seed rows, default max(1, rows/10);
+//                                  0 streams everything from an empty seed)
+//       --batch=N                 (insert batch size, default and maximum:
+//                                  check-interval — larger batches would
+//                                  under-check)
+//       --threads=N               (as above)
+//       --suggest                 (print repair suggestions for drifted FDs)
+//
 // Example (the paper's running example, exported to CSV):
 //   $ ./catalog_workflow /tmp/cat
 //   $ ./fdevolve_cli /tmp/cat/Places.csv "District, Region -> AreaCode"
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fd/repair_report.h"
 #include "fd/repair_search.h"
+#include "fd/schema_monitor.h"
 #include "relation/csv.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -31,7 +49,11 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <data.csv> \"A, B -> C\" [--mode=first|all|topk] [--k=N]\n"
                "       [--max-attrs=N] [--target=X] [--goodness-threshold=N]\n"
-               "       [--exclude-unique] [--threads=N]\n";
+               "       [--exclude-unique] [--threads=N]\n"
+               "   or: " << argv0
+            << " monitor <data.csv> \"A -> B\" [\"C -> D\" ...]\n"
+               "       [--check-interval=N] [--initial=N] [--batch=N]\n"
+               "       [--threads=N] [--suggest]\n";
   return 2;
 }
 
@@ -43,9 +65,154 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
+/// One tuple of `rel` as a Value row (decoded through the dictionaries).
+std::vector<relation::Value> RowOf(const relation::Relation& rel, size_t t) {
+  std::vector<relation::Value> row;
+  row.reserve(static_cast<size_t>(rel.attr_count()));
+  for (int a = 0; a < rel.attr_count(); ++a) row.push_back(rel.Get(t, a));
+  return row;
+}
+
+int RunMonitor(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  const std::string csv_path = argv[2];
+
+  constexpr size_t kUnset = static_cast<size_t>(-1);
+  size_t check_interval = 1000;
+  size_t initial = kUnset;  // unset = derive from the input size below;
+                            // an explicit --initial=0 (empty seed) is valid
+  size_t batch = 0;         // 0 = check_interval
+  int threads = 0;
+  bool suggest = false;
+  std::vector<std::string> fd_texts;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "check-interval", &value)) {
+      check_interval = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "initial", &value)) {
+      initial = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "batch", &value)) {
+      batch = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "threads", &value)) {
+      threads = std::atoi(value.c_str());
+    } else if (arg == "--suggest") {
+      suggest = true;
+    } else if (util::StartsWith(arg, "--")) {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else {
+      fd_texts.push_back(arg);
+    }
+  }
+  if (fd_texts.empty()) {
+    std::cerr << "monitor: at least one FD is required\n";
+    return Usage(argv[0]);
+  }
+  if (check_interval == 0) check_interval = 1;
+  if (batch == 0) batch = check_interval;
+  // SchemaMonitor::InsertBatch runs at most one check per batch, so a
+  // batch larger than the interval would silently under-check; cap it to
+  // honor "validate every N inserts" (the header line prints the
+  // effective value).
+  batch = std::min(batch, check_interval);
+
+  auto loaded = relation::ReadCsvFile(csv_path, "input");
+  if (!loaded.ok()) {
+    std::cerr << "cannot read " << csv_path << ": " << loaded.error << "\n";
+    return 1;
+  }
+  const relation::Relation& full = *loaded.relation;
+  const size_t n = full.tuple_count();
+  if (initial == kUnset) initial = std::max<size_t>(1, n / 10);
+  initial = std::min(initial, n);
+
+  std::vector<fd::Fd> fds;
+  for (const auto& text : fd_texts) {
+    try {
+      fds.push_back(fd::Fd::Parse(text, full.schema()));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bad FD '" << text << "': " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  relation::Relation seed(full.name(), full.schema());
+  for (size_t t = 0; t < initial; ++t) seed.AppendRow(RowOf(full, t));
+
+  fd::SchemaMonitor monitor(std::move(seed), fds, check_interval, threads);
+  monitor.OnDrift([&](const fd::DriftEvent& ev) {
+    std::cout << "drift @ " << ev.tuple_count << " tuples: "
+              << monitor.fds()[ev.fd_index].fd.ToString(full.schema())
+              << "  confidence=" << ev.measures.confidence
+              << "  goodness=" << ev.measures.goodness << "\n";
+  });
+
+  std::cout << "Monitoring " << csv_path << ": " << n << " rows ("
+            << initial << " seed + " << (n - initial)
+            << " streamed), check every " << check_interval
+            << " inserts, batch " << batch << ", threads "
+            << monitor.threads() << "\n";
+  for (size_t i = 0; i < monitor.fds().size(); ++i) {
+    const auto& m = monitor.fds()[i];
+    std::cout << "  FD#" << i << " " << m.fd.ToString(full.schema())
+              << (m.was_exact_at_registration ? "  [exact at registration]"
+                                              : "  [ALREADY VIOLATED]")
+              << "\n";
+  }
+
+  util::Timer timer;
+  std::vector<std::vector<relation::Value>> rows;
+  rows.reserve(batch);
+  for (size_t t = initial; t < n;) {
+    rows.clear();
+    const size_t stop = std::min(n, t + batch);
+    for (; t < stop; ++t) rows.push_back(RowOf(full, t));
+    monitor.InsertBatch(rows);
+  }
+  monitor.CheckNow();  // final validation for a trailing partial interval
+  const double ms = timer.ElapsedMs();
+
+  std::cout << "\nIngested " << (n - initial) << " tuples in " << ms
+            << " ms (" << monitor.checks_run() << " checks";
+  if (ms > 0) {
+    std::cout << ", " << static_cast<size_t>((n - initial) * 1000.0 / ms)
+              << " tuples/sec";
+  }
+  std::cout << ")\n";
+  std::cout << "Drift events: " << monitor.drift_log().size() << "\n";
+  size_t violated_count = 0;
+  for (size_t i = 0; i < monitor.fds().size(); ++i) {
+    const auto& m = monitor.fds()[i];
+    if (m.violated) ++violated_count;
+    std::cout << "  FD#" << i << " " << m.fd.ToString(full.schema())
+              << "  c=" << m.measures.confidence
+              << "  g=" << m.measures.goodness
+              << (m.violated ? "  VIOLATED (since tuple " +
+                                   std::to_string(m.first_violation_at) + ")"
+                             : "  exact")
+              << "\n";
+  }
+
+  if (suggest && violated_count > 0) {
+    std::cout << "\nRepair suggestions:\n";
+    fd::RepairOptions opts;
+    opts.mode = fd::SearchMode::kTopK;
+    opts.top_k = 3;
+    opts.threads = threads;
+    for (const auto& res : monitor.SuggestRepairs(opts)) {
+      std::cout << fd::DescribeResult(res, full.schema());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "monitor") {
+    return RunMonitor(argc, argv);
+  }
   if (argc < 3) return Usage(argv[0]);
   const std::string csv_path = argv[1];
   const std::string fd_text = argv[2];

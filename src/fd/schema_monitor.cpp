@@ -5,19 +5,32 @@
 namespace fdevolve::fd {
 
 SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
-                             size_t check_interval)
+                             size_t check_interval, int threads)
     : rel_(std::move(initial)),
+      eval_(rel_, threads),
       check_interval_(check_interval == 0 ? 1 : check_interval) {
   monitored_.reserve(fds.size());
   for (auto& f : fds) {
     MonitoredFd m;
     m.fd = std::move(f);
-    m.measures = ComputeMeasures(rel_, m.fd);
+    Track(m.fd);
+    m.measures = ComputeMeasures(eval_, m.fd);
     m.was_exact_at_registration = m.measures.exact;
     m.violated = !m.measures.exact;
     if (m.violated) m.first_violation_at = rel_.tuple_count();
     monitored_.push_back(std::move(m));
   }
+}
+
+void SchemaMonitor::Track(const Fd& fd) {
+  // Materializing |π_X| and |π_XY| gives Advance() a chain to maintain;
+  // from then on each check costs one table lookup per appended tuple per
+  // chain level. |π_Y| needs no grouping: a single consequent is answered
+  // from the column dictionary in O(1), and a multi-attribute consequent
+  // is worth maintaining too.
+  eval_.GroupFor(fd.lhs());
+  eval_.GroupFor(fd.AllAttrs());
+  if (fd.rhs().Count() > 1) eval_.GroupFor(fd.rhs());
 }
 
 void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
@@ -28,13 +41,27 @@ void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
   }
 }
 
+void SchemaMonitor::InsertBatch(
+    const std::vector<std::vector<relation::Value>>& rows) {
+  if (rows.empty()) return;
+  rel_.AppendRows(rows);
+  inserts_since_check_ += rows.size();
+  if (inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ %= check_interval_;
+    CheckNow();
+  }
+}
+
 std::vector<size_t> SchemaMonitor::CheckNow() {
+  ++checks_run_;
   std::vector<size_t> violated;
-  query::DistinctEvaluator eval(rel_);
+  // The evaluator auto-advances over the appended suffix on the first
+  // query; every monitored FD's counts are then O(1) reads off the
+  // maintained groupings.
   for (size_t i = 0; i < monitored_.size(); ++i) {
     MonitoredFd& m = monitored_[i];
     bool was_violated = m.violated;
-    m.measures = ComputeMeasures(eval, m.fd);
+    m.measures = ComputeMeasures(eval_, m.fd);
     m.violated = !m.measures.exact;
     if (m.violated) {
       violated.push_back(i);
@@ -66,7 +93,8 @@ std::vector<RepairResult> SchemaMonitor::SuggestRepairs(
 void SchemaMonitor::AcceptRepair(size_t fd_index, const Repair& repair) {
   MonitoredFd& m = monitored_.at(fd_index);
   m.fd = repair.repaired;
-  m.measures = ComputeMeasures(rel_, m.fd);
+  Track(m.fd);
+  m.measures = ComputeMeasures(eval_, m.fd);
   m.violated = !m.measures.exact;
   m.was_exact_at_registration = m.measures.exact;
   m.first_violation_at = m.violated ? rel_.tuple_count() : 0;

@@ -5,6 +5,15 @@
 // inserts it re-validates the declared FDs and records which of them
 // drifted from exact to violated. The designer then asks for repair
 // suggestions on the drifted set.
+//
+// Checks are incremental: the monitor owns one query::DistinctEvaluator
+// for its whole lifetime and materializes the |π_X| / |π_XY| groupings of
+// every monitored FD once, at registration. Each check then advances those
+// groupings over just the rows appended since the previous check — O(Δ)
+// per check instead of the O(n) a from-scratch evaluator pays — and reads
+// the violation state straight off the maintained group counts: an exact
+// X→Y breaks exactly when a new tuple lands in an existing X-group under a
+// new XY-key, which is the one event that moves |π_XY| without |π_X|.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "fd/repair_search.h"
+#include "query/distinct.h"
 #include "relation/relation.h"
 
 namespace fdevolve::fd {
@@ -35,11 +45,20 @@ struct DriftEvent {
 };
 
 /// Periodic validation loop.
+///
+/// Not copyable or movable: the long-lived evaluator holds a reference to
+/// the owned relation.
 class SchemaMonitor {
  public:
   /// `check_interval`: re-validate after this many inserts (>=1).
+  /// `threads`: execution width for the evaluator's refinement passes
+  /// (0 = hardware_concurrency, 1 = exact sequential path); results are
+  /// identical for every value.
   SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
-                size_t check_interval = 1);
+                size_t check_interval = 1, int threads = 0);
+
+  SchemaMonitor(const SchemaMonitor&) = delete;
+  SchemaMonitor& operator=(const SchemaMonitor&) = delete;
 
   const relation::Relation& rel() const { return rel_; }
   const std::vector<MonitoredFd>& fds() const { return monitored_; }
@@ -53,23 +72,52 @@ class SchemaMonitor {
   /// Ingests one tuple; runs a check when the interval elapses.
   void Insert(const std::vector<relation::Value>& row);
 
+  /// Ingests a batch of tuples (all-or-nothing validation, see
+  /// relation::Relation::AppendRows); runs at most one check per batch,
+  /// when the accumulated insert count crosses the interval.
+  void InsertBatch(const std::vector<std::vector<relation::Value>>& rows);
+
   /// Forces a validation pass; returns indices of currently violated FDs.
+  /// Cost is O(rows appended since the previous check) — the pass advances
+  /// the maintained groupings and reads the counters.
   std::vector<size_t> CheckNow();
 
   /// Suggests repairs for every currently violated FD.
   std::vector<RepairResult> SuggestRepairs(const RepairOptions& opts = {});
 
   /// Designer accepts a repair: the declared FD is replaced by the repaired
-  /// one and its drift state resets. Throws std::out_of_range on bad index.
+  /// one and its drift state resets. The repaired FD's groupings are
+  /// materialized in the shared evaluator so subsequent checks stay O(Δ).
+  /// Throws std::out_of_range on bad index.
+  ///
+  /// The superseded FD's groupings stay in the evaluator cache and keep
+  /// being maintained — they cannot be evicted, because the repaired FD's
+  /// grouping chains are typically derived from them (the repaired
+  /// antecedent is a superset of the old one). Per-check cost is therefore
+  /// O(Δ × tracked groupings), growing by a couple of chains per accepted
+  /// repair; the designer loop accepts a handful of repairs over a
+  /// monitor's lifetime, so this stays small in practice.
   void AcceptRepair(size_t fd_index, const Repair& repair);
 
+  /// Number of validation passes run so far (instrumentation).
+  size_t checks_run() const { return checks_run_; }
+
+  /// Resolved execution width of the underlying evaluator.
+  int threads() const { return eval_.threads(); }
+
  private:
+  /// Materializes the FD's antecedent and full-attribute groupings in the
+  /// shared evaluator so Advance() maintains them from here on.
+  void Track(const Fd& fd);
+
   relation::Relation rel_;
+  query::DistinctEvaluator eval_;  ///< long-lived; advanced, never rebuilt
   std::vector<MonitoredFd> monitored_;
   std::vector<DriftEvent> drift_log_;
   std::function<void(const DriftEvent&)> on_drift_;
   size_t check_interval_;
   size_t inserts_since_check_ = 0;
+  size_t checks_run_ = 0;
 };
 
 }  // namespace fdevolve::fd

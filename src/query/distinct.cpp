@@ -1,7 +1,9 @@
 #include "query/distinct.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/thread_pool.h"
 
@@ -57,11 +59,103 @@ size_t DistinctCount(const relation::Relation& rel,
 
 DistinctEvaluator::DistinctEvaluator(const relation::Relation& rel,
                                      int threads)
-    : rel_(rel) {
+    : rel_(rel), watermark_(rel.version()) {
   scratch_.threads = util::ResolveThreads(threads);
 }
 
+void DistinctEvaluator::MaybeAdvance() {
+  if (rel_.version() != watermark_) Advance();
+}
+
+void DistinctEvaluator::Advance() {
+  const size_t n = rel_.version();
+  if (n == watermark_) return;
+  if (n < watermark_) {
+    throw std::logic_error(
+        "DistinctEvaluator::Advance: relation shrank below the watermark");
+  }
+  // Popcount-ascending bucket order advances every grouping's base before
+  // the grouping itself, so dependent chains always read already-extended
+  // base ids.
+  for (const auto& bucket : by_size_) {
+    for (const relation::AttrSet& key : bucket) {
+      AdvanceGrouping(cache_.find(key)->second, n);
+    }
+  }
+  // Count memos: grouping-backed entries are refreshed from the advanced
+  // group counts; count-only memos have no chain to extend and are dropped
+  // (they recompute on next use — O(1) for the empty/single-attribute fast
+  // paths, one refinement chain otherwise).
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    auto backing = cache_.find(it->first);
+    if (backing == cache_.end()) {
+      it = counts_.erase(it);
+    } else {
+      it->second = backing->second.grouping.group_count;
+      ++it;
+    }
+  }
+  watermark_ = n;
+}
+
+void DistinctEvaluator::AdvanceGrouping(CachedGrouping& cg, size_t n) {
+  Grouping& g = cg.grouping;
+  if (cg.gap.empty()) {
+    // The empty attribute set: every tuple in one group.
+    g.ids.resize(n, 0u);
+    g.group_count = n > 0 ? 1 : 0;
+    cg.tabled = n;
+    return;
+  }
+  if (cg.levels.empty()) {
+    // First advance of this grouping: create the chain and replay the
+    // prefix through it below (cg.tabled == 0). The replay reproduces the
+    // exact ids the build assigned — every build path (dense, flat,
+    // parallel, dictionary fast path) assigns first-appearance ids in
+    // scan order, which is precisely what the chained table walk does.
+    cg.levels.resize(cg.gap.size());
+    for (size_t j = 0; j < cg.gap.size(); ++j) cg.levels[j].attr = cg.gap[j];
+    cg.tabled = 0;
+  }
+
+  const std::vector<uint32_t>* base_ids = nullptr;
+  if (cg.has_base) {
+    base_ids = &cache_.find(cg.base)->second.grouping.ids;
+  }
+  const size_t k = cg.levels.size();
+  std::vector<const uint32_t*> codes(k);
+  for (size_t j = 0; j < k; ++j) {
+    codes[j] = rel_.column(cg.levels[j].attr).codes().data();
+  }
+
+  // No reserve(n) here: an exact-size reserve would reallocate on every
+  // advance (quadratic copying under frequent small batches); push_back's
+  // geometric growth amortizes to O(1) per appended row.
+  const size_t have = g.ids.size();
+  for (size_t t = cg.tabled; t < n; ++t) {
+    uint32_t id = base_ids ? (*base_ids)[t] : 0u;
+    for (size_t j = 0; j < k; ++j) {
+      CachedGrouping::Level& lv = cg.levels[j];
+      const uint64_t key = (static_cast<uint64_t>(id) << 32) | codes[j][t];
+      bool inserted = false;
+      id = lv.table.FindOrInsert(key, lv.group_count, &inserted);
+      if (inserted) ++lv.group_count;
+    }
+    if (t < have) {
+      // Prefix replay: the chain walk must agree with the ids the build
+      // produced; a mismatch means a refinement path broke first-
+      // appearance order.
+      assert(g.ids[t] == id);
+    } else {
+      g.ids.push_back(id);
+    }
+  }
+  g.group_count = cg.levels.back().group_count;
+  cg.tabled = n;
+}
+
 size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
+  MaybeAdvance();
   if (auto memo = counts_.find(attrs); memo != counts_.end()) {
     return memo->second;
   }
@@ -70,7 +164,7 @@ size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
     // O(1) via the dictionary fast path; not worth counting as a miss.
     result = GroupCountBy(rel_, attrs, scratch_);
   } else if (auto it = cache_.find(attrs); it != cache_.end()) {
-    result = it->second.group_count;
+    result = it->second.grouping.group_count;
   } else {
     ++misses_;
     SubsetMatch best = BestCachedSubset(attrs);
@@ -106,14 +200,17 @@ size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
 }
 
 const Grouping& DistinctEvaluator::GroupFor(const relation::AttrSet& attrs) {
-  if (auto it = cache_.find(attrs); it != cache_.end()) return it->second;
+  MaybeAdvance();
+  if (auto it = cache_.find(attrs); it != cache_.end()) {
+    return it->second.grouping;
+  }
   ++misses_;
   SubsetMatch best = BestCachedSubset(attrs);
   Grouping g = best.key
                    ? RefineBy(rel_, *best.grouping, attrs.Minus(*best.key),
                               scratch_)
                    : GroupBy(rel_, attrs, scratch_);
-  return Insert(attrs, std::move(g));
+  return Insert(attrs, std::move(g), best.key);
 }
 
 DistinctEvaluator::SubsetMatch DistinctEvaluator::BestCachedSubset(
@@ -125,7 +222,7 @@ DistinctEvaluator::SubsetMatch DistinctEvaluator::BestCachedSubset(
       if (key.SubsetOf(attrs)) {
         auto it = cache_.find(key);
         m.key = &it->first;
-        m.grouping = &it->second;
+        m.grouping = &it->second.grouping;
         break;
       }
     }
@@ -134,15 +231,28 @@ DistinctEvaluator::SubsetMatch DistinctEvaluator::BestCachedSubset(
 }
 
 const Grouping& DistinctEvaluator::Insert(const relation::AttrSet& attrs,
-                                          Grouping g) {
+                                          Grouping g,
+                                          const relation::AttrSet* base_key) {
   counts_.emplace(attrs, g.group_count);
-  auto [it, inserted] = cache_.emplace(attrs, std::move(g));
+  CachedGrouping cg;
+  cg.grouping = std::move(g);
+  if (base_key != nullptr) {
+    cg.has_base = true;
+    cg.base = *base_key;
+    cg.gap = attrs.Minus(*base_key).ToVector();
+  } else {
+    cg.gap = attrs.ToVector();
+  }
+  // Level tables are not built here: Advance() replays the prefix through
+  // fresh tables the first time this grouping must be extended, so static
+  // workloads never pay for them (cg.tabled stays 0 until then).
+  auto [it, inserted] = cache_.emplace(attrs, std::move(cg));
   if (inserted) {
     const auto bucket = static_cast<size_t>(attrs.Count());
     if (by_size_.size() <= bucket) by_size_.resize(bucket + 1);
     by_size_[bucket].push_back(attrs);
   }
-  return it->second;
+  return it->second.grouping;
 }
 
 }  // namespace fdevolve::query

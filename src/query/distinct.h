@@ -39,7 +39,8 @@ size_t DistinctCount(const relation::Relation& rel,
                      DistinctStrategy strategy = DistinctStrategy::kHash,
                      int threads = 0);
 
-/// \brief Batched evaluator with a per-instance memo.
+/// \brief Batched evaluator with a per-instance memo, incrementally
+/// maintainable under appends.
 ///
 /// The repair search asks for |π_X|, |π_XY|, |π_XA|, |π_XAY| over many
 /// overlapping sets; memoising the groupings turns each new query into one
@@ -57,24 +58,44 @@ size_t DistinctCount(const relation::Relation& rel,
 /// Scratch buffers are owned by the evaluator and reused across passes, so
 /// steady-state queries allocate only when a grouping enters the cache.
 ///
+/// \par Incremental maintenance (Advance)
+/// The evaluator tracks the relation's row watermark
+/// (relation::Relation::version()). When rows have been appended since the
+/// last query, Advance() — called explicitly or automatically on the next
+/// Count()/GroupFor() — extends every cached grouping and count over just
+/// the appended suffix: each cached grouping keeps one key→id
+/// util::FlatIdTable per attribute of its derivation chain alive, so a new
+/// tuple costs one table lookup per chain level (existing key → existing
+/// group id, new key → the next fresh id). Because dictionary codes and
+/// group ids are append-stable, no cache entry is ever invalidated, and
+/// the advanced state is bit-identical to what rebuilding the same query
+/// sequence from scratch on the grown relation would produce. Level
+/// tables are built lazily on the first Advance (one replay of the
+/// prefix), so purely-static workloads pay nothing for them.
+///
 /// \par Thread-safety contract
-/// An evaluator instance is **single-owner**: Count() and GroupFor() mutate
-/// the memo caches, so two threads must never call into the same instance
-/// concurrently (including "read-only looking" calls — every query may
-/// insert). External synchronization or one evaluator per thread is
-/// required. The `threads` knob is *internal* parallelism and is safe: the
-/// evaluator stays the only writer to its caches while worker threads
-/// range-partition individual scans through chunk-private state, and all
-/// workers have finished (with a happens-before edge) when a query
-/// returns. Callers that parallelize *across* candidates (the repair
-/// search) instead snapshot `const Grouping&` references from GroupFor()
-/// up front and hand worker threads their own RefineScratch — cached
-/// groupings are stable (never mutated or moved once inserted), so
+/// An evaluator instance is **single-owner**: Count(), GroupFor(), and
+/// Advance() mutate the memo caches, so two threads must never call into
+/// the same instance concurrently (including "read-only looking" calls —
+/// every query may insert or advance). External synchronization or one
+/// evaluator per thread is required. The `threads` knob is *internal*
+/// parallelism and is safe: the evaluator stays the only writer to its
+/// caches while worker threads range-partition individual scans through
+/// chunk-private state, and all workers have finished (with a
+/// happens-before edge) when a query returns. Callers that parallelize
+/// *across* candidates (the repair search) instead snapshot
+/// `const Grouping&` references from GroupFor() up front and hand worker
+/// threads their own RefineScratch — cached groupings are stable (their
+/// addresses never change, and their contents only grow via Advance), so
 /// concurrent reads of them are safe as long as no thread is inside
-/// Count()/GroupFor() at the same time.
+/// Count()/GroupFor()/Advance() at the same time, and no rows are appended
+/// to the relation while the snapshots are being read.
 class DistinctEvaluator {
  public:
-  /// \param rel relation queried; must outlive the evaluator.
+  /// \param rel relation queried; must outlive the evaluator. Appends to
+  ///        `rel` between queries are folded in incrementally (see class
+  ///        comment); the evaluator must be quiescent while rows are
+  ///        appended.
   /// \param threads execution width for refinement passes (see
   ///        DistinctCount); 0 = auto, 1 = exact sequential path.
   explicit DistinctEvaluator(const relation::Relation& rel, int threads = 0);
@@ -87,13 +108,31 @@ class DistinctEvaluator {
   /// code).
   ///
   /// The returned reference is stable for the evaluator's lifetime: cache
-  /// entries are never evicted, mutated, or moved after insertion.
+  /// entries are never evicted or moved after insertion. Their contents
+  /// are extended in place by Advance() — `Grouping::ids` grows and
+  /// `group_count` may increase, but ids already assigned never change.
   const Grouping& GroupFor(const relation::AttrSet& attrs);
+
+  /// \brief Folds rows appended to rel() since the last query into every
+  /// cached grouping and count. O(appended rows × chain levels) per cached
+  /// grouping, plus a one-time prefix replay per grouping that has never
+  /// been advanced before.
+  ///
+  /// Count() and GroupFor() call this automatically when the relation's
+  /// version has moved, so explicit calls are only needed to control
+  /// *when* the work happens. No-op when nothing was appended. Throws
+  /// std::logic_error if the relation shrank (unsupported).
+  void Advance();
+
+  /// Rows already folded into the caches (== rel().version() after any
+  /// query or Advance()).
+  size_t watermark() const { return watermark_; }
 
   /// Number of memoised groupings (exposed for tests / instrumentation).
   size_t cache_size() const { return cache_.size(); }
 
   /// Total number of grouping/count computations performed (cache misses).
+  /// Advance() maintains existing entries and never counts as a miss.
   size_t miss_count() const { return misses_; }
 
   /// Resolved execution width (>= 1) used by this evaluator's passes.
@@ -102,6 +141,29 @@ class DistinctEvaluator {
   const relation::Relation& rel() const { return rel_; }
 
  private:
+  /// One memoised grouping plus the derivation record Advance() needs to
+  /// extend it: the cached subset it was refined from (if any) and the
+  /// per-attribute chain of key→id tables.
+  struct CachedGrouping {
+    Grouping grouping;
+
+    bool has_base = false;     ///< grouping was refined from a cached base
+    relation::AttrSet base;    ///< the (strict-subset) base key, if any
+    std::vector<int> gap;      ///< attrs chained on top, ascending order
+
+    /// One refinement level of the chain. `table` maps
+    /// (incoming id << 32 | column code) to the id assigned at this level,
+    /// exactly mirroring the flat refinement pass; `group_count` is the
+    /// number of ids handed out so far (== table.size()).
+    struct Level {
+      int attr = -1;
+      util::FlatIdTable table;
+      uint32_t group_count = 0;
+    };
+    std::vector<Level> levels;  ///< built lazily on the first Advance
+    size_t tabled = 0;          ///< rows [0, tabled) folded into `levels`
+  };
+
   struct SubsetMatch {
     const relation::AttrSet* key = nullptr;
     const Grouping* grouping = nullptr;
@@ -111,15 +173,28 @@ class DistinctEvaluator {
   /// walking the popcount buckets from |attrs| downward.
   SubsetMatch BestCachedSubset(const relation::AttrSet& attrs) const;
 
-  const Grouping& Insert(const relation::AttrSet& attrs, Grouping g);
+  const Grouping& Insert(const relation::AttrSet& attrs, Grouping g,
+                         const relation::AttrSet* base_key);
+
+  /// Runs Advance() if the relation's version moved since the last query.
+  void MaybeAdvance();
+
+  /// Extends one cached grouping to cover rows [0, n), building its level
+  /// tables first if this is its first advance.
+  void AdvanceGrouping(CachedGrouping& cg, size_t n);
 
   const relation::Relation& rel_;
-  std::unordered_map<relation::AttrSet, Grouping, relation::AttrSetHash> cache_;
+  std::unordered_map<relation::AttrSet, CachedGrouping, relation::AttrSetHash>
+      cache_;
   std::unordered_map<relation::AttrSet, size_t, relation::AttrSetHash> counts_;
   /// Cache keys bucketed by AttrSet::Count() — the subset-search index.
+  /// Bucket order is also Advance()'s processing order: a grouping's base
+  /// has strictly fewer attributes, so walking buckets ascending advances
+  /// every base before its dependents.
   std::vector<std::vector<relation::AttrSet>> by_size_;
   RefineScratch scratch_;
   size_t misses_ = 0;
+  size_t watermark_ = 0;  ///< rows folded into the caches so far
 };
 
 }  // namespace fdevolve::query

@@ -46,14 +46,39 @@ Relation::Relation(std::string name, Schema schema)
   for (const auto& a : schema_.attrs()) columns_.emplace_back(a.type);
 }
 
-void Relation::AppendRow(const std::vector<Value>& row) {
+void Relation::ValidateRow(const std::vector<Value>& row) const {
   if (row.size() != static_cast<size_t>(schema_.size())) {
     throw std::invalid_argument("Relation::AppendRow: arity mismatch");
   }
   for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (!v.is_null() && !v.MatchesType(columns_[i].type())) {
+      throw std::invalid_argument(
+          "Relation::AppendRow: value type mismatch in column '" +
+          schema_.attr(static_cast<int>(i)).name + "', expected " +
+          DataTypeName(columns_[i].type()) + " got " + v.ToString());
+    }
+  }
+}
+
+void Relation::AppendRow(const std::vector<Value>& row) {
+  // Validate the whole row before touching any column: a mid-row type
+  // mismatch must not leave columns with unequal lengths.
+  ValidateRow(row);
+  for (size_t i = 0; i < row.size(); ++i) {
     columns_[i].Append(row[i]);
   }
   ++tuple_count_;
+}
+
+void Relation::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) ValidateRow(row);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      columns_[i].Append(row[i]);
+    }
+    ++tuple_count_;
+  }
 }
 
 AttrSet Relation::NonNullAttrs() const {

@@ -61,6 +61,12 @@ class Column {
 };
 
 /// A relation instance: schema + equally sized columns.
+///
+/// Relations are append-only: tuples are never updated or deleted, and
+/// dictionary codes are never reassigned once handed out. Those two facts
+/// make `version()` a monotone row watermark that downstream caches
+/// (query::DistinctEvaluator) can diff against to maintain their state
+/// over just the appended suffix instead of rebuilding.
 class Relation {
  public:
   Relation(std::string name, Schema schema);
@@ -70,10 +76,29 @@ class Relation {
   size_t tuple_count() const { return tuple_count_; }
   int attr_count() const { return schema_.size(); }
 
+  /// Monotone row watermark: the number of tuples ever appended. Because
+  /// the relation is append-only this equals tuple_count(), but callers
+  /// that cache derived state should diff against version() — it names
+  /// the contract (rows [0, version()) are immutable) rather than the
+  /// current size.
+  size_t version() const { return tuple_count_; }
+
   const Column& column(int i) const { return columns_.at(static_cast<size_t>(i)); }
 
   /// Appends one tuple; `row` arity must match the schema.
+  ///
+  /// Strong exception guarantee: arity and every cell type are validated
+  /// against the schema before any column is touched, so a throwing append
+  /// leaves the relation exactly as it was (no short rows). (The only
+  /// theoretical exception is dictionary-code exhaustion at 2^32 distinct
+  /// values per column — unreachable in practice, since tuple ids are
+  /// 32-bit throughout the query layer.)
   void AppendRow(const std::vector<Value>& row);
+
+  /// Appends a batch of tuples with all-or-nothing semantics: every row is
+  /// validated (arity + cell types) before the first one is appended, so a
+  /// bad row anywhere in the batch leaves the relation unchanged.
+  void AppendRows(const std::vector<std::vector<Value>>& rows);
 
   /// Cell accessor.
   Value Get(size_t tuple, int attr) const { return column(attr).Get(tuple); }
@@ -90,6 +115,10 @@ class Relation {
   size_t EstimatedBytes() const;
 
  private:
+  /// Throws std::invalid_argument unless `row` matches the schema (arity
+  /// and per-cell type); performs no mutation.
+  void ValidateRow(const std::vector<Value>& row) const;
+
   std::string name_;
   Schema schema_;
   std::vector<Column> columns_;

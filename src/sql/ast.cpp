@@ -1,5 +1,6 @@
 #include "sql/ast.h"
 
+#include <charconv>
 #include <sstream>
 
 namespace fdevolve::sql {
@@ -15,6 +16,21 @@ std::string RenderLiteral(const relation::Value& v) {
       else out.push_back(c);
     }
     out += "'";
+    return out;
+  }
+  if (v.is_double()) {
+    // Shortest round-trip form (not Value::ToString's 6-digit ostream
+    // default, which loses precision). Keep a '.' or exponent in the text
+    // so re-parsing yields a double again, not an int.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_double());
+    std::string out(buf, ptr);
+    (void)ec;  // 32 bytes always fit a shortest-round-trip double
+    if (out.find('.') == std::string::npos &&
+        out.find('e') == std::string::npos &&
+        out.find('E') == std::string::npos) {
+      out += ".0";
+    }
     return out;
   }
   return v.ToString();
@@ -34,6 +50,21 @@ std::string Condition::ToString() const {
       return column + " IS NOT NULL";
   }
   return column;
+}
+
+std::string InsertStatement::ToString() const {
+  std::ostringstream os;
+  os << "INSERT INTO " << table << " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) os << ", ";
+    os << "(";
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      os << RenderLiteral(rows[r][c]);
+    }
+    os << ")";
+  }
+  return os.str();
 }
 
 std::string CountQuery::ToString() const {

@@ -1,18 +1,22 @@
 // AST for the mini-SQL dialect.
 //
 // Grammar (enough to express everything §4.4 issues, plus simple
-// selections for the conditional-FD extension):
+// selections for the conditional-FD extension, plus the INSERT the
+// paper's monitoring scenario feeds on):
 //
+//   statement  := query | insert
 //   query      := SELECT COUNT '(' (DISTINCT columns | '*') ')'
 //                 FROM identifier [WHERE condition (AND condition)*]
+//   insert     := INSERT INTO identifier VALUES row (',' row)*
+//   row        := '(' literal (',' literal)* ')'
 //   columns    := identifier (',' identifier)*
 //   condition  := identifier ('=' | '<>') literal
 //               | identifier IS [NOT] NULL
-//   literal    := number | string
+//   literal    := number | string | NULL
 #pragma once
 
-#include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "relation/value.h"
@@ -39,5 +43,17 @@ struct CountQuery {
 
   std::string ToString() const;
 };
+
+/// INSERT INTO table VALUES (...), (...). Rows carry parsed literals; the
+/// engine validates them against the target schema at execution time.
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<relation::Value>> rows;
+
+  std::string ToString() const;
+};
+
+/// Any parsable statement (see ParseStatement in parser.h).
+using Statement = std::variant<CountQuery, InsertStatement>;
 
 }  // namespace fdevolve::sql

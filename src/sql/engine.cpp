@@ -128,8 +128,51 @@ uint64_t Execute(const CountQuery& query, const Database& db) {
   return groups;
 }
 
+uint64_t Execute(const InsertStatement& insert, Database& db) {
+  relation::Relation& rel = db.GetMutable(insert.table);
+  const relation::Schema& schema = rel.schema();
+
+  // Coerce typeless numeric literals: an integer literal targeting a
+  // double column becomes a double (the reverse is rejected — silently
+  // truncating 1.5 into an int column would corrupt data). All other
+  // validation is delegated to AppendRows, whose all-or-nothing contract
+  // keeps the relation unchanged when any row is bad. The statement is
+  // only copied when the schema can actually trigger a coercion.
+  bool has_double_column = false;
+  for (int i = 0; i < schema.size(); ++i) {
+    has_double_column |= schema.attr(i).type == relation::DataType::kDouble;
+  }
+  if (!has_double_column) {
+    rel.AppendRows(insert.rows);
+    return insert.rows.size();
+  }
+  std::vector<std::vector<relation::Value>> rows = insert.rows;
+  for (auto& row : rows) {
+    for (size_t i = 0; i < row.size() && i < static_cast<size_t>(schema.size());
+         ++i) {
+      if (row[i].is_int() &&
+          schema.attr(static_cast<int>(i)).type == relation::DataType::kDouble) {
+        row[i] = relation::Value(static_cast<double>(row[i].as_int()));
+      }
+    }
+  }
+  rel.AppendRows(rows);
+  return rows.size();
+}
+
+uint64_t Execute(const Statement& stmt, Database& db) {
+  if (const auto* q = std::get_if<CountQuery>(&stmt)) {
+    return Execute(*q, static_cast<const Database&>(db));
+  }
+  return Execute(std::get<InsertStatement>(stmt), db);
+}
+
 uint64_t ExecuteSql(const std::string& text, const Database& db) {
   return Execute(Parse(text), db);
+}
+
+uint64_t ExecuteSql(const std::string& text, Database& db) {
+  return Execute(ParseStatement(text), db);
 }
 
 }  // namespace fdevolve::sql

@@ -16,7 +16,22 @@ namespace fdevolve::sql {
 /// tables/columns (schema errors are not SqlErrors: the text was valid).
 uint64_t Execute(const CountQuery& query, const Database& db);
 
-/// Convenience: parse + execute.
+/// Executes a parsed INSERT against the catalog; returns the number of
+/// rows inserted. Integer literals are coerced to double for double
+/// columns (SQL numeric literals are typeless); any other type mismatch,
+/// arity mismatch, or unknown table throws std::invalid_argument and — by
+/// relation::Relation::AppendRows' all-or-nothing contract — leaves the
+/// relation unchanged.
+uint64_t Execute(const InsertStatement& insert, Database& db);
+
+/// Executes any parsed statement (reads need only const access; this
+/// overload exists for writes).
+uint64_t Execute(const Statement& stmt, Database& db);
+
+/// Convenience: parse + execute a COUNT query (read-only catalogs).
 uint64_t ExecuteSql(const std::string& text, const Database& db);
+
+/// Convenience: parse + execute any statement, INSERT included.
+uint64_t ExecuteSql(const std::string& text, Database& db);
 
 }  // namespace fdevolve::sql

@@ -9,8 +9,8 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kw = {
-      "SELECT", "COUNT", "DISTINCT", "FROM", "WHERE",
-      "AND",    "IS",    "NOT",      "NULL", "AS"};
+      "SELECT", "COUNT", "DISTINCT", "FROM",   "WHERE", "AND",   "IS",
+      "NOT",    "NULL",  "AS",       "INSERT", "INTO",  "VALUES"};
   return kw;
 }
 
@@ -86,6 +86,18 @@ std::vector<Token> Lex(const std::string& input) {
                        (input[i] == '.' && !seen_dot))) {
         seen_dot |= input[i] == '.';
         ++i;
+      }
+      // Optional exponent ([eE][+-]?digits) — needed so ToString of a
+      // shortest-round-trip double (e.g. 1e-07) re-lexes.
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
       }
       out.push_back({TokenType::kNumber, input.substr(start, i - start), start});
       continue;

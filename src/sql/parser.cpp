@@ -9,7 +9,51 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  Statement ParseStatement() {
+    if (Peek().IsKeyword("INSERT")) {
+      InsertStatement ins = ParseInsert();
+      ExpectEnd();
+      return ins;
+    }
+    CountQuery q = ParseQueryBody();
+    ExpectEnd();
+    return q;
+  }
+
   CountQuery ParseQuery() {
+    CountQuery q = ParseQueryBody();
+    ExpectEnd();
+    return q;
+  }
+
+ private:
+  InsertStatement ParseInsert() {
+    InsertStatement ins;
+    ExpectKeyword("INSERT");
+    ExpectKeyword("INTO");
+    ins.table = ExpectIdentifier();
+    ExpectKeyword("VALUES");
+    ins.rows.push_back(ParseRow());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      ins.rows.push_back(ParseRow());
+    }
+    return ins;
+  }
+
+  std::vector<relation::Value> ParseRow() {
+    ExpectSymbol("(");
+    std::vector<relation::Value> row;
+    row.push_back(ParseLiteral());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      row.push_back(ParseLiteral());
+    }
+    ExpectSymbol(")");
+    return row;
+  }
+
+  CountQuery ParseQueryBody() {
     CountQuery q;
     ExpectKeyword("SELECT");
     ExpectKeyword("COUNT");
@@ -36,13 +80,15 @@ class Parser {
         q.where.push_back(ParseCondition());
       }
     }
-    if (Peek().type != TokenType::kEnd) {
-      throw SqlError("trailing input after query", Peek().position);
-    }
     return q;
   }
 
- private:
+  void ExpectEnd() {
+    if (Peek().type != TokenType::kEnd) {
+      throw SqlError("trailing input after statement", Peek().position);
+    }
+  }
+
   Condition ParseCondition() {
     Condition c;
     c.column = ExpectIdentifier();
@@ -75,8 +121,15 @@ class Parser {
     }
     if (t.type == TokenType::kNumber) {
       Advance();
-      if (t.text.find('.') != std::string::npos) {
-        return relation::Value(std::stod(t.text));
+      if (t.text.find_first_of(".eE") != std::string::npos) {
+        try {
+          return relation::Value(std::stod(t.text));
+        } catch (const std::out_of_range&) {
+          // e.g. 1e999: keep the documented SqlError contract, like the
+          // integer branch below.
+          throw SqlError("numeric literal out of range '" + t.text + "'",
+                         t.position);
+        }
       }
       int64_t v = 0;
       auto [ptr, ec] =
@@ -127,6 +180,10 @@ class Parser {
 
 CountQuery Parse(const std::string& input) {
   return Parser(Lex(input)).ParseQuery();
+}
+
+Statement ParseStatement(const std::string& input) {
+  return Parser(Lex(input)).ParseStatement();
 }
 
 }  // namespace fdevolve::sql

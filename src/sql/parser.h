@@ -8,7 +8,12 @@
 
 namespace fdevolve::sql {
 
-/// Parses one COUNT query; throws SqlError on syntax errors.
+/// Parses one COUNT query; throws SqlError on syntax errors (including
+/// non-SELECT statements — use ParseStatement for the full dialect).
 CountQuery Parse(const std::string& input);
+
+/// Parses one statement of the full dialect (SELECT COUNT or INSERT);
+/// throws SqlError on syntax errors.
+Statement ParseStatement(const std::string& input);
 
 }  // namespace fdevolve::sql

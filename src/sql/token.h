@@ -9,7 +9,8 @@
 namespace fdevolve::sql {
 
 enum class TokenType {
-  kKeyword,     // SELECT, COUNT, DISTINCT, FROM, WHERE, AND, IS, NOT, NULL, AS
+  kKeyword,     // SELECT, COUNT, DISTINCT, FROM, WHERE, AND, IS, NOT, NULL,
+                // AS, INSERT, INTO, VALUES
   kIdentifier,  // table / column names (optionally "quoted")
   kNumber,      // integer or decimal literal
   kString,      // 'single-quoted'

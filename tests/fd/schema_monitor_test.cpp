@@ -123,5 +123,102 @@ TEST(SchemaMonitorTest, CheckNowReturnsViolatedIndices) {
   EXPECT_EQ(violated[0], 0u);
 }
 
+TEST(SchemaMonitorTest, InsertBatchRunsOneCheckPerBatch) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/3);
+  // 4 inserts cross the interval once: exactly one check, at the end of
+  // the batch, sees the violating row.
+  const size_t before = mon.checks_run();
+  mon.InsertBatch({{"Hoboken", "10001", "NJ"},
+                   {"X", "90001", "CA"},
+                   {"Y", "90002", "CA"},
+                   {"Z", "90003", "CA"}});
+  EXPECT_EQ(mon.checks_run(), before + 1);
+  EXPECT_TRUE(mon.fds()[0].violated);
+  ASSERT_EQ(mon.drift_log().size(), 1u);
+  EXPECT_EQ(mon.drift_log()[0].tuple_count, 6u);
+}
+
+TEST(SchemaMonitorTest, InsertBatchBelowIntervalDefersCheck) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/10);
+  mon.InsertBatch({{"Hoboken", "10001", "NJ"}});
+  EXPECT_FALSE(mon.fds()[0].violated);  // not checked yet
+  mon.InsertBatch({});  // empty batch: no check, no state change
+  EXPECT_FALSE(mon.fds()[0].violated);
+  auto violated = mon.CheckNow();
+  ASSERT_EQ(violated.size(), 1u);
+}
+
+TEST(SchemaMonitorTest, BatchValidationIsAllOrNothing) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  // Second row has a type mismatch: the whole batch must be rejected and
+  // the monitor's relation stay intact.
+  EXPECT_THROW(mon.InsertBatch({{"Hoboken", "10001", "NJ"},
+                                {"X", relation::Value(int64_t{5}), "CA"}}),
+               std::invalid_argument);
+  EXPECT_EQ(mon.rel().tuple_count(), 2u);
+  EXPECT_FALSE(mon.fds()[0].violated);
+}
+
+TEST(SchemaMonitorTest, IncrementalChecksMatchScratchRecomputation) {
+  // Drive the same stream through the monitor and through from-scratch
+  // measures; flags and counts must agree at every check.
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema()),
+                     Fd::Parse("zip -> city", MonitorSchema())});
+  Relation shadow = CleanInstance();
+  const std::vector<std::vector<Value>> stream = {
+      {"NY", "10001", "NY"},      // duplicate zip, same state
+      {"Albany", "12201", "NY"},  // new zip
+      {"Hoboken", "10001", "NJ"}, // drift: 10001 -> {NY, NJ}
+      {"Newark", "07101", "NJ"},
+  };
+  for (const auto& row : stream) {
+    mon.Insert(row);
+    shadow.AppendRow(row);
+    for (size_t i = 0; i < mon.fds().size(); ++i) {
+      FdMeasures expect = ComputeMeasures(shadow, mon.fds()[i].fd);
+      EXPECT_EQ(mon.fds()[i].measures.distinct_x, expect.distinct_x);
+      EXPECT_EQ(mon.fds()[i].measures.distinct_xy, expect.distinct_xy);
+      EXPECT_EQ(mon.fds()[i].violated, !expect.exact);
+    }
+  }
+}
+
+TEST(SchemaMonitorTest, AcceptRepairKeepsSubsequentChecksIncremental) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  mon.Insert({"Hoboken", "10001", "NJ"});
+  auto suggestions = mon.SuggestRepairs();
+  ASSERT_FALSE(suggestions.empty());
+  ASSERT_TRUE(suggestions[0].found());
+  mon.AcceptRepair(0, suggestions[0].repairs[0]);
+  EXPECT_FALSE(mon.fds()[0].violated);
+  // The repaired FD is tracked in the same evaluator: further inserts keep
+  // validating it (and agree with a scratch computation).
+  mon.Insert({"Quincy", "02169", "MA"});
+  FdMeasures expect = ComputeMeasures(mon.rel(), mon.fds()[0].fd);
+  EXPECT_EQ(mon.fds()[0].violated, !expect.exact);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, expect.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
+}
+
+TEST(SchemaMonitorTest, ThreadsKnobDoesNotChangeResults) {
+  for (int threads : {1, 2, 4}) {
+    SchemaMonitor mon(CleanInstance(),
+                      {Fd::Parse("zip -> state", MonitorSchema())},
+                      /*check_interval=*/1, threads);
+    mon.Insert({"Hoboken", "10001", "NJ"});
+    EXPECT_TRUE(mon.fds()[0].violated) << "threads=" << threads;
+    ASSERT_EQ(mon.drift_log().size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(mon.drift_log()[0].tuple_count, 3u);
+    EXPECT_GE(mon.threads(), 1);
+  }
+}
+
 }  // namespace
 }  // namespace fdevolve::fd

@@ -151,5 +151,80 @@ TEST(DistinctEvaluatorTest, ManyOverlappingQueriesStayConsistent) {
   }
 }
 
+TEST(DistinctEvaluatorTest, AdvanceFoldsAppendedRows) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  Relation r = RelationBuilder("t", schema)
+                   .Row({int64_t{1}, "x"})
+                   .Row({int64_t{2}, "y"})
+                   .Build();
+  DistinctEvaluator eval(r);
+  EXPECT_EQ(eval.watermark(), 2u);
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 2u);
+
+  r.AppendRow({int64_t{1}, "y"});   // new (a, b) combination
+  r.AppendRow({int64_t{1}, "x"});   // duplicate of row 0
+  // The next query folds the suffix in automatically.
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})), 3u);
+  EXPECT_EQ(eval.Count(AttrSet::Of({0})), 2u);
+  EXPECT_EQ(eval.watermark(), 4u);
+}
+
+TEST(DistinctEvaluatorTest, GroupingReferencesSurviveAdvance) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation r = RelationBuilder("t", schema)
+                   .Row({int64_t{1}, int64_t{10}})
+                   .Row({int64_t{2}, int64_t{10}})
+                   .Build();
+  DistinctEvaluator eval(r);
+  const Grouping& g = eval.GroupFor(AttrSet::Of({0, 1}));
+  const Grouping* addr = &g;
+  ASSERT_EQ(g.ids.size(), 2u);
+
+  r.AppendRow({int64_t{2}, int64_t{20}});
+  eval.Advance();
+  // Same object, extended in place; prefix ids unchanged.
+  EXPECT_EQ(&eval.GroupFor(AttrSet::Of({0, 1})), addr);
+  ASSERT_EQ(g.ids.size(), 3u);
+  EXPECT_EQ(g.ids[0], 0u);
+  EXPECT_EQ(g.ids[1], 1u);
+  EXPECT_EQ(g.ids[2], 2u);
+  EXPECT_EQ(g.group_count, 3u);
+}
+
+TEST(DistinctEvaluatorTest, AdvanceMaintainsDerivedGroupings) {
+  // A grouping refined from a cached base must keep matching a fresh
+  // computation after the base and the derived grouping both advance.
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kInt64},
+                 {"c", DataType::kInt64}});
+  Relation r("t", schema);
+  for (int64_t t = 0; t < 30; ++t) {
+    r.AppendRow({t % 3, t % 5, t % 2});
+  }
+  DistinctEvaluator eval(r);
+  eval.GroupFor(AttrSet::Of({0}));
+  eval.GroupFor(AttrSet::Of({0, 1}));  // derived from {0}
+
+  for (int64_t t = 0; t < 20; ++t) {
+    r.AppendRow({t % 4, t % 6, t % 2});
+  }
+  EXPECT_EQ(eval.Count(AttrSet::Of({0, 1})),
+            DistinctCount(r, AttrSet::Of({0, 1})));
+  EXPECT_EQ(eval.GroupFor(AttrSet::Of({0, 1})).ids.size(), r.tuple_count());
+}
+
+TEST(DistinctEvaluatorTest, EmptyAttrSetAdvances) {
+  Schema schema({{"a", DataType::kInt64}});
+  Relation r("t", schema);
+  DistinctEvaluator eval(r);
+  EXPECT_EQ(eval.GroupFor(AttrSet()).group_count, 0u);
+  r.AppendRow({int64_t{1}});
+  r.AppendRow({int64_t{2}});
+  const Grouping& g = eval.GroupFor(AttrSet());
+  EXPECT_EQ(g.group_count, 1u);
+  EXPECT_EQ(g.ids, (std::vector<uint32_t>{0u, 0u}));
+  EXPECT_EQ(eval.Count(AttrSet()), 1u);
+}
+
 }  // namespace
 }  // namespace fdevolve::query

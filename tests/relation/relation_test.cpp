@@ -90,6 +90,58 @@ TEST(RelationTest, EmptyRelation) {
   EXPECT_EQ(r.NonNullAttrs(), AttrSet::Of({0}));
 }
 
+TEST(RelationTest, MidRowTypeMismatchLeavesRelationIntact) {
+  // Regression: the mismatch is in the *last* column, after valid cells for
+  // the earlier ones. A naive per-cell append would have grown columns 0-1
+  // before throwing, leaving unequal column lengths (a corrupt relation).
+  Relation r = MakeSmall();
+  EXPECT_THROW(r.AppendRow({int64_t{9}, "z", "not-a-double"}),
+               std::invalid_argument);
+  EXPECT_EQ(r.tuple_count(), 3u);
+  for (int a = 0; a < r.attr_count(); ++a) {
+    EXPECT_EQ(r.column(a).size(), 3u) << "column " << a;
+  }
+  // The failed row must not have leaked values into the dictionaries.
+  EXPECT_EQ(r.column(1).dict_size(), 2u);
+  // The relation remains fully usable.
+  r.AppendRow({int64_t{4}, "c", 4.5});
+  EXPECT_EQ(r.tuple_count(), 4u);
+  EXPECT_EQ(r.Get(3, 1), Value("c"));
+}
+
+TEST(RelationTest, AppendRowsBatch) {
+  Relation r = MakeSmall();
+  r.AppendRows({{int64_t{4}, "d", 4.0}, {int64_t{5}, "e", Value::Null()}});
+  EXPECT_EQ(r.tuple_count(), 5u);
+  EXPECT_EQ(r.Get(4, 1), Value("e"));
+  r.AppendRows({});  // empty batch is a no-op
+  EXPECT_EQ(r.tuple_count(), 5u);
+}
+
+TEST(RelationTest, AppendRowsIsAllOrNothing) {
+  Relation r = MakeSmall();
+  // Second row is bad: nothing from the batch may land, including the
+  // valid first row.
+  EXPECT_THROW(r.AppendRows({{int64_t{4}, "d", 4.0},
+                             {int64_t{5}, int64_t{6}, 5.0}}),
+               std::invalid_argument);
+  EXPECT_EQ(r.tuple_count(), 3u);
+  for (int a = 0; a < r.attr_count(); ++a) {
+    EXPECT_EQ(r.column(a).size(), 3u) << "column " << a;
+  }
+  EXPECT_EQ(r.column(1).dict_size(), 2u);  // "d" was not interned
+}
+
+TEST(RelationTest, VersionIsAMonotoneRowWatermark) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.version(), 3u);
+  r.AppendRow({int64_t{4}, "d", 4.0});
+  EXPECT_EQ(r.version(), 4u);
+  r.AppendRows({{int64_t{5}, "e", 5.0}, {int64_t{6}, "f", 6.0}});
+  EXPECT_EQ(r.version(), 6u);
+  EXPECT_EQ(r.version(), r.tuple_count());
+}
+
 TEST(RelationTest, EstimatedBytesGrowsWithData) {
   Schema schema({{"x", DataType::kInt64}});
   Relation small("s", schema);

@@ -120,5 +120,63 @@ TEST(EngineTest, AgreesWithCoreDistinctOnPlaces) {
   }
 }
 
+TEST(EngineTest, InsertAppendsRows) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+  EXPECT_EQ(ExecuteSql("INSERT INTO t VALUES (3, 'z', 30), (3, 'z', NULL)",
+                       db),
+            2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 6u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'z'", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT a) FROM t", db), 3u);
+}
+
+TEST(EngineTest, InsertCoercesIntLiteralIntoDoubleColumn) {
+  Database db;
+  relation::Schema schema(
+      {{"name", DataType::kString}, {"score", DataType::kDouble}});
+  db.AddRelation(Relation("d", schema));
+  EXPECT_EQ(ExecuteSql("INSERT INTO d VALUES ('a', 1), ('b', 2.5)", db), 2u);
+  EXPECT_EQ(db.Get("d").Get(0, 1), Value(1.0));
+  EXPECT_EQ(db.Get("d").Get(1, 1), Value(2.5));
+}
+
+TEST(EngineTest, InsertRejectsBadRowsAllOrNothing) {
+  Database db = MakeDb();
+  // Second row's arity is wrong: nothing from the statement may land.
+  EXPECT_THROW(ExecuteSql("INSERT INTO t VALUES (9, 'ok', 1), (8, 'short')",
+                          db),
+               std::invalid_argument);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+  // Double literal into an int column is not silently truncated.
+  EXPECT_THROW(ExecuteSql("INSERT INTO t VALUES (1.5, 'x', 1)", db),
+               std::invalid_argument);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+}
+
+TEST(EngineTest, InsertUnknownTableThrows) {
+  Database db = MakeDb();
+  EXPECT_THROW(ExecuteSql("INSERT INTO nope VALUES (1)", db),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, SqlDrivenMonitoringScenario) {
+  // The paper's prototype workflow end to end in SQL: declare, watch the
+  // confidence queries, insert the drift, watch them diverge.
+  Database db = MakeDb();
+  Schema schema({{"zip", DataType::kString}, {"state", DataType::kString}});
+  db.AddRelation(RelationBuilder("addr", schema)
+                     .Row({"10001", "NY"})
+                     .Row({"02101", "MA"})
+                     .Build());
+  // Exact: |π_zip| == |π_zip,state| (Q1 == Q2).
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT zip) FROM addr", db),
+            ExecuteSql("SELECT COUNT(DISTINCT zip, state) FROM addr", db));
+  ExecuteSql("INSERT INTO addr VALUES ('10001', 'NJ')", db);
+  // Drifted: the split zip now maps to two states.
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT zip) FROM addr", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT zip, state) FROM addr", db), 3u);
+}
+
 }  // namespace
 }  // namespace fdevolve::sql

@@ -77,5 +77,78 @@ TEST(ParserTest, ToStringRoundTrips) {
   }
 }
 
+TEST(ParserTest, InsertSingleRow) {
+  Statement s = ParseStatement("INSERT INTO places VALUES (1, 'NY', 2.5)");
+  const auto& ins = std::get<InsertStatement>(s);
+  EXPECT_EQ(ins.table, "places");
+  ASSERT_EQ(ins.rows.size(), 1u);
+  ASSERT_EQ(ins.rows[0].size(), 3u);
+  EXPECT_EQ(ins.rows[0][0], relation::Value(int64_t{1}));
+  EXPECT_EQ(ins.rows[0][1], relation::Value("NY"));
+  EXPECT_EQ(ins.rows[0][2], relation::Value(2.5));
+}
+
+TEST(ParserTest, InsertMultiRowWithNullsAndEscapes) {
+  Statement s = ParseStatement(
+      "insert into t values ('it''s', NULL), (-3, 'x')");
+  const auto& ins = std::get<InsertStatement>(s);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0][0], relation::Value("it's"));
+  EXPECT_TRUE(ins.rows[0][1].is_null());
+  EXPECT_EQ(ins.rows[1][0], relation::Value(int64_t{-3}));
+}
+
+TEST(ParserTest, ParseStatementStillAcceptsCountQueries) {
+  Statement s = ParseStatement("SELECT COUNT(*) FROM t");
+  EXPECT_TRUE(std::holds_alternative<CountQuery>(s));
+}
+
+TEST(ParserTest, InsertToStringRoundTrips) {
+  Statement s = ParseStatement(
+      "INSERT INTO t VALUES (1, 'a'), (2, NULL), (3, 'it''s')");
+  const auto& ins = std::get<InsertStatement>(s);
+  const auto reparsed =
+      std::get<InsertStatement>(ParseStatement(ins.ToString()));
+  EXPECT_EQ(ins.ToString(), reparsed.ToString());
+  EXPECT_EQ(reparsed.rows.size(), 3u);
+}
+
+TEST(ParserTest, InsertDoubleLiteralsRoundTripExactly) {
+  // Doubles must survive ToString → reparse with their exact value and
+  // their doubleness: 30.0 must not come back as int64 30, and tiny
+  // values must not be lost to exponent notation the lexer rejects.
+  const double doubles[] = {30.0, 2.5, 0.0000001, 1.0 / 3.0, -1e12};
+  for (double d : doubles) {
+    InsertStatement ins;
+    ins.table = "t";
+    ins.rows = {{relation::Value(d)}};
+    const auto reparsed =
+        std::get<InsertStatement>(ParseStatement(ins.ToString()));
+    ASSERT_TRUE(reparsed.rows[0][0].is_double()) << ins.ToString();
+    EXPECT_EQ(reparsed.rows[0][0].as_double(), d) << ins.ToString();
+  }
+  // Exponent forms parse directly too.
+  const auto direct = std::get<InsertStatement>(
+      ParseStatement("INSERT INTO t VALUES (1e-07, 2E+2, 1.5e2)"));
+  ASSERT_TRUE(direct.rows[0][0].is_double());
+  EXPECT_EQ(direct.rows[0][0].as_double(), 1e-07);
+  EXPECT_EQ(direct.rows[0][1].as_double(), 2e2);
+  EXPECT_EQ(direct.rows[0][2].as_double(), 1.5e2);
+  // An out-of-range literal stays inside the SqlError contract instead of
+  // leaking std::out_of_range from stod.
+  EXPECT_THROW(ParseStatement("INSERT INTO t VALUES (1e999)"), SqlError);
+}
+
+TEST(ParserTest, InsertSyntaxErrors) {
+  EXPECT_THROW(ParseStatement("INSERT t VALUES (1)"), SqlError);  // no INTO
+  EXPECT_THROW(ParseStatement("INSERT INTO t (1)"), SqlError);    // no VALUES
+  EXPECT_THROW(ParseStatement("INSERT INTO t VALUES 1, 2"), SqlError);
+  EXPECT_THROW(ParseStatement("INSERT INTO t VALUES ()"), SqlError);
+  EXPECT_THROW(ParseStatement("INSERT INTO t VALUES (1,)"), SqlError);
+  EXPECT_THROW(ParseStatement("INSERT INTO t VALUES (1) junk"), SqlError);
+  // Parse() remains query-only: INSERT is a syntax error there.
+  EXPECT_THROW(Parse("INSERT INTO t VALUES (1)"), SqlError);
+}
+
 }  // namespace
 }  // namespace fdevolve::sql
