@@ -39,6 +39,17 @@ DiscoveryResult DiscoverFds(const relation::Relation& rel,
   util::Timer timer;
   DiscoveryResult result;
 
+  // On the empty instance every FD holds vacuously, so "all minimal FDs"
+  // would be exactly {} -> A for every attribute — noise, not schema
+  // semantics. Report nothing, consistently across all lattice levels
+  // (previously level 0 suppressed the vacuous constants but deeper
+  // levels still reported [a] -> [b] as minimal, which contradicts the
+  // unreported {} -> [b]).
+  if (rel.tuple_count() == 0) {
+    result.stats.elapsed_ms = timer.ElapsedMs();
+    return result;
+  }
+
   AttrSet universe = opts.restrict_to.Empty()
                          ? rel.NonNullAttrs()
                          : rel.NonNullAttrs().Intersect(opts.restrict_to);
@@ -70,7 +81,10 @@ DiscoveryResult DiscoverFds(const relation::Relation& rel,
     level.push_back(s);
   }
 
-  const int max_lhs = opts.max_lhs < 1 ? 1 : opts.max_lhs;
+  // max_lhs == 0 legitimately means "constants only" (level 0 ran above);
+  // only negatives are clamped. The old `< 1 ? 1` clamp silently turned an
+  // explicit 0 into 1.
+  const int max_lhs = opts.max_lhs < 0 ? 0 : opts.max_lhs;
   for (int depth = 1; depth <= max_lhs && !level.empty() && fd_budget_left();
        ++depth) {
     std::vector<AttrSet> next;

@@ -13,7 +13,8 @@
 namespace fdevolve::discovery {
 
 struct DiscoveryOptions {
-  /// Maximum antecedent size explored (lattice level cap).
+  /// Maximum antecedent size explored (lattice level cap). 0 means
+  /// constants only ({} -> A); negatives are treated as 0.
   int max_lhs = 3;
 
   /// Restrict the attribute universe (both sides); empty = all NULL-free
@@ -32,7 +33,10 @@ struct DiscoveryStats {
   size_t candidates_checked = 0;  ///< (X, A) exactness tests performed
   size_t lattice_nodes = 0;       ///< antecedent sets visited
   size_t superkeys_pruned = 0;
-  bool complete = true;           ///< false if max_fds stopped the search
+  /// False whenever the max_fds cap was reached: the search stopped
+  /// without proving exhaustion, so more FDs *may* exist (conservative —
+  /// also false when the cap happens to equal the true count).
+  bool complete = true;
   double elapsed_ms = 0.0;
 };
 

@@ -3,6 +3,18 @@
 #include <stdexcept>
 
 namespace fdevolve::fd {
+namespace {
+
+/// Field-exact equality, doubles compared bitwise-as-values: the restore
+/// path recomputes measures through the same integer counts and
+/// MeasuresFromCounts arithmetic, so an honest checkpoint matches exactly.
+bool SameMeasures(const FdMeasures& a, const FdMeasures& b) {
+  return a.distinct_x == b.distinct_x && a.distinct_xy == b.distinct_xy &&
+         a.distinct_y == b.distinct_y && a.confidence == b.confidence &&
+         a.goodness == b.goodness && a.exact == b.exact;
+}
+
+}  // namespace
 
 SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
                              size_t check_interval, int threads)
@@ -20,6 +32,54 @@ SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
     if (m.violated) m.first_violation_at = rel_.tuple_count();
     monitored_.push_back(std::move(m));
   }
+}
+
+SchemaMonitor::SchemaMonitor(MonitorCheckpoint checkpoint, int threads)
+    : rel_(std::move(checkpoint.rel)),
+      eval_(rel_, threads),
+      check_interval_(checkpoint.check_interval == 0
+                          ? 1
+                          : checkpoint.check_interval),
+      inserts_since_check_(checkpoint.inserts_since_check),
+      checks_run_(checkpoint.checks_run) {
+  monitored_ = std::move(checkpoint.fds);
+  drift_log_ = std::move(checkpoint.drift_log);
+  const relation::AttrSet all = rel_.schema().AllAttrs();
+  for (auto& m : monitored_) {
+    if (!m.fd.AllAttrs().SubsetOf(all)) {
+      throw std::invalid_argument(
+          "SchemaMonitor: checkpointed FD references attributes outside the "
+          "relation schema");
+    }
+    // Re-materializing from the relation recovers the exact groupings the
+    // checkpointed evaluator held (ids are append-stable first-appearance
+    // ids — see the bit-identity invariant in query/distinct.h).
+    Track(m.fd);
+    // Cross-check the carried measures only when the checkpoint holds no
+    // unchecked inserts: with inserts_since_check == 0 the stored measures
+    // were computed at exactly the current watermark, so a recomputation
+    // must match bit for bit and a mismatch means a corrupt or mismatched
+    // checkpoint. With pending inserts the stored measures are legitimately
+    // stale (they date from the last check) and refresh at the next one.
+    if (inserts_since_check_ == 0) {
+      FdMeasures recomputed = ComputeMeasures(eval_, m.fd);
+      if (!SameMeasures(recomputed, m.measures)) {
+        throw std::invalid_argument(
+            "SchemaMonitor: checkpointed measures for " +
+            m.fd.ToString(rel_.schema()) +
+            " disagree with the relation (corrupt or mismatched checkpoint)");
+      }
+    }
+  }
+}
+
+MonitorCheckpoint SchemaMonitor::Checkpoint() const {
+  return MonitorCheckpoint{rel_,
+                           monitored_,
+                           drift_log_,
+                           check_interval_,
+                           inserts_since_check_,
+                           checks_run_};
 }
 
 void SchemaMonitor::Track(const Fd& fd) {

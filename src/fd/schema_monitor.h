@@ -44,6 +44,36 @@ struct DriftEvent {
   FdMeasures measures;
 };
 
+/// Complete resumable state of a SchemaMonitor — everything a monitoring
+/// process needs to stop and pick up mid-stream without replaying it.
+///
+/// The long-lived evaluator's groupings are deliberately *not* part of the
+/// checkpoint: every grouping is a bit-identical function of the relation
+/// (ids are dense first-appearance ids, append-stable under Advance), so
+/// the restore constructor re-materializes them from the relation and
+/// recovers the exact evaluator state the checkpointed monitor had. The
+/// per-FD measures are carried anyway; when the checkpoint holds no
+/// unchecked inserts (inserts_since_check == 0, so the stored measures
+/// date from exactly the current watermark) they are cross-checked against
+/// the re-materialized counters, turning a checkpoint/relation mismatch
+/// (corruption, wrong file pairing) into a load-time error instead of a
+/// silently wrong monitor.
+struct MonitorCheckpoint {
+  relation::Relation rel;            ///< owned relation at the watermark
+  std::vector<MonitoredFd> fds;      ///< registered FDs + drift state
+  std::vector<DriftEvent> drift_log;
+  size_t check_interval = 1;
+  size_t inserts_since_check = 0;
+  size_t checks_run = 0;
+
+  /// Streaming batch size of the driver that wrote the checkpoint (0 =
+  /// unknown). Not monitor state — InsertBatch cadence depends on how the
+  /// caller batches, so a resuming driver needs the original batch to
+  /// reproduce the exact check sequence. Checkpoint() leaves it 0; the
+  /// driver (e.g. the CLI) fills it in before serializing.
+  size_t stream_batch_hint = 0;
+};
+
 /// Periodic validation loop.
 ///
 /// Not copyable or movable: the long-lived evaluator holds a reference to
@@ -57,8 +87,23 @@ class SchemaMonitor {
   SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
                 size_t check_interval = 1, int threads = 0);
 
+  /// Resumes from a checkpoint: restores the relation, registered FDs,
+  /// drift log, and interval position verbatim, and re-materializes the
+  /// evaluator groupings from the relation. The resumed monitor emits the
+  /// exact check sequence the checkpointed one would have — measures,
+  /// drift events, and counters are bit-identical from here on.
+  ///
+  /// Throws std::invalid_argument if an FD references attributes outside
+  /// the schema, or if the checkpointed measures disagree with the ones
+  /// recomputed from the relation when they are comparable (no unchecked
+  /// inserts pending — see MonitorCheckpoint).
+  explicit SchemaMonitor(MonitorCheckpoint checkpoint, int threads = 0);
+
   SchemaMonitor(const SchemaMonitor&) = delete;
   SchemaMonitor& operator=(const SchemaMonitor&) = delete;
+
+  /// Snapshot of the complete resumable state (copies the relation).
+  MonitorCheckpoint Checkpoint() const;
 
   const relation::Relation& rel() const { return rel_; }
   const std::vector<MonitoredFd>& fds() const { return monitored_; }

@@ -48,7 +48,68 @@ std::optional<Value> ParseCell(const std::string& field, DataType type) {
 
 std::string RenderCell(const Value& v) {
   if (v.is_null()) return "\\N";
+  // Doubles render in shortest-round-trip form: Value::ToString's 6-digit
+  // ostream default would silently change the value on re-read.
+  if (v.is_double()) return util::DoubleShortestRoundTrip(v.as_double());
   return v.ToString();
+}
+
+/// Why a string cell cannot be written in this unquoted dialect, or
+/// nullptr if it can.
+const char* Unrepresentable(const std::string& s) {
+  if (s == "\\N") return "is the literal \\N (would read back as NULL)";
+  for (char c : s) {
+    if (c == ',') return "contains ',' (would shift columns)";
+    if (c == '\n') return "contains '\\n' (would split the row)";
+    if (c == '\r') return "contains '\\r' (stripped as a CRLF artifact)";
+  }
+  return nullptr;
+}
+
+/// Scans the string-column dictionaries for unrepresentable values; on a
+/// hit, locates the first affected cell in row-major order and fills
+/// `error`. Dictionary-level scanning keeps the common case O(distinct
+/// strings), not O(cells).
+bool FindUnrepresentableCell(const Relation& rel, std::string* error) {
+  const Schema& s = rel.schema();
+  // bad_codes[i] is non-empty iff column i has unrepresentable values;
+  // bad_codes[i][code] says whether that dictionary entry is bad.
+  std::vector<std::vector<char>> bad_codes(static_cast<size_t>(s.size()));
+  bool any_bad = false;
+  for (int i = 0; i < s.size(); ++i) {
+    if (s.attr(i).type != DataType::kString) continue;
+    const Column& col = rel.column(i);
+    for (size_t c = 0; c < col.dict_size(); ++c) {
+      const Value& v = col.DictValue(static_cast<uint32_t>(c));
+      if (Unrepresentable(v.as_string()) != nullptr) {
+        auto& bad = bad_codes[static_cast<size_t>(i)];
+        if (bad.empty()) bad.resize(col.dict_size(), 0);
+        bad[c] = 1;
+        any_bad = true;
+      }
+    }
+  }
+  if (!any_bad) return false;
+  for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    for (int i = 0; i < s.size(); ++i) {
+      const auto& bad = bad_codes[static_cast<size_t>(i)];
+      if (bad.empty()) continue;
+      uint32_t code = rel.column(i).code(t);
+      if (code != kNullCode && bad[code]) {
+        if (error) {
+          const std::string& v = rel.column(i).DictValue(code).as_string();
+          *error = "row " + std::to_string(t) + ", column '" +
+                   s.attr(i).name + "': value \"" + v + "\" " +
+                   Unrepresentable(v) +
+                   "; not representable in this CSV dialect";
+        }
+        return true;
+      }
+    }
+  }
+  // A bad dictionary entry with no referencing cell (possible only through
+  // Column::FromEncoded) affects no written output.
+  return false;
 }
 
 /// std::getline splits on '\n' only, so CRLF input leaves a '\r' glued to
@@ -125,7 +186,33 @@ CsvResult ReadCsvFile(const std::string& path, const std::string& name) {
   return ReadCsv(in, name);
 }
 
-void WriteCsv(const Relation& rel, std::ostream& out) {
+bool WriteCsv(const Relation& rel, std::ostream& out, std::string* error) {
+  // Detect unrepresentable content before emitting any byte: a failed
+  // write leaves the stream untouched rather than holding a corrupt
+  // prefix. Attribute names face the same dialect limits as cells, plus
+  // ':' (the header's name/type separator) — Schema accepts arbitrary
+  // names, only CSV-read schemas are guaranteed clean.
+  for (int i = 0; i < rel.schema().size(); ++i) {
+    const std::string& name = rel.schema().attr(i).name;
+    // Unlike cells, a name equal to the literal "\N" is fine — the NULL
+    // marker only applies to data fields.
+    const char* reason = nullptr;
+    for (char c : name) {
+      if (c == ',') reason = "contains ',' (would split the header field)";
+      if (c == '\n') reason = "contains '\\n' (would split the header line)";
+      if (c == '\r') reason = "contains '\\r' (stripped as a CRLF artifact)";
+      if (c == ':') reason = "contains ':' (the header name:type separator)";
+      if (reason != nullptr) break;
+    }
+    if (reason != nullptr) {
+      if (error) {
+        *error = "attribute name \"" + name + "\" " + reason +
+                 "; not representable in this CSV dialect";
+      }
+      return false;
+    }
+  }
+  if (FindUnrepresentableCell(rel, error)) return false;
   const Schema& s = rel.schema();
   for (int i = 0; i < s.size(); ++i) {
     if (i > 0) out << ",";
@@ -139,6 +226,7 @@ void WriteCsv(const Relation& rel, std::ostream& out) {
     }
     out << "\n";
   }
+  return true;
 }
 
 bool WriteCsvFile(const Relation& rel, const std::string& path,
@@ -148,8 +236,15 @@ bool WriteCsvFile(const Relation& rel, const std::string& path,
     if (error) *error = "cannot open '" + path + "' for writing";
     return false;
   }
-  WriteCsv(rel, out);
-  return out.good();
+  if (!WriteCsv(rel, out, error)) return false;
+  // good() before a flush would miss IO errors the OS only reports when
+  // buffered data hits the disk (e.g. ENOSPC) — flush first.
+  out.flush();
+  if (!out.good()) {
+    if (error) *error = "I/O error writing '" + path + "'";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace fdevolve::relation

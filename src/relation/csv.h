@@ -27,9 +27,20 @@ CsvResult ReadCsv(std::istream& in, const std::string& name);
 CsvResult ReadCsvFile(const std::string& path, const std::string& name);
 
 /// Writes a relation (header + rows) to a stream.
-void WriteCsv(const Relation& rel, std::ostream& out);
+///
+/// This dialect has no quoting, so a string cell containing ',' '\n' or
+/// '\r', or equal to the literal NULL marker "\N", cannot be written
+/// faithfully — re-reading would shift columns, change arity, or resurrect
+/// the string as NULL. The same applies to attribute names (plus ':', the
+/// header's name/type separator). Such content is detected up front: the
+/// function returns false with a locating message in `error` and writes
+/// nothing, instead of silently corrupting the output.
+bool WriteCsv(const Relation& rel, std::ostream& out,
+              std::string* error = nullptr);
 
-/// Writes to a file; returns false (and fills `error`) on I/O failure.
+/// Writes to a file; returns false (and fills `error`) on unrepresentable
+/// cells or I/O failure. The stream is flushed before success is reported,
+/// so errors surfacing at flush time (e.g. disk full) are not swallowed.
 bool WriteCsvFile(const Relation& rel, const std::string& path,
                   std::string* error);
 

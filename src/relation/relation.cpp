@@ -1,6 +1,8 @@
 #include "relation/relation.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace fdevolve::relation {
 
@@ -21,6 +23,7 @@ void Column::Append(const Value& v) {
     throw std::invalid_argument("Column: value type mismatch, expected " +
                                 DataTypeName(type_) + " got " + v.ToString());
   }
+  if (dict_index_.size() != dict_.size()) RebuildDictIndex();
   auto it = dict_index_.find(v);
   if (it != dict_index_.end()) {
     codes_.push_back(it->second);
@@ -38,6 +41,83 @@ void Column::Append(const Value& v) {
 Value Column::Get(size_t t) const {
   uint32_t c = codes_.at(t);
   return c == kNullCode ? Value::Null() : dict_.at(c);
+}
+
+void Column::RebuildDictIndex() {
+  dict_index_.clear();
+  dict_index_.reserve(dict_.size());
+  for (size_t c = 0; c < dict_.size(); ++c) {
+    dict_index_.emplace(dict_[c], static_cast<uint32_t>(c));
+  }
+}
+
+Column Column::FromEncoded(DataType type, std::vector<Value> dict,
+                           std::vector<uint32_t> codes, size_t null_count) {
+  Column col(type);
+  if (dict.size() >= kNullCode) {
+    throw std::invalid_argument("Column::FromEncoded: dictionary too large");
+  }
+  for (const Value& v : dict) {
+    if (v.is_null() || !v.MatchesType(type)) {
+      throw std::invalid_argument(
+          "Column::FromEncoded: dictionary value type mismatch, expected " +
+          DataTypeName(type) + " got " + v.ToString());
+    }
+  }
+  // Duplicate detection without building the value→code index (which is
+  // deferred to the first Append): equal values have equal hashes, so sort
+  // the bare hashes and look for equal neighbors — in the overwhelmingly
+  // common collision-free case that one u64 sort is the whole check. Only
+  // when a run of equal hashes exists are the actual values compared
+  // (second pass with codes attached). Entries that are unequal to
+  // themselves (NaN) are legal — an organic Append stream mints a fresh
+  // code for every NaN too.
+  {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(dict.size());
+    for (const Value& v : dict) hashes.push_back(v.Hash());
+    std::sort(hashes.begin(), hashes.end());
+    const bool collision =
+        std::adjacent_find(hashes.begin(), hashes.end()) != hashes.end();
+    if (collision) {
+      std::vector<std::pair<uint64_t, uint32_t>> keyed;
+      keyed.reserve(dict.size());
+      for (size_t c = 0; c < dict.size(); ++c) {
+        keyed.emplace_back(dict[c].Hash(), static_cast<uint32_t>(c));
+      }
+      std::sort(keyed.begin(), keyed.end());
+      for (size_t i = 0; i + 1 < keyed.size(); ++i) {
+        for (size_t j = i + 1;
+             j < keyed.size() && keyed[j].first == keyed[i].first; ++j) {
+          if (dict[keyed[i].second] == dict[keyed[j].second]) {
+            throw std::invalid_argument(
+                "Column::FromEncoded: duplicate dictionary value " +
+                dict[keyed[i].second].ToString());
+          }
+        }
+      }
+    }
+  }
+  size_t nulls = 0;
+  for (uint32_t c : codes) {
+    if (c == kNullCode) {
+      ++nulls;
+    } else if (c >= dict.size()) {
+      throw std::invalid_argument(
+          "Column::FromEncoded: code " + std::to_string(c) +
+          " out of dictionary range " + std::to_string(dict.size()));
+    }
+  }
+  if (nulls != null_count) {
+    throw std::invalid_argument(
+        "Column::FromEncoded: null count mismatch (codes have " +
+        std::to_string(nulls) + ", declared " + std::to_string(null_count) +
+        ")");
+  }
+  col.dict_ = std::move(dict);
+  col.codes_ = std::move(codes);
+  col.null_count_ = null_count;
+  return col;
 }
 
 Relation::Relation(std::string name, Schema schema)
@@ -94,6 +174,30 @@ bool Relation::AnyNulls(const AttrSet& attrs) const {
     if (column(i).has_nulls()) return true;
   }
   return false;
+}
+
+Relation Relation::FromEncoded(std::string name, Schema schema,
+                               std::vector<Column> columns) {
+  if (columns.size() != static_cast<size_t>(schema.size())) {
+    throw std::invalid_argument(
+        "Relation::FromEncoded: column count does not match schema");
+  }
+  size_t rows = columns.empty() ? 0 : columns.front().size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.attr(static_cast<int>(i)).type) {
+      throw std::invalid_argument(
+          "Relation::FromEncoded: column type mismatch at attribute '" +
+          schema.attr(static_cast<int>(i)).name + "'");
+    }
+    if (columns[i].size() != rows) {
+      throw std::invalid_argument(
+          "Relation::FromEncoded: columns have unequal lengths");
+    }
+  }
+  Relation rel(std::move(name), std::move(schema));
+  rel.columns_ = std::move(columns);
+  rel.tuple_count_ = rows;
+  return rel;
 }
 
 size_t Relation::EstimatedBytes() const {

@@ -41,6 +41,22 @@ class Column {
   /// Value behind a dictionary code; kNullCode maps back to NULL.
   const Value& DictValue(uint32_t code) const;
 
+  /// Dictionary values in code order (code `c` is `dict_values()[c]`).
+  /// This plus codes() is the column's entire encoded state — what the
+  /// snapshot layer persists.
+  const std::vector<Value>& dict_values() const { return dict_; }
+
+  /// Rebuilds a column directly at the encoded layer — the snapshot load
+  /// path, which must not re-dictionary-encode per cell. Validates that
+  /// every dictionary value matches `type` and is distinct (via a
+  /// hash-sort pass, cheaper than rebuilding the dictionary index), that
+  /// every code is either < dict.size() or kNullCode, and that the
+  /// kNullCode count equals `null_count`; throws std::invalid_argument
+  /// otherwise. The value→code index is rebuilt lazily on the first
+  /// Append, so load-then-query workloads never pay for it.
+  static Column FromEncoded(DataType type, std::vector<Value> dict,
+                            std::vector<uint32_t> codes, size_t null_count);
+
   /// Appends a value; throws std::invalid_argument on type mismatch.
   void Append(const Value& v);
 
@@ -51,6 +67,9 @@ class Column {
   struct ValueHash {
     size_t operator()(const Value& v) const { return v.Hash(); }
   };
+
+  /// Re-derives dict_index_ from dict_ (after FromEncoded left it empty).
+  void RebuildDictIndex();
 
   DataType type_;
   std::vector<uint32_t> codes_;
@@ -113,6 +132,13 @@ class Relation {
   /// Rough payload size in bytes (codes + dictionaries); used by the
   /// Figure 3c "table dimension" axis.
   size_t EstimatedBytes() const;
+
+  /// Rebuilds a relation from per-column encoded state (the snapshot load
+  /// path). `columns` must match the schema positionally — one column per
+  /// attribute, same type, equal lengths; throws std::invalid_argument
+  /// otherwise. The watermark becomes the common column length.
+  static Relation FromEncoded(std::string name, Schema schema,
+                              std::vector<Column> columns);
 
  private:
   /// Throws std::invalid_argument unless `row` matches the schema (arity

@@ -1,7 +1,8 @@
 #include "sql/ast.h"
 
-#include <charconv>
 #include <sstream>
+
+#include "util/strings.h"
 
 namespace fdevolve::sql {
 namespace {
@@ -22,10 +23,7 @@ std::string RenderLiteral(const relation::Value& v) {
     // Shortest round-trip form (not Value::ToString's 6-digit ostream
     // default, which loses precision). Keep a '.' or exponent in the text
     // so re-parsing yields a double again, not an int.
-    char buf[32];
-    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_double());
-    std::string out(buf, ptr);
-    (void)ec;  // 32 bytes always fit a shortest-round-trip double
+    std::string out = util::DoubleShortestRoundTrip(v.as_double());
     if (out.find('.') == std::string::npos &&
         out.find('e') == std::string::npos &&
         out.find('E') == std::string::npos) {

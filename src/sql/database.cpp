@@ -56,6 +56,17 @@ const DeclaredFd& Database::DeclareFd(const std::string& table,
   return fds_.back();
 }
 
+const DeclaredFd& Database::DeclareFd(const std::string& table, fd::Fd fd) {
+  const relation::Relation& rel = Get(table);
+  if (!fd.AllAttrs().SubsetOf(rel.schema().AllAttrs())) {
+    throw std::invalid_argument(
+        "Database::DeclareFd: FD references attributes outside the schema "
+        "of '" + table + "'");
+  }
+  fds_.push_back({table, std::move(fd)});
+  return fds_.back();
+}
+
 std::vector<DeclaredFd> Database::Fds(const std::string& table) const {
   std::vector<DeclaredFd> out;
   for (const auto& d : fds_) {
@@ -86,8 +97,12 @@ bool SaveCatalog(const Database& db, const std::string& dir,
     return false;
   }
   for (const auto& name : db.TableNames()) {
+    std::string csv_error;
     if (!relation::WriteCsvFile(db.Get(name), dir + "/" + name + ".csv",
-                                error)) {
+                                &csv_error)) {
+      // WriteCsvFile's error locates the cell; prefix the table so a
+      // multi-table save names the culprit.
+      if (error) *error = "table '" + name + "': " + csv_error;
       return false;
     }
   }
@@ -111,7 +126,14 @@ bool SaveCatalog(const Database& db, const std::string& dir,
     }
     fds << d.table << ": " << lhs << " -> " << rhs << "\n";
   }
-  return fds.good();
+  // Flush before checking: an IO error surfacing only when buffered data
+  // hits the disk must not be reported as success.
+  fds.flush();
+  if (!fds.good()) {
+    if (error) *error = "I/O error writing fds.txt";
+    return false;
+  }
+  return true;
 }
 
 bool LoadCatalog(const std::string& dir, Database* db, std::string* error) {

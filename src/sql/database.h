@@ -40,6 +40,12 @@ class Database {
                               const std::string& fd_text,
                               std::string label = "");
 
+  /// Declares an already-constructed FD (the snapshot-load path, where
+  /// attribute indices arrive directly). Throws std::invalid_argument if
+  /// the table is absent or the FD references attributes outside its
+  /// schema.
+  const DeclaredFd& DeclareFd(const std::string& table, fd::Fd fd);
+
   /// All declared FDs, optionally restricted to one table.
   std::vector<DeclaredFd> Fds(const std::string& table = "") const;
 

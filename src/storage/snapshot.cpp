@@ -1,0 +1,528 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/binary_io.h"
+
+namespace fdevolve::storage {
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+
+constexpr char kMagic[4] = {'F', 'D', 'E', 'V'};
+constexpr size_t kHeaderSize = 4 + 4 + 4;  // magic + version + kind
+constexpr size_t kTrailerSize = 8;         // FNV-1a checksum
+
+enum PayloadKind : uint32_t {
+  kKindRelation = 1,
+  kKindDatabase = 2,
+  kKindMonitor = 3,
+};
+
+const char* KindName(uint32_t kind) {
+  switch (kind) {
+    case kKindRelation:
+      return "relation";
+    case kKindDatabase:
+      return "database";
+    case kKindMonitor:
+      return "monitor checkpoint";
+  }
+  return "unknown";
+}
+
+uint8_t TypeTag(relation::DataType t) {
+  switch (t) {
+    case relation::DataType::kInt64:
+      return 0;
+    case relation::DataType::kDouble:
+      return 1;
+    case relation::DataType::kString:
+      return 2;
+  }
+  throw std::logic_error("unreachable data type");
+}
+
+relation::DataType TypeFromTag(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return relation::DataType::kInt64;
+    case 1:
+      return relation::DataType::kDouble;
+    case 2:
+      return relation::DataType::kString;
+  }
+  throw util::BinaryIoError("bad column type tag " + std::to_string(tag));
+}
+
+// --- Payload writers. Each Write*Payload appends the naked payload; the
+// --- envelope (magic/version/kind + checksum trailer) is added by Seal.
+
+void WriteAttrSet(BinaryWriter& w, const relation::AttrSet& s) {
+  const auto idx = s.ToVector();
+  w.U32(static_cast<uint32_t>(idx.size()));
+  for (int i : idx) w.U32(static_cast<uint32_t>(i));
+}
+
+relation::AttrSet ReadAttrSet(BinaryReader& r) {
+  uint32_t count = r.U32();
+  relation::AttrSet s;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t a = r.U32();
+    if (a >= static_cast<uint32_t>(relation::AttrSet::kMaxAttrs)) {
+      throw util::BinaryIoError("attribute index " + std::to_string(a) +
+                                " out of range");
+    }
+    s.Add(static_cast<int>(a));
+  }
+  return s;
+}
+
+void WriteFd(BinaryWriter& w, const fd::Fd& f) {
+  w.Str(f.label());
+  WriteAttrSet(w, f.lhs());
+  WriteAttrSet(w, f.rhs());
+}
+
+fd::Fd ReadFd(BinaryReader& r) {
+  std::string label = r.Str();
+  relation::AttrSet lhs = ReadAttrSet(r);
+  relation::AttrSet rhs = ReadAttrSet(r);
+  // Fd's constructor rejects overlapping sides / empty consequent; let its
+  // std::invalid_argument surface as the load error.
+  return fd::Fd(lhs, rhs, std::move(label));
+}
+
+void WriteMeasures(BinaryWriter& w, const fd::FdMeasures& m) {
+  w.U64(m.distinct_x);
+  w.U64(m.distinct_xy);
+  w.U64(m.distinct_y);
+  w.F64(m.confidence);
+  w.I64(m.goodness);
+  w.U8(m.exact ? 1 : 0);
+}
+
+fd::FdMeasures ReadMeasures(BinaryReader& r) {
+  fd::FdMeasures m;
+  m.distinct_x = r.U64();
+  m.distinct_xy = r.U64();
+  m.distinct_y = r.U64();
+  m.confidence = r.F64();
+  m.goodness = r.I64();
+  m.exact = r.U8() != 0;
+  return m;
+}
+
+void WriteRelationPayload(BinaryWriter& w, const relation::Relation& rel) {
+  w.Str(rel.name());
+  const relation::Schema& s = rel.schema();
+  w.U32(static_cast<uint32_t>(s.size()));
+  for (const auto& a : s.attrs()) {
+    w.Str(a.name);
+    w.U8(TypeTag(a.type));
+  }
+  w.U64(rel.tuple_count());
+  for (int i = 0; i < s.size(); ++i) {
+    const relation::Column& col = rel.column(i);
+    w.U64(col.null_count());
+    w.U64(col.dict_size());
+    for (size_t c = 0; c < col.dict_size(); ++c) {
+      const relation::Value& v = col.DictValue(static_cast<uint32_t>(c));
+      switch (col.type()) {
+        case relation::DataType::kInt64:
+          w.I64(v.as_int());
+          break;
+        case relation::DataType::kDouble:
+          w.F64(v.as_double());  // exact bits, not a decimal rendering
+          break;
+        case relation::DataType::kString:
+          w.Str(v.as_string());
+          break;
+      }
+    }
+    w.U32Array(col.codes());
+  }
+}
+
+relation::Relation ReadRelationPayload(BinaryReader& r) {
+  std::string name = r.Str();
+  uint32_t attr_count = r.U32();
+  std::vector<relation::Attribute> attrs;
+  attrs.reserve(attr_count);
+  for (uint32_t i = 0; i < attr_count; ++i) {
+    relation::Attribute a;
+    a.name = r.Str();
+    a.type = TypeFromTag(r.U8());
+    attrs.push_back(std::move(a));
+  }
+  relation::Schema schema(std::move(attrs));  // throws on duplicate names
+  uint64_t tuples = r.U64();
+
+  if (attr_count == 0) {
+    // Degenerate but representable: a zero-attribute relation still has a
+    // tuple count (AppendRow({}) increments it). FromEncoded derives the
+    // count from the columns, so replay the appends instead — bounded, so
+    // a crafted count cannot turn the load into a near-endless loop.
+    if (tuples > (uint64_t{1} << 27)) {
+      throw util::BinaryIoError("implausible zero-attribute tuple count " +
+                                std::to_string(tuples));
+    }
+    relation::Relation rel(std::move(name), std::move(schema));
+    for (uint64_t t = 0; t < tuples; ++t) rel.AppendRow({});
+    return rel;
+  }
+
+  std::vector<relation::Column> columns;
+  columns.reserve(attr_count);
+  for (uint32_t i = 0; i < attr_count; ++i) {
+    relation::DataType type = schema.attr(static_cast<int>(i)).type;
+    uint64_t null_count = r.U64();
+    uint64_t dict_size = r.U64();
+    std::vector<relation::Value> dict;
+    // Every dictionary entry occupies at least one payload byte, so a
+    // corrupt dict_size larger than the remaining range fails here rather
+    // than in a giant reserve.
+    if (dict_size > r.remaining()) {
+      throw util::BinaryIoError("dictionary size " +
+                                std::to_string(dict_size) +
+                                " exceeds remaining payload");
+    }
+    dict.reserve(static_cast<size_t>(dict_size));
+    for (uint64_t c = 0; c < dict_size; ++c) {
+      switch (type) {
+        case relation::DataType::kInt64:
+          dict.emplace_back(r.I64());
+          break;
+        case relation::DataType::kDouble:
+          dict.emplace_back(r.F64());
+          break;
+        case relation::DataType::kString:
+          dict.emplace_back(r.Str());
+          break;
+      }
+    }
+    std::vector<uint32_t> codes = r.U32Array();
+    if (codes.size() != tuples) {
+      throw util::BinaryIoError(
+          "column '" + schema.attr(static_cast<int>(i)).name + "' has " +
+          std::to_string(codes.size()) + " codes for " +
+          std::to_string(tuples) + " tuples");
+    }
+    // FromEncoded re-validates code ranges, null counts, and dictionary
+    // uniqueness — the structural invariants a checksum cannot see.
+    columns.push_back(relation::Column::FromEncoded(
+        type, std::move(dict), std::move(codes),
+        static_cast<size_t>(null_count)));
+  }
+  return relation::Relation::FromEncoded(std::move(name), std::move(schema),
+                                         std::move(columns));
+}
+
+void WriteCheckpointPayload(BinaryWriter& w,
+                            const fd::MonitorCheckpoint& ckpt) {
+  WriteRelationPayload(w, ckpt.rel);
+  w.U64(ckpt.check_interval);
+  w.U64(ckpt.inserts_since_check);
+  w.U64(ckpt.checks_run);
+  w.U64(ckpt.stream_batch_hint);
+  w.U32(static_cast<uint32_t>(ckpt.fds.size()));
+  for (const auto& m : ckpt.fds) {
+    WriteFd(w, m.fd);
+    WriteMeasures(w, m.measures);
+    w.U8(m.was_exact_at_registration ? 1 : 0);
+    w.U8(m.violated ? 1 : 0);
+    w.U64(m.first_violation_at);
+  }
+  w.U32(static_cast<uint32_t>(ckpt.drift_log.size()));
+  for (const auto& ev : ckpt.drift_log) {
+    w.U64(ev.fd_index);
+    w.U64(ev.tuple_count);
+    WriteMeasures(w, ev.measures);
+  }
+}
+
+fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
+  relation::Relation rel = ReadRelationPayload(r);
+  uint64_t check_interval = r.U64();
+  uint64_t inserts_since_check = r.U64();
+  uint64_t checks_run = r.U64();
+  uint64_t stream_batch_hint = r.U64();
+  uint32_t fd_count = r.U32();
+  std::vector<fd::MonitoredFd> fds;
+  fds.reserve(fd_count);
+  for (uint32_t i = 0; i < fd_count; ++i) {
+    fd::MonitoredFd m;
+    m.fd = ReadFd(r);
+    m.measures = ReadMeasures(r);
+    m.was_exact_at_registration = r.U8() != 0;
+    m.violated = r.U8() != 0;
+    m.first_violation_at = r.U64();
+    fds.push_back(std::move(m));
+  }
+  uint32_t drift_count = r.U32();
+  std::vector<fd::DriftEvent> drift;
+  drift.reserve(drift_count);
+  for (uint32_t i = 0; i < drift_count; ++i) {
+    fd::DriftEvent ev;
+    ev.fd_index = r.U64();
+    if (ev.fd_index >= fd_count) {
+      throw util::BinaryIoError("drift event references FD " +
+                                std::to_string(ev.fd_index) + " of " +
+                                std::to_string(fd_count));
+    }
+    ev.tuple_count = r.U64();
+    ev.measures = ReadMeasures(r);
+    drift.push_back(std::move(ev));
+  }
+  return fd::MonitorCheckpoint{std::move(rel),
+                               std::move(fds),
+                               std::move(drift),
+                               static_cast<size_t>(check_interval),
+                               static_cast<size_t>(inserts_since_check),
+                               static_cast<size_t>(checks_run),
+                               static_cast<size_t>(stream_batch_hint)};
+}
+
+// --- Envelope.
+
+std::string Seal(BinaryWriter&& w) {
+  w.U64(w.Checksum());
+  return w.buffer();
+}
+
+BinaryWriter OpenWriter(uint32_t kind) {
+  BinaryWriter w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kFormatVersion);
+  w.U32(kind);
+  return w;
+}
+
+/// Verifies the envelope and returns the payload range, or fills `error`.
+/// `not_snapshot` (optional) is set when the input lacks the magic
+/// entirely — the structured "try another format" signal.
+std::optional<std::string_view> OpenEnvelope(std::string_view bytes,
+                                             uint32_t expected_kind,
+                                             std::string* error,
+                                             bool* not_snapshot = nullptr) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    if (error) *error = "not an FDEV snapshot (file too small)";
+    if (not_snapshot) *not_snapshot = true;
+    return std::nullopt;
+  }
+  // Magic first (so a non-snapshot file is reported as such, letting
+  // callers sniff the format), then the checksum: it subsumes most
+  // corruption, and everything after it can trust the byte values (the
+  // parse-level bounds checks remain as defense in depth).
+  if (bytes.substr(0, 4) != std::string_view(kMagic, 4)) {
+    if (error) *error = "not an FDEV snapshot (bad magic)";
+    if (not_snapshot) *not_snapshot = true;
+    return std::nullopt;
+  }
+  BinaryReader trailer(bytes.substr(bytes.size() - kTrailerSize));
+  const uint64_t stored = trailer.U64();
+  const uint64_t computed =
+      util::Checksum64(bytes.data(), bytes.size() - kTrailerSize);
+  if (stored != computed) {
+    if (error) *error = "checksum mismatch (truncated or corrupt snapshot)";
+    return std::nullopt;
+  }
+  BinaryReader header(bytes.substr(4));
+  const uint32_t version = header.U32();
+  if (version != kFormatVersion) {
+    if (error) {
+      *error = "unsupported snapshot version " + std::to_string(version) +
+               " (this build reads " + std::to_string(kFormatVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  const uint32_t kind = header.U32();
+  if (kind != expected_kind) {
+    if (error) {
+      *error = std::string("snapshot kind mismatch: expected ") +
+               KindName(expected_kind) + ", found " + KindName(kind);
+    }
+    return std::nullopt;
+  }
+  return bytes.substr(kHeaderSize,
+                      bytes.size() - kHeaderSize - kTrailerSize);
+}
+
+// --- File helpers.
+
+std::optional<std::string> ReadFileBytes(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  // One bulk read at the known size: an istreambuf_iterator loop costs a
+  // virtual call per byte, which alone would dwarf the parse time.
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  if (size > 0) in.read(bytes.data(), size);
+  if (!in || in.gcount() != size) {
+    if (error) *error = "I/O error reading '" + path + "'";
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+bool WriteFileBytes(const std::string& bytes, const std::string& path,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Flush before checking: a disk-full error surfacing at flush time must
+  // fail the save, not report success (same audit as WriteCsvFile).
+  out.flush();
+  if (!out.good()) {
+    if (error) *error = "I/O error writing '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeRelation(const relation::Relation& rel) {
+  BinaryWriter w = OpenWriter(kKindRelation);
+  WriteRelationPayload(w, rel);
+  return Seal(std::move(w));
+}
+
+RelationSnapshotResult DeserializeRelation(std::string_view bytes) {
+  RelationSnapshotResult result;
+  auto payload = OpenEnvelope(bytes, kKindRelation, &result.error,
+                              &result.not_a_snapshot);
+  if (!payload) return result;
+  try {
+    BinaryReader r(*payload);
+    relation::Relation rel = ReadRelationPayload(r);
+    if (!r.AtEnd()) {
+      result.error = "trailing bytes after relation payload";
+      return result;
+    }
+    result.relation.emplace(std::move(rel));
+  } catch (const std::exception& e) {
+    result.error = std::string("corrupt relation snapshot: ") + e.what();
+  }
+  return result;
+}
+
+std::string SerializeDatabase(const sql::Database& db) {
+  BinaryWriter w = OpenWriter(kKindDatabase);
+  const auto tables = db.TableNames();
+  w.U32(static_cast<uint32_t>(tables.size()));
+  for (const auto& name : tables) WriteRelationPayload(w, db.Get(name));
+  const auto fds = db.Fds();
+  w.U32(static_cast<uint32_t>(fds.size()));
+  for (const auto& d : fds) {
+    w.Str(d.table);
+    WriteFd(w, d.fd);
+  }
+  return Seal(std::move(w));
+}
+
+bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
+                         std::string* error) {
+  auto payload = OpenEnvelope(bytes, kKindDatabase, error);
+  if (!payload) return false;
+  try {
+    BinaryReader r(*payload);
+    uint32_t table_count = r.U32();
+    for (uint32_t i = 0; i < table_count; ++i) {
+      db->AddRelation(ReadRelationPayload(r));
+    }
+    uint32_t fd_count = r.U32();
+    for (uint32_t i = 0; i < fd_count; ++i) {
+      std::string table = r.Str();
+      // DeclareFd validates table existence and schema bounds.
+      db->DeclareFd(table, ReadFd(r));
+    }
+    if (!r.AtEnd()) {
+      if (error) *error = "trailing bytes after database payload";
+      return false;
+    }
+  } catch (const std::exception& e) {
+    if (error) *error = std::string("corrupt database snapshot: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt) {
+  BinaryWriter w = OpenWriter(kKindMonitor);
+  WriteCheckpointPayload(w, ckpt);
+  return Seal(std::move(w));
+}
+
+CheckpointResult DeserializeCheckpoint(std::string_view bytes) {
+  CheckpointResult result;
+  auto payload = OpenEnvelope(bytes, kKindMonitor, &result.error);
+  if (!payload) return result;
+  try {
+    BinaryReader r(*payload);
+    fd::MonitorCheckpoint ckpt = ReadCheckpointPayload(r);
+    if (!r.AtEnd()) {
+      result.error = "trailing bytes after checkpoint payload";
+      return result;
+    }
+    result.checkpoint.emplace(std::move(ckpt));
+  } catch (const std::exception& e) {
+    result.error = std::string("corrupt monitor checkpoint: ") + e.what();
+  }
+  return result;
+}
+
+bool SaveRelationSnapshot(const relation::Relation& rel,
+                          const std::string& path, std::string* error) {
+  return WriteFileBytes(SerializeRelation(rel), path, error);
+}
+
+RelationSnapshotResult LoadRelationSnapshot(const std::string& path) {
+  RelationSnapshotResult result;
+  auto bytes = ReadFileBytes(path, &result.error);
+  if (!bytes) return result;
+  return DeserializeRelation(*bytes);
+}
+
+bool SaveDatabaseSnapshot(const sql::Database& db, const std::string& path,
+                          std::string* error) {
+  return WriteFileBytes(SerializeDatabase(db), path, error);
+}
+
+bool LoadDatabaseSnapshot(const std::string& path, sql::Database* db,
+                          std::string* error) {
+  auto bytes = ReadFileBytes(path, error);
+  if (!bytes) return false;
+  return DeserializeDatabase(*bytes, db, error);
+}
+
+bool SaveMonitorCheckpoint(const fd::SchemaMonitor& monitor,
+                           const std::string& path, std::string* error) {
+  return WriteFileBytes(SerializeCheckpoint(monitor.Checkpoint()), path,
+                        error);
+}
+
+bool SaveMonitorCheckpoint(const fd::MonitorCheckpoint& ckpt,
+                           const std::string& path, std::string* error) {
+  return WriteFileBytes(SerializeCheckpoint(ckpt), path, error);
+}
+
+CheckpointResult LoadMonitorCheckpoint(const std::string& path) {
+  CheckpointResult result;
+  auto bytes = ReadFileBytes(path, &result.error);
+  if (!bytes) return result;
+  return DeserializeCheckpoint(*bytes);
+}
+
+}  // namespace fdevolve::storage

@@ -1,0 +1,114 @@
+// FDEV1 — versioned binary columnar snapshots.
+//
+// CSV persistence re-parses and re-dictionary-encodes the whole stream on
+// every restart; snapshots instead serialize the *encoded* layer directly
+// (per-column dictionary + dense codes + row watermark, no per-cell Value
+// boxing), in the spirit of DuckDB's persisted column segments and
+// Hyrise's binary table export. Three payload kinds share one envelope:
+//
+//   * Relation          — one dictionary-encoded relation;
+//   * Database catalog  — named relations + declared FDs;
+//   * Monitor checkpoint — a SchemaMonitor's complete resumable state
+//     (relation, registered FDs, accepted repairs, per-FD maintained
+//     counters, drift log, interval position), so a monitoring process can
+//     stop and resume mid-stream without replaying it.
+//
+// File layout (all integers little-endian, see util/binary_io.h):
+//
+//   offset 0: magic "FDEV"            (4 bytes)
+//             format version u32     (currently 1)
+//             payload kind u32       (1 = relation, 2 = database,
+//                                     3 = monitor checkpoint)
+//             payload bytes
+//   trailer:  FNV-1a u64 over everything before the trailer
+//
+// Integrity policy: loads verify size, magic, version, kind, and checksum
+// before parsing, then parse with bounds-checked reads and validate every
+// structural invariant (code ranges, null counts, dictionary uniqueness,
+// schema/FD consistency, measure agreement). A truncated or bit-flipped
+// file fails with a clean error — never a crash, never a silently wrong
+// object. Version policy: the u32 after the magic is bumped on any layout
+// change; readers reject versions they do not know (no silent best-effort
+// parsing of future formats).
+//
+// Bit-identity contract: a loaded snapshot reproduces the encoded state
+// exactly — same dictionary order, same codes, same watermark — so every
+// downstream computation (group ids, distinct counts, measure doubles,
+// drift flags) is bit-identical to the evaluator state that wrote it. The
+// differential fuzz suite and bench_snapshot gate this.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fd/schema_monitor.h"
+#include "relation/relation.h"
+#include "sql/database.h"
+
+namespace fdevolve::storage {
+
+/// Format version written by this build; readers accept exactly this.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Result of loading a relation snapshot (mirrors relation::CsvResult).
+struct RelationSnapshotResult {
+  std::optional<relation::Relation> relation;
+  std::string error;
+
+  /// True when the input is not an FDEV snapshot at all (missing magic /
+  /// shorter than the envelope) — as opposed to a corrupt or mismatched
+  /// snapshot. Lets callers that accept several formats fall back to
+  /// another parser without matching on error text.
+  bool not_a_snapshot = false;
+
+  bool ok() const { return relation.has_value(); }
+};
+
+/// Result of loading a monitor checkpoint.
+struct CheckpointResult {
+  std::optional<fd::MonitorCheckpoint> checkpoint;
+  std::string error;
+
+  bool ok() const { return checkpoint.has_value(); }
+};
+
+// --- Buffer-level API (the file functions are thin wrappers; tests use
+// --- these to corrupt bytes in memory).
+
+/// Serializes to a complete snapshot byte string (envelope + checksum).
+std::string SerializeRelation(const relation::Relation& rel);
+std::string SerializeDatabase(const sql::Database& db);
+std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt);
+
+/// Parses a complete snapshot byte string of the matching kind.
+RelationSnapshotResult DeserializeRelation(std::string_view bytes);
+bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
+                         std::string* error);
+CheckpointResult DeserializeCheckpoint(std::string_view bytes);
+
+// --- File-level API. Writers flush before reporting success so
+// --- flush-time I/O errors (e.g. disk full) are not swallowed.
+
+bool SaveRelationSnapshot(const relation::Relation& rel,
+                          const std::string& path, std::string* error);
+RelationSnapshotResult LoadRelationSnapshot(const std::string& path);
+
+bool SaveDatabaseSnapshot(const sql::Database& db, const std::string& path,
+                          std::string* error);
+/// Adds the snapshot's relations and FDs into `db` (normally empty;
+/// duplicate table names fail). On failure `*db` may hold a partial load,
+/// matching sql::LoadCatalog's semantics.
+bool LoadDatabaseSnapshot(const std::string& path, sql::Database* db,
+                          std::string* error);
+
+/// Checkpoints a monitor (calls SchemaMonitor::Checkpoint()).
+bool SaveMonitorCheckpoint(const fd::SchemaMonitor& monitor,
+                           const std::string& path, std::string* error);
+/// Saves an explicit checkpoint — for drivers that annotate it (e.g. the
+/// CLI filling MonitorCheckpoint::stream_batch_hint) before persisting.
+bool SaveMonitorCheckpoint(const fd::MonitorCheckpoint& ckpt,
+                           const std::string& path, std::string* error);
+CheckpointResult LoadMonitorCheckpoint(const std::string& path);
+
+}  // namespace fdevolve::storage

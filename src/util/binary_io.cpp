@@ -1,0 +1,162 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+namespace fdevolve::util {
+namespace {
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
+
+}  // namespace
+
+namespace {
+
+/// Little-endian load of up to 8 bytes (zero-padded), so the checksum of a
+/// byte sequence is identical on every host.
+inline uint64_t LoadWordLe(const unsigned char* p, size_t n) {
+  if (kHostLittleEndian && n == 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    return w;
+  }
+  uint64_t w = 0;
+  for (size_t i = 0; i < n; ++i) w |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return w;
+}
+
+}  // namespace
+
+uint64_t Checksum64(const void* data, size_t size) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;  // odd => bijective multiply
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ (size * kPrime);
+  size_t n = size;
+  while (n >= 8) {
+    h = (h ^ LoadWordLe(p, 8)) * kPrime;
+    h ^= h >> 29;  // xorshift: invertible, spreads high bits down
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    h = (h ^ LoadWordLe(p, n)) * kPrime;
+  }
+  h ^= h >> 32;
+  h *= kPrime;
+  h ^= h >> 29;
+  return h;
+}
+
+void BinaryWriter::U32(uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  buf_.append(b, 4);
+}
+
+void BinaryWriter::U64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void BinaryWriter::Str(std::string_view s) {
+  U64(s.size());
+  if (!s.empty()) buf_.append(s.data(), s.size());
+}
+
+void BinaryWriter::U32Array(const std::vector<uint32_t>& v) {
+  U64(v.size());
+  if (v.empty()) return;
+  if (kHostLittleEndian) {
+    buf_.append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(uint32_t));
+  } else {
+    for (uint32_t x : v) U32(x);
+  }
+}
+
+void BinaryWriter::Bytes(const void* data, size_t size) {
+  if (size > 0) buf_.append(static_cast<const char*>(data), size);
+}
+
+const unsigned char* BinaryReader::Take(size_t n) {
+  if (n > remaining()) {
+    throw BinaryIoError("truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) +
+                        ", have " + std::to_string(remaining()));
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t BinaryReader::U8() { return *Take(1); }
+
+uint32_t BinaryReader::U32() {
+  const unsigned char* p = Take(4);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t BinaryReader::U64() {
+  const unsigned char* p = Take(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double BinaryReader::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::Str() {
+  uint64_t len = U64();
+  if (len > remaining()) {
+    throw BinaryIoError("truncated: string of length " + std::to_string(len) +
+                        " at offset " + std::to_string(pos_) + ", have " +
+                        std::to_string(remaining()));
+  }
+  const unsigned char* p = Take(static_cast<size_t>(len));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<size_t>(len));
+}
+
+std::vector<uint32_t> BinaryReader::U32Array() {
+  uint64_t count = U64();
+  if (count > remaining() / sizeof(uint32_t)) {
+    throw BinaryIoError("truncated: u32 array of " + std::to_string(count) +
+                        " elements at offset " + std::to_string(pos_) +
+                        ", have " + std::to_string(remaining()) + " bytes");
+  }
+  std::vector<uint32_t> out(static_cast<size_t>(count));
+  if (out.empty()) {
+    return out;
+  }
+  if (kHostLittleEndian) {
+    const unsigned char* p = Take(out.size() * sizeof(uint32_t));
+    std::memcpy(out.data(), p, out.size() * sizeof(uint32_t));
+  } else {
+    for (auto& x : out) x = U32();
+  }
+  return out;
+}
+
+}  // namespace fdevolve::util

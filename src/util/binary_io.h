@@ -1,0 +1,94 @@
+// Checksummed little-endian binary encoding, the substrate of the FDEV1
+// snapshot format (src/storage).
+//
+// BinaryWriter accumulates into an in-memory buffer; the caller appends
+// Checksum() as a trailer and writes the whole thing in one pass.
+// BinaryReader parses a byte range with bounds-checked reads: any read past
+// the end throws BinaryIoError instead of reading garbage, so a truncated
+// or corrupt file always surfaces as a clean error, never undefined
+// behavior. The encoding is fixed little-endian regardless of host order.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdevolve::util {
+
+/// Thrown by BinaryReader on any out-of-bounds or malformed read.
+class BinaryIoError : public std::runtime_error {
+ public:
+  explicit BinaryIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// 64-bit checksum over a byte range — the snapshot trailer checksum.
+/// FNV-1a-style multiply/xor, but folding 8 bytes per step (with the
+/// length mixed into the seed) so checksumming never dominates a snapshot
+/// load. Every step is bijective in the state, so any single-bit flip in
+/// the input changes the result. Not cryptographic; it exists to catch
+/// truncation and bit rot, not tampering.
+uint64_t Checksum64(const void* data, size_t size);
+
+/// Append-only little-endian encoder over an owned byte buffer.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// Exact bit pattern: NaN payloads and -0.0 survive the round trip.
+  void F64(double v);
+  /// u64 length prefix + raw bytes.
+  void Str(std::string_view s);
+  /// u64 count prefix + the elements as little-endian u32s (bulk memcpy on
+  /// little-endian hosts — the column-codes hot path).
+  void U32Array(const std::vector<uint32_t>& v);
+  void Bytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  /// Checksum of everything written so far.
+  uint64_t Checksum() const { return Checksum64(buf_.data(), buf_.size()); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.
+///
+/// The range must outlive the reader. Every accessor throws BinaryIoError
+/// when fewer bytes remain than the read needs, naming the offset — the
+/// storage layer converts that into a "truncated snapshot" error message.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  /// Reads a u64 length prefix, then that many bytes. The length is
+  /// validated against the remaining range *before* allocating, so a
+  /// corrupt multi-gigabyte length fails cleanly instead of attempting the
+  /// allocation.
+  std::string Str();
+  /// Counterpart of BinaryWriter::U32Array.
+  std::vector<uint32_t> U32Array();
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  /// Throws unless `n` more bytes are available; returns their start.
+  const unsigned char* Take(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fdevolve::util

@@ -1,0 +1,50 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace fdevolve::util {
+namespace {
+
+template <typename T>
+std::optional<T> ParseIntegral(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  T v{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  return ParseIntegral<int64_t>(s);
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view s) {
+  // from_chars<unsigned> accepts "-1" as modular wrap on some libraries;
+  // reject the sign explicitly so "-1" is an error, not 2^64-1.
+  if (!s.empty() && s.front() == '-') return std::nullopt;
+  return ParseIntegral<uint64_t>(s);
+}
+
+std::optional<int> ParseInt(std::string_view s) {
+  auto v = ParseInt64(s);
+  if (!v || *v < std::numeric_limits<int>::min() ||
+      *v > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*v);
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace fdevolve::util

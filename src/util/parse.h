@@ -1,0 +1,27 @@
+// Checked numeric parsing for user-supplied tokens (CLI flags, config).
+//
+// Unlike atoi/strtoul, these reject partial matches ("12x"), empty input,
+// leading whitespace, and out-of-range values instead of silently returning
+// 0 or wrapping — std::nullopt means "not a number of this type", full stop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fdevolve::util {
+
+/// Signed 64-bit integer; the whole token must match.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Unsigned 64-bit integer; rejects a leading '-' (no modular wrap).
+std::optional<uint64_t> ParseUint64(std::string_view s);
+
+/// `int` with range check on top of ParseInt64.
+std::optional<int> ParseInt(std::string_view s);
+
+/// Finite double; the whole token must match ("1e-3" ok, "1.5x" not).
+/// Infinities and NaN are rejected — no CLI knob wants them.
+std::optional<double> ParseDouble(std::string_view s);
+
+}  // namespace fdevolve::util

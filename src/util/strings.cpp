@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace fdevolve::util {
 
@@ -50,6 +51,13 @@ std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return out;
+}
+
+std::string DoubleShortestRoundTrip(double v) {
+  char buf[32];  // always fits a shortest-round-trip double
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
 }
 
 }  // namespace fdevolve::util

@@ -25,4 +25,9 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// Lowercases ASCII in place and returns the result.
 std::string ToLower(std::string_view s);
 
+/// Shortest decimal form that parses back to exactly `v` (std::to_chars).
+/// Unlike ostream's 6-significant-digit default this never loses precision,
+/// so text round-trips of doubles are value-exact.
+std::string DoubleShortestRoundTrip(double v);
+
 }  // namespace fdevolve::util

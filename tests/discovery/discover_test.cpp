@@ -158,6 +158,69 @@ TEST(DiscoverTest, SuperkeyPruningDropsKeyFds) {
   EXPECT_TRUE(Contains(full.fds, fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))));
 }
 
+TEST(DiscoverTest, EmptyRelationDiscoversNothing) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation rel("empty", schema);
+  auto res = DiscoverFds(rel);
+  EXPECT_TRUE(res.fds.empty());
+  EXPECT_TRUE(res.stats.complete);
+  // Every reported stat stays well-defined on zero tuples.
+  EXPECT_EQ(res.fds.size(), 0u);
+}
+
+TEST(DiscoverTest, MaxLhsZeroReportsOnlyConstantColumns) {
+  // With an antecedent cap of 0 only the empty antecedent is explored:
+  // exactly the constant columns ({} -> d in Small()).
+  DiscoveryOptions opts;
+  opts.max_lhs = 0;
+  auto res = DiscoverFds(Small(), opts);
+  for (const auto& f : res.fds) {
+    EXPECT_TRUE(f.lhs().Empty()) << f.ToString(Small().schema());
+  }
+  EXPECT_TRUE(Contains(res.fds, fd::Fd(AttrSet(), AttrSet::Of({3}))));
+  EXPECT_FALSE(Contains(res.fds, fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))));
+  EXPECT_TRUE(res.stats.complete);
+}
+
+TEST(DiscoverTest, AllNullUniverseDiscoversNothing) {
+  // Every attribute NULL-able => the candidate universe (§6.2.1 restricts
+  // FDs to NULL-free attributes) is empty.
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation rel("nulls", schema);
+  rel.AppendRow({relation::Value::Null(), relation::Value::Null()});
+  rel.AppendRow({relation::Value::Null(), relation::Value::Null()});
+  auto res = DiscoverFds(rel);
+  EXPECT_TRUE(res.fds.empty());
+  EXPECT_TRUE(res.stats.complete);
+}
+
+TEST(DiscoverTest, MaxFdsTruncationClearsCompleteFlag) {
+  // Sweep every truncation point. Whenever the cap is reached the flag is
+  // conservatively "incomplete" (the search stopped without proving
+  // exhaustion — including when the cap happens to equal the true count),
+  // and the truncated prefix must match the untruncated result's prefix
+  // (level order is deterministic). A cap above the true count never
+  // trips.
+  auto full = DiscoverFds(Small());
+  ASSERT_GT(full.fds.size(), 1u);
+  ASSERT_TRUE(full.stats.complete);
+  for (size_t cap = 1; cap <= full.fds.size() + 1; ++cap) {
+    DiscoveryOptions opts;
+    opts.max_fds = cap;
+    auto res = DiscoverFds(Small(), opts);
+    if (cap <= full.fds.size()) {
+      EXPECT_EQ(res.fds.size(), cap);
+      EXPECT_FALSE(res.stats.complete) << "cap=" << cap;
+    } else {
+      EXPECT_EQ(res.fds.size(), full.fds.size());
+      EXPECT_TRUE(res.stats.complete) << "cap=" << cap;
+    }
+    for (size_t i = 0; i < res.fds.size(); ++i) {
+      EXPECT_EQ(res.fds[i], full.fds[i]) << "cap=" << cap << " i=" << i;
+    }
+  }
+}
+
 TEST(DiscoverTest, NullColumnsExcluded) {
   Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
   Relation rel("t", schema);

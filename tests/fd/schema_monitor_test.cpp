@@ -207,6 +207,73 @@ TEST(SchemaMonitorTest, AcceptRepairKeepsSubsequentChecksIncremental) {
   EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
 }
 
+TEST(SchemaMonitorTest, CheckpointRestoreContinuesCadence) {
+  // Interrupt mid-interval: the restored monitor must keep the interval
+  // phase (inserts_since_check) so the next check fires at the same insert
+  // the uninterrupted monitor would check at.
+  SchemaMonitor a(CleanInstance(),
+                  {Fd::Parse("zip -> state", MonitorSchema())},
+                  /*check_interval=*/3);
+  SchemaMonitor b(CleanInstance(),
+                  {Fd::Parse("zip -> state", MonitorSchema())},
+                  /*check_interval=*/3);
+  a.Insert({"Hoboken", "07030", "NJ"});
+  b.Insert({"Hoboken", "07030", "NJ"});
+  a.Insert({"Hoboken", "10001", "NJ"});  // drift, detected at next check
+  b.Insert({"Hoboken", "10001", "NJ"});
+
+  SchemaMonitor resumed(b.Checkpoint());
+  EXPECT_EQ(resumed.checks_run(), b.checks_run());
+  EXPECT_EQ(resumed.rel().tuple_count(), b.rel().tuple_count());
+  ASSERT_EQ(resumed.fds().size(), 1u);
+  EXPECT_FALSE(resumed.fds()[0].violated);  // not yet checked
+
+  a.Insert({"Albany", "12207", "NY"});  // third insert: interval check
+  resumed.Insert({"Albany", "12207", "NY"});
+  EXPECT_EQ(resumed.checks_run(), a.checks_run());
+  EXPECT_TRUE(resumed.fds()[0].violated);
+  ASSERT_EQ(resumed.drift_log().size(), 1u);
+  EXPECT_EQ(resumed.drift_log()[0].tuple_count, a.drift_log()[0].tuple_count);
+  EXPECT_EQ(resumed.fds()[0].measures.confidence,
+            a.fds()[0].measures.confidence);
+}
+
+TEST(SchemaMonitorTest, CheckpointCarriesAcceptedRepair) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  mon.Insert({"Hoboken", "10001", "NJ"});
+  ASSERT_TRUE(mon.fds()[0].violated);
+  Repair r;
+  r.repaired = Fd::Parse("zip, city -> state", MonitorSchema());
+  mon.AcceptRepair(0, r);
+  ASSERT_FALSE(mon.fds()[0].violated);
+
+  SchemaMonitor resumed(mon.Checkpoint());
+  ASSERT_EQ(resumed.fds().size(), 1u);
+  EXPECT_EQ(resumed.fds()[0].fd, r.repaired);
+  EXPECT_FALSE(resumed.fds()[0].violated);
+  // The repaired FD stays incrementally tracked across the resume.
+  resumed.Insert({"Hoboken", "10001", "NY"});  // (zip, city) seen with NJ
+  EXPECT_TRUE(resumed.fds()[0].violated);
+}
+
+TEST(SchemaMonitorTest, RestoreRejectsFdOutsideSchema) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  MonitorCheckpoint ckpt = mon.Checkpoint();
+  ckpt.fds[0].fd = Fd(AttrSet::Of({7}), AttrSet::Of({9}));
+  EXPECT_THROW(SchemaMonitor{std::move(ckpt)}, std::invalid_argument);
+}
+
+TEST(SchemaMonitorTest, RestoreRejectsTamperedMeasures) {
+  SchemaMonitor mon(CleanInstance(),
+                    {Fd::Parse("zip -> state", MonitorSchema())});
+  MonitorCheckpoint ckpt = mon.Checkpoint();
+  ASSERT_EQ(ckpt.inserts_since_check, 0u);  // measures are current
+  ckpt.fds[0].measures.distinct_xy += 1;
+  EXPECT_THROW(SchemaMonitor{std::move(ckpt)}, std::invalid_argument);
+}
+
 TEST(SchemaMonitorTest, ThreadsKnobDoesNotChangeResults) {
   for (int threads : {1, 2, 4}) {
     SchemaMonitor mon(CleanInstance(),

@@ -49,7 +49,8 @@ TEST(EndToEndTest, CsvRoundTripPreservesRepairBehaviour) {
   // first repair — the persistence layer must not disturb semantics.
   auto rel = datagen::MakePlaces();
   std::ostringstream buf;
-  relation::WriteCsv(rel, buf);
+  std::string csv_err;
+  ASSERT_TRUE(relation::WriteCsv(rel, buf, &csv_err)) << csv_err;
   std::istringstream in(buf.str());
   auto round = relation::ReadCsv(in, "Places2");
   ASSERT_TRUE(round.ok()) << round.error;

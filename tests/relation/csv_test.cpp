@@ -88,7 +88,8 @@ TEST(CsvTest, RoundTrip) {
   ASSERT_TRUE(r.ok()) << r.error;
 
   std::ostringstream out;
-  WriteCsv(*r.relation, out);
+  std::string err;
+  ASSERT_TRUE(WriteCsv(*r.relation, out, &err)) << err;
   std::istringstream back(out.str());
   CsvResult r2 = ReadCsv(back, "t2");
   ASSERT_TRUE(r2.ok()) << r2.error;
@@ -156,7 +157,8 @@ TEST(CsvTest, CrlfRoundTrip) {
   ASSERT_TRUE(r.ok()) << r.error;
 
   std::ostringstream out;
-  WriteCsv(*r.relation, out);
+  std::string err;
+  ASSERT_TRUE(WriteCsv(*r.relation, out, &err)) << err;
   std::istringstream back(out.str());
   CsvResult r2 = ReadCsv(back, "t2");
   ASSERT_TRUE(r2.ok()) << r2.error;
@@ -179,6 +181,114 @@ TEST(CsvTest, IntAliasAccepted) {
 TEST(CsvTest, FileNotFound) {
   CsvResult r = ReadCsvFile("/nonexistent/path.csv", "t");
   EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, WriteRejectsCommaCellWithLocation) {
+  // Previously this wrote "x,y" unescaped — the re-read saw three fields
+  // in a two-column file and failed (or worse, silently shifted columns).
+  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({int64_t{1}, Value("fine")})
+                     .Row({int64_t{2}, Value("x,y")})
+                     .Build();
+  std::ostringstream out;
+  std::string err;
+  EXPECT_FALSE(WriteCsv(rel, out, &err));
+  EXPECT_TRUE(out.str().empty()) << "must not write a corrupt prefix";
+  EXPECT_NE(err.find("row 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("'name'"), std::string::npos) << err;
+  EXPECT_NE(err.find(","), std::string::npos) << err;
+}
+
+TEST(CsvTest, WriteRejectsNewlineCell) {
+  Schema schema({{"s", DataType::kString}});
+  Relation rel =
+      RelationBuilder("t", schema).Row({Value("two\nlines")}).Build();
+  std::ostringstream out;
+  std::string err;
+  EXPECT_FALSE(WriteCsv(rel, out, &err));
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_NE(err.find("row 0"), std::string::npos) << err;
+}
+
+TEST(CsvTest, WriteRejectsCarriageReturnCell) {
+  // '\r' would be stripped as a CRLF artifact on re-read, changing the
+  // value (and its dictionary code).
+  Schema schema({{"s", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema).Row({Value("end\r")}).Build();
+  std::ostringstream out;
+  std::string err;
+  EXPECT_FALSE(WriteCsv(rel, out, &err));
+  EXPECT_NE(err.find("\\r"), std::string::npos) << err;
+}
+
+TEST(CsvTest, WriteRejectsLiteralBackslashNCell) {
+  // The string "\N" is indistinguishable from the NULL marker on re-read:
+  // the round trip would resurrect it as NULL.
+  Schema schema({{"s", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema).Row({Value("\\N")}).Build();
+  std::ostringstream out;
+  std::string err;
+  EXPECT_FALSE(WriteCsv(rel, out, &err));
+  EXPECT_NE(err.find("NULL"), std::string::npos) << err;
+}
+
+TEST(CsvTest, WriteRejectsUnrepresentableAttributeName) {
+  // Schema accepts arbitrary names; the header has no quoting either, so
+  // a name with ',' or ':' would corrupt the header line.
+  Schema schema({{"a,b", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema).Row({Value("ok")}).Build();
+  std::ostringstream out;
+  std::string err;
+  EXPECT_FALSE(WriteCsv(rel, out, &err));
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_NE(err.find("a,b"), std::string::npos) << err;
+
+  Schema colon({{"a:b", DataType::kInt64}});
+  Relation rel2 = RelationBuilder("t", colon).Row({int64_t{1}}).Build();
+  EXPECT_FALSE(WriteCsv(rel2, out, &err));
+  EXPECT_NE(err.find("a:b"), std::string::npos) << err;
+
+  // A column literally named "\N" is fine — the NULL marker only applies
+  // to data fields.
+  Schema nn({{"\\N", DataType::kInt64}});
+  Relation rel3 = RelationBuilder("t", nn).Row({int64_t{1}}).Build();
+  std::ostringstream out3;
+  ASSERT_TRUE(WriteCsv(rel3, out3, &err)) << err;
+  std::istringstream back(out3.str());
+  CsvResult r = ReadCsv(back, "t2");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.relation->schema().attr(0).name, "\\N");
+}
+
+TEST(CsvTest, WriteCsvFilePropagatesCellError) {
+  Schema schema({{"s", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema).Row({Value("a,b")}).Build();
+  std::string path = testing::TempDir() + "/fdevolve_csv_reject_test.csv";
+  std::string err;
+  EXPECT_FALSE(WriteCsvFile(rel, path, &err));
+  EXPECT_NE(err.find("row 0"), std::string::npos) << err;
+}
+
+TEST(CsvTest, DoubleRoundTripIsValueExact) {
+  // 0.1 + 0.2 prints as "0.3" under the old 6-digit rendering and reads
+  // back as a different double; shortest-round-trip must preserve it.
+  Schema schema({{"d", DataType::kDouble}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({Value(0.1 + 0.2)})
+                     .Row({Value(1e-7)})
+                     .Row({Value(12345678.9012345)})
+                     .Build();
+  std::ostringstream out;
+  std::string err;
+  ASSERT_TRUE(WriteCsv(rel, out, &err)) << err;
+  std::istringstream back(out.str());
+  CsvResult r = ReadCsv(back, "t2");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.relation->tuple_count(), 3u);
+  EXPECT_EQ(r.relation->Get(0, 0).as_double(), 0.1 + 0.2);
+  EXPECT_EQ(r.relation->Get(1, 0).as_double(), 1e-7);
+  EXPECT_EQ(r.relation->Get(2, 0).as_double(), 12345678.9012345);
 }
 
 TEST(CsvTest, WriteFileAndReadBack) {

@@ -55,6 +55,34 @@ TEST(DatabaseTest, DeclareAndListFds) {
                std::invalid_argument);
 }
 
+TEST(DatabaseTest, DeclareConstructedFd) {
+  Database db;
+  db.AddRelation(datagen::MakePlaces());
+  const auto& schema = db.Get("Places").schema();
+  fd::Fd f(relation::AttrSet::Of({schema.Require("Zip")}),
+           relation::AttrSet::Of({schema.Require("City")}), "byindex");
+  const DeclaredFd& d = db.DeclareFd("Places", f);
+  EXPECT_EQ(d.fd, f);
+  EXPECT_EQ(d.fd.label(), "byindex");
+  // Unknown table and out-of-schema attributes are rejected.
+  EXPECT_THROW(db.DeclareFd("Nope", f), std::invalid_argument);
+  fd::Fd wide(relation::AttrSet::Of({100}), relation::AttrSet::Of({101}));
+  EXPECT_THROW(db.DeclareFd("Places", wide), std::invalid_argument);
+}
+
+TEST(DatabaseTest, SaveCatalogReportsUnrepresentableCell) {
+  Database db;
+  Schema schema({{"s", DataType::kString}});
+  db.AddRelation(
+      RelationBuilder("bad", schema).Row({relation::Value("a,b")}).Build());
+  const std::string dir =
+      testing::TempDir() + "/fdevolve_catalog_reject_test";
+  std::string err;
+  EXPECT_FALSE(SaveCatalog(db, dir, &err));
+  EXPECT_NE(err.find("table 'bad'"), std::string::npos) << err;
+  EXPECT_NE(err.find("row 0"), std::string::npos) << err;
+}
+
 TEST(DatabaseTest, ReplaceFd) {
   Database db;
   const auto& places = db.AddRelation(datagen::MakePlaces());

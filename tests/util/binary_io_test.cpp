@@ -1,0 +1,148 @@
+#include "util/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(BinaryIoTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.U8(0xab);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+  w.F64(3.141592653589793);
+  w.Str("hello");
+  w.Str("");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(r.F64(), 3.141592653589793);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, LittleEndianOnTheWire) {
+  BinaryWriter w;
+  w.U32(0x04030201u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(w.buffer()[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(w.buffer()[3]), 0x04);
+}
+
+TEST(BinaryIoTest, DoubleBitPatternsSurvive) {
+  // Exact bits, not value equality: -0.0, NaN payloads, infinities.
+  const double cases[] = {-0.0, std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::denorm_min()};
+  BinaryWriter w;
+  for (double d : cases) w.F64(d);
+  BinaryReader r(w.buffer());
+  for (double d : cases) {
+    double got = r.F64();
+    uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &d, 8);
+    std::memcpy(&got_bits, &got, 8);
+    EXPECT_EQ(got_bits, want_bits);
+  }
+}
+
+TEST(BinaryIoTest, U32ArrayRoundTripIncludingEmpty) {
+  BinaryWriter w;
+  w.U32Array({1u, 0xffffffffu, 7u});
+  w.U32Array({});
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.U32Array(), (std::vector<uint32_t>{1u, 0xffffffffu, 7u}));
+  EXPECT_EQ(r.U32Array(), std::vector<uint32_t>{});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, ReadPastEndThrows) {
+  BinaryWriter w;
+  w.U32(5);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.U32(), 5u);
+  EXPECT_THROW(r.U8(), BinaryIoError);
+  EXPECT_THROW(r.U32(), BinaryIoError);
+  EXPECT_THROW(r.U64(), BinaryIoError);
+  EXPECT_THROW(r.Str(), BinaryIoError);
+}
+
+TEST(BinaryIoTest, TruncatedAtEveryPrefixThrowsNotCrashes) {
+  BinaryWriter w;
+  w.Str("payload");
+  w.U32Array({1, 2, 3});
+  w.U64(99);
+  const std::string& full = w.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    BinaryReader r(std::string_view(full.data(), cut));
+    EXPECT_THROW(
+        {
+          r.Str();
+          r.U32Array();
+          r.U64();
+        },
+        BinaryIoError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(BinaryIoTest, HugeLengthPrefixFailsBeforeAllocating) {
+  // A corrupt length prefix claiming ~2^64 bytes must be rejected by the
+  // bounds check, not handed to the allocator.
+  BinaryWriter w;
+  w.U64(std::numeric_limits<uint64_t>::max());
+  w.Bytes("abc", 3);
+  {
+    BinaryReader r(w.buffer());
+    EXPECT_THROW(r.Str(), BinaryIoError);
+  }
+  {
+    BinaryReader r(w.buffer());
+    EXPECT_THROW(r.U32Array(), BinaryIoError);
+  }
+}
+
+TEST(BinaryIoTest, ChecksumDetectsEverySingleBitFlip) {
+  BinaryWriter w;
+  w.Str("checksummed payload");
+  w.U64(1234567890123ULL);
+  const uint64_t clean = w.Checksum();
+  std::string bytes = w.buffer();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] = static_cast<char>(bytes[i] ^ (1 << bit));
+      EXPECT_NE(Checksum64(bytes.data(), bytes.size()), clean)
+          << "flip at byte " << i << " bit " << bit;
+      bytes[i] = static_cast<char>(bytes[i] ^ (1 << bit));
+    }
+  }
+  EXPECT_EQ(Checksum64(bytes.data(), bytes.size()), clean);
+}
+
+TEST(BinaryIoTest, PosAndRemainingTrackReads) {
+  BinaryWriter w;
+  w.U32(1);
+  w.U32(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.pos(), 0u);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.U32();
+  EXPECT_EQ(r.pos(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+  r.U32();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace fdevolve::util

@@ -1,0 +1,67 @@
+#include "util/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace fdevolve::util {
+namespace {
+
+TEST(ParseTest, Int64Accepts) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseTest, Int64Rejects) {
+  EXPECT_FALSE(ParseInt64(""));
+  EXPECT_FALSE(ParseInt64("abc"));
+  EXPECT_FALSE(ParseInt64("12x"));       // the atoi bug: partial match
+  EXPECT_FALSE(ParseInt64("x12"));
+  EXPECT_FALSE(ParseInt64(" 12"));       // no silent whitespace skip
+  EXPECT_FALSE(ParseInt64("12 "));
+  EXPECT_FALSE(ParseInt64("1.5"));
+  EXPECT_FALSE(ParseInt64("9223372036854775808"));  // overflow
+  EXPECT_FALSE(ParseInt64("--5"));
+}
+
+TEST(ParseTest, Uint64Accepts) {
+  EXPECT_EQ(ParseUint64("0"), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseTest, Uint64RejectsNegativeInsteadOfWrapping) {
+  // strtoul("-1") wraps to 2^64-1; the checked parse must not.
+  EXPECT_FALSE(ParseUint64("-1"));
+  EXPECT_FALSE(ParseUint64("-0"));
+  EXPECT_FALSE(ParseUint64("18446744073709551616"));  // overflow
+  EXPECT_FALSE(ParseUint64("12x"));
+  EXPECT_FALSE(ParseUint64(""));
+}
+
+TEST(ParseTest, IntRangeChecked) {
+  EXPECT_EQ(ParseInt("2147483647"), 2147483647);
+  EXPECT_EQ(ParseInt("-2147483648"), -2147483648);
+  EXPECT_FALSE(ParseInt("2147483648"));
+  EXPECT_FALSE(ParseInt("-2147483649"));
+  EXPECT_FALSE(ParseInt("abc"));
+}
+
+TEST(ParseTest, DoubleAccepts) {
+  EXPECT_EQ(ParseDouble("0.95"), 0.95);
+  EXPECT_EQ(ParseDouble("1"), 1.0);
+  EXPECT_EQ(ParseDouble("-2.5e-3"), -2.5e-3);
+  EXPECT_EQ(ParseDouble("1e2"), 100.0);
+}
+
+TEST(ParseTest, DoubleRejects) {
+  EXPECT_FALSE(ParseDouble(""));
+  EXPECT_FALSE(ParseDouble("0.95x"));
+  EXPECT_FALSE(ParseDouble("x"));
+  EXPECT_FALSE(ParseDouble(" 1.0"));
+  EXPECT_FALSE(ParseDouble("nan"));
+  EXPECT_FALSE(ParseDouble("inf"));
+  EXPECT_FALSE(ParseDouble("1e999"));  // overflows to inf
+}
+
+}  // namespace
+}  // namespace fdevolve::util
