@@ -1,0 +1,213 @@
+// FD-monitoring server load driver: N socket clients hammer one table
+// with monitored inserts over real TCP, through the same Client the
+// tests use. Two phases:
+//
+//   1. Throughput — EVERY `interval` monitoring, all clients inserting
+//      concurrently. Reports aggregate inserts/sec and per-request
+//      insert latency percentiles (client-observed round trip).
+//   2. Drift-check latency — EVERY 1 monitoring from a single client, so
+//      every round trip includes a full incremental FD check over the
+//      appended suffix. The percentiles bound what "continuous" §1-style
+//      monitoring costs a session.
+//
+// Besides the numbers, this bench is a correctness gate: every request
+// must come back OK and the final COUNT(*) must equal the number of
+// inserts sent, else it exits non-zero — so CI runs it (FAST mode) as a
+// smoke step. Results land in BENCH_server.json in the working
+// directory.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fdevolve;
+using server::Client;
+using server::Server;
+
+struct Percentiles {
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+Percentiles Summarize(std::vector<double>& latencies_us) {
+  Percentiles p;
+  if (latencies_us.empty()) return p;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto at = [&](double q) {
+    size_t idx = static_cast<size_t>(q * (latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.p99 = at(0.99);
+  return p;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string RandomInsert(util::Rng& rng, const std::string& table) {
+  return "INSERT INTO " + table + " VALUES (" +
+         std::to_string(rng.Below(500)) + ", " +
+         std::to_string(rng.Below(50)) + ", '" +
+         std::string(1, static_cast<char>('a' + rng.Below(26))) + "')";
+}
+
+/// One client's slice of the storm; latencies in microseconds.
+void InsertWorker(uint16_t port, const std::string& table, int inserts,
+                  uint64_t seed, std::vector<double>* latencies,
+                  std::atomic<int>* failures) {
+  Client client;
+  std::string error;
+  if (!client.Connect(port, &error)) {
+    ++*failures;
+    return;
+  }
+  util::Rng rng(seed);
+  latencies->reserve(inserts);
+  for (int n = 0; n < inserts; ++n) {
+    std::string stmt = RandomInsert(rng, table);
+    util::Timer timer;
+    auto reply = client.Request(stmt);
+    latencies->push_back(timer.ElapsedMs() * 1000.0);
+    if (!reply.ok) ++*failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  const int kClients = 8;
+  const int kInsertsPerClient = fast ? 250 : 2000;
+  const int kCheckInterval = 50;
+  const int kDriftPhaseInserts = fast ? 200 : 1500;
+
+  Server server{Server::Options{}};
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "server start failed: " << error << "\n";
+    return 1;
+  }
+
+  Client admin;
+  if (!admin.Connect(server.port(), &error)) {
+    std::cerr << "connect failed: " << error << "\n";
+    return 1;
+  }
+  auto must = [&](const std::string& stmt) {
+    auto reply = admin.Request(stmt);
+    if (!reply.ok) {
+      std::cerr << "setup failed: " << stmt << ": " << reply.error << "\n";
+      std::exit(1);
+    }
+    return reply;
+  };
+  must("CREATE TABLE hot (a INT64, b INT64, c STRING)");
+  must("DECLARE FD a -> b ON hot EVERY " + std::to_string(kCheckInterval));
+  // Phase 2 table: checked on every insert.
+  must("CREATE TABLE tight (a INT64, b INT64, c STRING)");
+  must("DECLARE FD a -> b ON tight EVERY 1");
+
+  // Phase 1: concurrent insert throughput against `hot`.
+  std::vector<std::vector<double>> per_client(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  util::Timer wall;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back(InsertWorker, server.port(), "hot",
+                         kInsertsPerClient,
+                         0x5851f42d4c957f2dULL * (i + 1), &per_client[i],
+                         &failures);
+  }
+  for (auto& th : threads) th.join();
+  double elapsed_s = wall.ElapsedSeconds();
+
+  std::vector<double> insert_us;
+  for (auto& v : per_client) {
+    insert_us.insert(insert_us.end(), v.begin(), v.end());
+  }
+  const uint64_t total_inserts =
+      static_cast<uint64_t>(kClients) * kInsertsPerClient;
+  double inserts_per_sec = static_cast<double>(total_inserts) / elapsed_s;
+  Percentiles insert_p = Summarize(insert_us);
+
+  // Phase 2: single session, EVERY-1 monitoring — each round trip is
+  // insert + full incremental drift check.
+  std::vector<double> check_us;
+  std::atomic<int> check_failures{0};
+  InsertWorker(server.port(), "tight", kDriftPhaseInserts,
+               0x2545f4914f6cdd1dULL, &check_us, &check_failures);
+  Percentiles check_p = Summarize(check_us);
+
+  // Correctness gate: nothing failed, nothing lost.
+  auto count = admin.Request("SELECT COUNT(*) FROM hot");
+  bool count_ok = count.ok && count.value == total_inserts;
+  auto tight_count = admin.Request("SELECT COUNT(*) FROM tight");
+  bool tight_ok = tight_count.ok &&
+                  tight_count.value ==
+                      static_cast<uint64_t>(kDriftPhaseInserts);
+  admin.Request("SHUTDOWN");
+  server.Wait(&error);
+
+  util::TablePrinter table("FD-monitoring server load (" +
+                           std::to_string(kClients) + " TCP clients)");
+  table.SetHeader({"phase", "requests", "p50 us", "p90 us", "p99 us",
+                   "rate"});
+  table.AddRow({"insert (EVERY " + std::to_string(kCheckInterval) + ")",
+                std::to_string(total_inserts), Fmt(insert_p.p50),
+                Fmt(insert_p.p90), Fmt(insert_p.p99),
+                Fmt(inserts_per_sec) + "/s"});
+  table.AddRow({"insert+check (EVERY 1)",
+                std::to_string(kDriftPhaseInserts), Fmt(check_p.p50),
+                Fmt(check_p.p90), Fmt(check_p.p99), "-"});
+  table.Print(std::cout);
+  if (fast) std::cout << "FDEVOLVE_BENCH_FAST\n";
+
+  std::ofstream json("BENCH_server.json");
+  json << "{\n"
+       << "  \"clients\": " << kClients << ",\n"
+       << "  \"inserts\": " << total_inserts << ",\n"
+       << "  \"check_interval\": " << kCheckInterval << ",\n"
+       << "  \"elapsed_seconds\": " << elapsed_s << ",\n"
+       << "  \"inserts_per_sec\": " << inserts_per_sec << ",\n"
+       << "  \"insert_latency_us\": {\"p50\": " << insert_p.p50
+       << ", \"p90\": " << insert_p.p90 << ", \"p99\": " << insert_p.p99
+       << "},\n"
+       << "  \"drift_check_latency_us\": {\"p50\": " << check_p.p50
+       << ", \"p90\": " << check_p.p90 << ", \"p99\": " << check_p.p99
+       << "},\n"
+       << "  \"fast\": " << (fast ? "true" : "false") << "\n"
+       << "}\n";
+
+  if (failures.load() != 0 || check_failures.load() != 0) {
+    std::cerr << "FAIL: " << failures.load() + check_failures.load()
+              << " requests errored\n";
+    return 1;
+  }
+  if (!count_ok || !tight_ok) {
+    std::cerr << "FAIL: final COUNT(*) does not match inserts sent\n";
+    return 1;
+  }
+  std::cout << "all " << total_inserts + kDriftPhaseInserts
+            << " requests OK; counts match\n";
+  return 0;
+}

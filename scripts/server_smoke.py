@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the FD-monitoring server binary.
+
+Drives build/examples/fdevolve_serverd over a real TCP socket exactly the
+way a human with nc would, and checks the full durability story:
+
+  1. scripted session: CREATE / DECLARE FD / INSERT / SELECT, a DRIFT
+     push, an ERR reply, then SHUTDOWN
+  2. checkpoint-on-shutdown: the .fdev file exists after a clean exit
+  3. restart with --resume: the row count and a fresh insert both survive
+  4. SIGTERM path: the signal handler shuts down cleanly and the exit
+     checkpoint is loadable again
+
+Usage: python3 scripts/server_smoke.py [path-to-fdevolve_serverd]
+Exits non-zero on the first failed expectation (CI runs it as a job step).
+"""
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+
+
+class Session:
+    """Newline-framed protocol client (see src/server/protocol.h)."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.buf = b""
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise EOFError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.rstrip(b"\r").decode()
+
+    def request(self, statement):
+        """Sends one statement; returns (reply, drift_lines)."""
+        self.sock.sendall(statement.encode() + b"\n")
+        drift = []
+        while True:
+            line = self.read_line()
+            if line.startswith("DRIFT "):
+                drift.append(line)
+                continue
+            return line, drift
+
+    def close(self):
+        self.sock.close()
+
+
+def expect(cond, message):
+    if not cond:
+        print("FAIL:", message, file=sys.stderr)
+        sys.exit(1)
+    print("ok:", message)
+
+
+def start_server(binary, checkpoint, resume=False):
+    cmd = [binary, "--checkpoint", checkpoint]
+    if resume:
+        cmd.append("--resume")
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = re.match(r"listening on port (\d+)", line)
+    if not match:
+        proc.kill()
+        print("FAIL: no listen line, got:", repr(line), file=sys.stderr)
+        sys.exit(1)
+    return proc, int(match.group(1))
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "build/examples/fdevolve_serverd"
+    if not os.path.exists(binary):
+        print("FAIL: server binary not found:", binary, file=sys.stderr)
+        sys.exit(1)
+    checkpoint = os.path.join(tempfile.mkdtemp(prefix="fdevolve_smoke_"),
+                              "state.fdev")
+
+    # 1. Scripted session.
+    proc, port = start_server(binary, checkpoint)
+    s = Session(port)
+    reply, _ = s.request("CREATE TABLE city (name STRING, zip INT64, state STRING)")
+    expect(reply == "OK 0", "CREATE TABLE -> " + reply)
+    reply, _ = s.request("DECLARE FD zip -> state ON city")
+    expect(reply == "OK 0", "DECLARE FD -> " + reply)
+    reply, _ = s.request("INSERT INTO city VALUES ('NY', 10001, 'NY'), ('LA', 90001, 'CA')")
+    expect(reply == "OK 2", "INSERT 2 rows -> " + reply)
+    reply, _ = s.request("SELECT COUNT(*) FROM city")
+    expect(reply == "OK 2", "COUNT(*) -> " + reply)
+    # Violating insert: zip 10001 now maps to two states -> DRIFT push.
+    reply, drift = s.request("SUBSCRIBE DRIFT ON city")
+    expect(reply == "OK 0", "SUBSCRIBE -> " + reply)
+    reply, drift = s.request("INSERT INTO city VALUES ('Hoboken', 10001, 'NJ')")
+    expect(reply == "OK 1", "violating INSERT -> " + reply)
+    expect(len(drift) == 1 and "table=city" in drift[0],
+           "DRIFT push received: " + (drift[0] if drift else "<none>"))
+    reply, _ = s.request("SELECT COUNT(*) FROM ghost")
+    expect(reply.startswith("ERR "), "unknown table -> " + reply)
+    reply, _ = s.request("SHUTDOWN")
+    expect(reply == "OK 0", "SHUTDOWN -> " + reply)
+    s.close()
+    expect(proc.wait(timeout=30) == 0, "clean exit after SHUTDOWN")
+
+    # 2. Checkpoint-on-shutdown invariant.
+    expect(os.path.exists(checkpoint), "checkpoint written on shutdown")
+
+    # 3. Resume: state survives the restart.
+    proc, port = start_server(binary, checkpoint, resume=True)
+    s = Session(port)
+    reply, _ = s.request("SELECT COUNT(*) FROM city")
+    expect(reply == "OK 3", "count after --resume -> " + reply)
+    reply, _ = s.request("INSERT INTO city VALUES ('SF', 94101, 'CA')")
+    expect(reply == "OK 1", "insert after --resume -> " + reply)
+
+    # 4. SIGTERM: the handler drains sessions and checkpoints on the way
+    #    out; the new row must be in the final snapshot.
+    proc.send_signal(signal.SIGTERM)
+    expect(proc.wait(timeout=30) == 0, "clean exit after SIGTERM")
+    proc, port = start_server(binary, checkpoint, resume=True)
+    s = Session(port)
+    reply, _ = s.request("SELECT COUNT(*) FROM city")
+    expect(reply == "OK 4", "count after SIGTERM checkpoint -> " + reply)
+    s.request("SHUTDOWN")
+    expect(proc.wait(timeout=30) == 0, "final clean exit")
+
+    print("server smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "fd/schema_monitor.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace fdevolve::fd {
 namespace {
@@ -18,33 +19,84 @@ bool SameMeasures(const FdMeasures& a, const FdMeasures& b) {
 
 SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
                              size_t check_interval, int threads)
-    : rel_(std::move(initial)),
-      eval_(rel_, threads),
-      check_interval_(check_interval == 0 ? 1 : check_interval) {
-  monitored_.reserve(fds.size());
-  for (auto& f : fds) {
-    MonitoredFd m;
-    m.fd = std::move(f);
-    Track(m.fd);
-    m.measures = ComputeMeasures(eval_, m.fd);
-    m.was_exact_at_registration = m.measures.exact;
-    m.violated = !m.measures.exact;
-    if (m.violated) m.first_violation_at = rel_.tuple_count();
-    monitored_.push_back(std::move(m));
+    : owned_(std::make_unique<relation::Relation>(std::move(initial))),
+      rel_(owned_.get()),
+      eval_(*rel_, threads),
+      check_interval_(check_interval == 0 ? 1 : check_interval),
+      observed_version_(rel_->version()) {
+  RegisterFds(std::move(fds));
+}
+
+SchemaMonitor::SchemaMonitor(relation::Relation* shared, std::vector<Fd> fds,
+                             size_t check_interval, int threads)
+    : rel_(shared),
+      eval_(*rel_, threads),
+      check_interval_(check_interval == 0 ? 1 : check_interval),
+      observed_version_(rel_->version()) {
+  RegisterFds(std::move(fds));
+}
+
+SchemaMonitor::SchemaMonitor(relation::Relation* shared, MonitorState state,
+                             int threads)
+    : rel_(shared),
+      eval_(*rel_, threads),
+      check_interval_(state.check_interval == 0 ? 1 : state.check_interval),
+      inserts_since_check_(state.inserts_since_check),
+      checks_run_(state.checks_run),
+      observed_version_(rel_->version()) {
+  if (state.watermark != rel_->version()) {
+    throw std::invalid_argument(
+        "SchemaMonitor: monitor state was captured at watermark " +
+        std::to_string(state.watermark) + " but the relation is at " +
+        std::to_string(rel_->version()) +
+        " (state paired with the wrong relation snapshot)");
   }
+  RestoreMonitored(std::move(state.fds), std::move(state.drift_log));
 }
 
 SchemaMonitor::SchemaMonitor(MonitorCheckpoint checkpoint, int threads)
-    : rel_(std::move(checkpoint.rel)),
-      eval_(rel_, threads),
+    : owned_(std::make_unique<relation::Relation>(std::move(checkpoint.rel))),
+      rel_(owned_.get()),
+      eval_(*rel_, threads),
       check_interval_(checkpoint.check_interval == 0
                           ? 1
                           : checkpoint.check_interval),
       inserts_since_check_(checkpoint.inserts_since_check),
-      checks_run_(checkpoint.checks_run) {
-  monitored_ = std::move(checkpoint.fds);
-  drift_log_ = std::move(checkpoint.drift_log);
-  const relation::AttrSet all = rel_.schema().AllAttrs();
+      checks_run_(checkpoint.checks_run),
+      observed_version_(rel_->version()) {
+  RestoreMonitored(std::move(checkpoint.fds), std::move(checkpoint.drift_log));
+}
+
+void SchemaMonitor::RegisterFds(std::vector<Fd> fds) {
+  monitored_.reserve(fds.size());
+  for (auto& f : fds) {
+    AddFd(std::move(f));
+  }
+}
+
+size_t SchemaMonitor::AddFd(Fd fd) {
+  const relation::AttrSet all = rel_->schema().AllAttrs();
+  if (!fd.AllAttrs().SubsetOf(all)) {
+    throw std::invalid_argument(
+        "SchemaMonitor: FD references attributes outside the relation "
+        "schema");
+  }
+  MonitoredFd m;
+  m.fd = std::move(fd);
+  Track(m.fd);
+  m.measures = ComputeMeasures(eval_, m.fd);
+  m.was_exact_at_registration = m.measures.exact;
+  m.violated = !m.measures.exact;
+  if (m.violated) m.first_violation_at = rel_->tuple_count();
+  monitored_.push_back(std::move(m));
+  return monitored_.size() - 1;
+}
+
+void SchemaMonitor::RestoreMonitored(std::vector<MonitoredFd> fds,
+                                     std::vector<DriftEvent> drift_log) {
+  monitored_ = std::move(fds);
+  drift_log_ = std::move(drift_log);
+  const relation::AttrSet all = rel_->schema().AllAttrs();
   for (auto& m : monitored_) {
     if (!m.fd.AllAttrs().SubsetOf(all)) {
       throw std::invalid_argument(
@@ -66,7 +118,7 @@ SchemaMonitor::SchemaMonitor(MonitorCheckpoint checkpoint, int threads)
       if (!SameMeasures(recomputed, m.measures)) {
         throw std::invalid_argument(
             "SchemaMonitor: checkpointed measures for " +
-            m.fd.ToString(rel_.schema()) +
+            m.fd.ToString(rel_->schema()) +
             " disagree with the relation (corrupt or mismatched checkpoint)");
       }
     }
@@ -74,12 +126,21 @@ SchemaMonitor::SchemaMonitor(MonitorCheckpoint checkpoint, int threads)
 }
 
 MonitorCheckpoint SchemaMonitor::Checkpoint() const {
-  return MonitorCheckpoint{rel_,
+  return MonitorCheckpoint{*rel_,
                            monitored_,
                            drift_log_,
                            check_interval_,
                            inserts_since_check_,
                            checks_run_};
+}
+
+MonitorState SchemaMonitor::State() const {
+  return MonitorState{monitored_,
+                      drift_log_,
+                      check_interval_,
+                      inserts_since_check_,
+                      checks_run_,
+                      rel_->version()};
 }
 
 void SchemaMonitor::Track(const Fd& fd) {
@@ -94,7 +155,8 @@ void SchemaMonitor::Track(const Fd& fd) {
 }
 
 void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
-  rel_.AppendRow(row);
+  rel_->AppendRow(row);
+  observed_version_ = rel_->version();
   if (++inserts_since_check_ >= check_interval_) {
     inserts_since_check_ = 0;
     CheckNow();
@@ -104,8 +166,21 @@ void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
 void SchemaMonitor::InsertBatch(
     const std::vector<std::vector<relation::Value>>& rows) {
   if (rows.empty()) return;
-  rel_.AppendRows(rows);
+  rel_->AppendRows(rows);
+  observed_version_ = rel_->version();
   inserts_since_check_ += rows.size();
+  if (inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ %= check_interval_;
+    CheckNow();
+  }
+}
+
+void SchemaMonitor::Poll() {
+  size_t version = rel_->version();
+  if (version == observed_version_) return;
+  size_t delta = version - observed_version_;
+  observed_version_ = version;
+  inserts_since_check_ += delta;
   if (inserts_since_check_ >= check_interval_) {
     inserts_since_check_ %= check_interval_;
     CheckNow();
@@ -126,10 +201,10 @@ std::vector<size_t> SchemaMonitor::CheckNow() {
     if (m.violated) {
       violated.push_back(i);
       if (!was_violated) {
-        m.first_violation_at = rel_.tuple_count();
+        m.first_violation_at = rel_->tuple_count();
         DriftEvent ev;
         ev.fd_index = i;
-        ev.tuple_count = rel_.tuple_count();
+        ev.tuple_count = rel_->tuple_count();
         ev.measures = m.measures;
         drift_log_.push_back(ev);
         if (on_drift_) on_drift_(ev);
@@ -144,7 +219,7 @@ std::vector<RepairResult> SchemaMonitor::SuggestRepairs(
   std::vector<RepairResult> out;
   for (const auto& m : monitored_) {
     if (m.violated) {
-      out.push_back(Extend(rel_, m.fd, opts));
+      out.push_back(Extend(*rel_, m.fd, opts));
     }
   }
   return out;
@@ -157,7 +232,7 @@ void SchemaMonitor::AcceptRepair(size_t fd_index, const Repair& repair) {
   m.measures = ComputeMeasures(eval_, m.fd);
   m.violated = !m.measures.exact;
   m.was_exact_at_registration = m.measures.exact;
-  m.first_violation_at = m.violated ? rel_.tuple_count() : 0;
+  m.first_violation_at = m.violated ? rel_->tuple_count() : 0;
 }
 
 }  // namespace fdevolve::fd

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,10 +75,39 @@ struct MonitorCheckpoint {
   size_t stream_batch_hint = 0;
 };
 
+/// A MonitorCheckpoint minus the relation — the resumable state of a
+/// monitor that does *not* own its relation (external mode, see the
+/// shared-relation SchemaMonitor constructors). The server persists the
+/// shared catalog once and one MonitorState per monitor next to it,
+/// instead of embedding a copy of the relation in every checkpoint.
+struct MonitorState {
+  std::vector<MonitoredFd> fds;
+  std::vector<DriftEvent> drift_log;
+  size_t check_interval = 1;
+  size_t inserts_since_check = 0;
+  size_t checks_run = 0;
+  /// rel().version() at capture time. Restore refuses a relation whose
+  /// watermark differs — the state would be paired with rows it never
+  /// observed (or rows it observed would be missing).
+  size_t watermark = 0;
+};
+
 /// Periodic validation loop.
 ///
+/// Two ownership modes:
+///   * **owning** — the monitor owns the relation and is fed through
+///     Insert()/InsertBatch() (the CLI's streaming loop);
+///   * **external** — the monitor observes a relation owned by someone
+///     else (the server's shared catalog: the SQL engine appends, many
+///     monitors watch). The caller appends through its own path and calls
+///     Poll() afterwards; the monitor folds the appended suffix in and
+///     runs a check when the interval elapses. The relation must outlive
+///     the monitor, stay append-only, and be quiescent during every
+///     monitor call (the server holds the table's write lock for both the
+///     append and the Poll).
+///
 /// Not copyable or movable: the long-lived evaluator holds a reference to
-/// the owned relation.
+/// the relation.
 class SchemaMonitor {
  public:
   /// `check_interval`: re-validate after this many inserts (>=1).
@@ -86,6 +116,21 @@ class SchemaMonitor {
   /// identical for every value.
   SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
                 size_t check_interval = 1, int threads = 0);
+
+  /// External mode: monitors `*shared` without owning it (see class
+  /// comment). Measures are computed at the relation's current watermark.
+  SchemaMonitor(relation::Relation* shared, std::vector<Fd> fds,
+                size_t check_interval = 1, int threads = 0);
+
+  /// External-mode restore: rebinds a captured MonitorState to `*shared`
+  /// and re-materializes the evaluator groupings, recovering the exact
+  /// monitor the state was taken from (same bit-identity argument as the
+  /// checkpoint constructor below). Throws std::invalid_argument if the
+  /// relation's watermark differs from the state's, if an FD references
+  /// attributes outside the schema, or if the carried measures disagree
+  /// with recomputation while comparable (inserts_since_check == 0).
+  SchemaMonitor(relation::Relation* shared, MonitorState state,
+                int threads = 0);
 
   /// Resumes from a checkpoint: restores the relation, registered FDs,
   /// drift log, and interval position verbatim, and re-materializes the
@@ -105,7 +150,11 @@ class SchemaMonitor {
   /// Snapshot of the complete resumable state (copies the relation).
   MonitorCheckpoint Checkpoint() const;
 
-  const relation::Relation& rel() const { return rel_; }
+  /// Snapshot of the relation-free resumable state (external mode's
+  /// checkpoint; pair it with the relation persisted elsewhere).
+  MonitorState State() const;
+
+  const relation::Relation& rel() const { return *rel_; }
   const std::vector<MonitoredFd>& fds() const { return monitored_; }
   const std::vector<DriftEvent>& drift_log() const { return drift_log_; }
 
@@ -121,6 +170,19 @@ class SchemaMonitor {
   /// relation::Relation::AppendRows); runs at most one check per batch,
   /// when the accumulated insert count crosses the interval.
   void InsertBatch(const std::vector<std::vector<relation::Value>>& rows);
+
+  /// External-mode observation: folds rows appended to the relation since
+  /// the monitor last looked into the insert counter, and runs at most one
+  /// check when the accumulated count crosses the interval — the same
+  /// cadence InsertBatch gives a batch of that size. A no-op when nothing
+  /// was appended.
+  void Poll();
+
+  /// Registers an additional FD on the live monitor (the server's DECLARE
+  /// FD path): materializes its groupings and computes its measures at the
+  /// current watermark. Throws std::invalid_argument if the FD references
+  /// attributes outside the schema. Returns its index in fds().
+  size_t AddFd(Fd fd);
 
   /// Forces a validation pass; returns indices of currently violated FDs.
   /// Cost is O(rows appended since the previous check) — the pass advances
@@ -155,7 +217,17 @@ class SchemaMonitor {
   /// shared evaluator so Advance() maintains them from here on.
   void Track(const Fd& fd);
 
-  relation::Relation rel_;
+  /// Shared registration path of the fresh constructors.
+  void RegisterFds(std::vector<Fd> fds);
+
+  /// Shared validation/re-tracking path of the restore constructors:
+  /// adopts the monitored FDs + drift log, re-materializes groupings, and
+  /// cross-checks carried measures when comparable.
+  void RestoreMonitored(std::vector<MonitoredFd> fds,
+                        std::vector<DriftEvent> drift_log);
+
+  std::unique_ptr<relation::Relation> owned_;  ///< null in external mode
+  relation::Relation* rel_;                    ///< owned_ or the shared one
   query::DistinctEvaluator eval_;  ///< long-lived; advanced, never rebuilt
   std::vector<MonitoredFd> monitored_;
   std::vector<DriftEvent> drift_log_;
@@ -163,6 +235,7 @@ class SchemaMonitor {
   size_t check_interval_;
   size_t inserts_since_check_ = 0;
   size_t checks_run_ = 0;
+  size_t observed_version_ = 0;  ///< watermark the insert counter is at
 };
 
 }  // namespace fdevolve::fd

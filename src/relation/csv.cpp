@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace fdevolve::relation {
@@ -31,14 +32,14 @@ std::optional<Value> ParseCell(const std::string& field, DataType type) {
       return Value(v);
     }
     case DataType::kDouble: {
-      try {
-        size_t pos = 0;
-        double v = std::stod(field, &pos);
-        if (pos != field.size()) return std::nullopt;
-        return Value(v);
-      } catch (const std::exception&) {
-        return std::nullopt;
-      }
+      // from_chars-based and therefore locale-independent: std::stod honors
+      // the process locale, so under a comma-decimal LC_NUMERIC (e.g.
+      // de_DE) it would stop at the '.' and quietly ingest 3.14 as 3.
+      // ParseDouble also rejects "inf"/"nan" spellings — non-finite cells
+      // have no stable ordering or dictionary semantics in this dialect.
+      auto v = util::ParseDouble(field);
+      if (!v) return std::nullopt;
+      return Value(*v);
     }
     case DataType::kString:
       return Value(field);

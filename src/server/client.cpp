@@ -1,0 +1,124 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace fdevolve::server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::Connect(uint16_t port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Client::ReadLine() {
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Client::Reply Client::Request(const std::string& statement) {
+  Reply reply;
+  if (fd_ < 0) {
+    reply.error = "not connected";
+    return reply;
+  }
+  std::string framed = statement + "\n";
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      reply.error = std::string("send: ") + std::strerror(errno);
+      return reply;
+    }
+    off += static_cast<size_t>(n);
+  }
+  for (;;) {
+    auto line = ReadLine();
+    if (!line) {
+      reply.error = "connection closed before reply";
+      return reply;
+    }
+    auto parsed = ParseReply(*line);
+    if (!parsed) {
+      reply.error = "protocol violation: '" + *line + "'";
+      return reply;
+    }
+    switch (parsed->kind) {
+      case ParsedReply::Kind::kDrift:
+        reply.drift.push_back(*line);
+        continue;
+      case ParsedReply::Kind::kOk:
+        reply.ok = true;
+        reply.value = parsed->value;
+        return reply;
+      case ParsedReply::Kind::kError:
+        reply.error = parsed->text;
+        return reply;
+    }
+  }
+}
+
+std::optional<std::string> Client::PollDrift(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  // Serve from the buffer first: a push may already have been read
+  // alongside an earlier reply's bytes.
+  if (buffer_.find('\n') == std::string::npos) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) return std::nullopt;
+  }
+  auto line = ReadLine();
+  if (!line) return std::nullopt;
+  auto parsed = ParseReply(*line);
+  if (!parsed || parsed->kind != ParsedReply::Kind::kDrift) {
+    return std::nullopt;
+  }
+  return line;
+}
+
+}  // namespace fdevolve::server

@@ -1,0 +1,55 @@
+// Blocking line client for the FD-monitoring server — the counterpart of
+// protocol.h used by the tests, the smoke scripts, and bench_server.
+//
+// Request() sends one statement and reads lines until the reply arrives,
+// collecting any DRIFT pushes that land first (the protocol lets pushes
+// interleave anywhere — see protocol.h). Pushes that arrive while no
+// request is in flight are read with PollDrift().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fdevolve::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port. Returns false + error on failure.
+  bool Connect(uint16_t port, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  struct Reply {
+    bool ok = false;
+    uint64_t value = 0;  ///< OK payload
+    std::string error;   ///< ERR message, or transport failure
+    std::vector<std::string> drift;  ///< DRIFT lines drained on the way
+  };
+
+  /// Sends one statement line and blocks for its OK/ERR reply. DRIFT
+  /// pushes read along the way land in Reply::drift.
+  Reply Request(const std::string& statement);
+
+  /// Blocks up to `timeout_ms` for one DRIFT push line (between
+  /// requests). std::nullopt on timeout, closed connection, or a
+  /// non-DRIFT line (protocol violation outside a request).
+  std::optional<std::string> PollDrift(int timeout_ms);
+
+ private:
+  /// Reads one LF-terminated line (CR stripped); nullopt on EOF/error.
+  std::optional<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace fdevolve::server

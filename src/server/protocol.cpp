@@ -1,0 +1,49 @@
+#include "server/protocol.h"
+
+#include "sql/ast.h"
+#include "util/parse.h"
+
+namespace fdevolve::server {
+
+std::string FormatOk(uint64_t value) { return "OK " + std::to_string(value); }
+
+std::string FormatError(const std::string& message) {
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + flat;
+}
+
+std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
+                        const std::string& fd_text) {
+  return "DRIFT table=" + sql::QuoteIdentifier(table) +
+         " fd_index=" + std::to_string(event.fd_index) +
+         " tuples=" + std::to_string(event.tuple_count) +
+         " confidence=" + std::to_string(event.measures.confidence) +
+         " fd=" + fd_text;
+}
+
+std::optional<ParsedReply> ParseReply(const std::string& line) {
+  ParsedReply reply;
+  if (line.rfind("OK ", 0) == 0) {
+    auto v = util::ParseUint64(line.substr(3));
+    if (!v) return std::nullopt;
+    reply.kind = ParsedReply::Kind::kOk;
+    reply.value = *v;
+    return reply;
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    reply.kind = ParsedReply::Kind::kError;
+    reply.text = line.substr(4);
+    return reply;
+  }
+  if (line.rfind("DRIFT ", 0) == 0) {
+    reply.kind = ParsedReply::Kind::kDrift;
+    reply.text = line;
+    return reply;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdevolve::server

@@ -1,0 +1,62 @@
+// Wire protocol of the FD-monitoring server — plain TCP, newline-framed.
+//
+// Requests: one SQL statement per line (LF-terminated; a trailing CR is
+// stripped so `nc -C` and telnet-style clients work). Empty lines are
+// ignored. The dialect is the full sql/ grammar: SELECT COUNT, INSERT,
+// CREATE TABLE, DECLARE FD ... ON t [EVERY n], SUBSCRIBE DRIFT ON t,
+// CHECKPOINT, SHUTDOWN.
+//
+// Replies: exactly one line per request —
+//
+//   OK <uint64>      statement succeeded; the value is the count for
+//                    SELECT, rows inserted for INSERT, 0 otherwise
+//   ERR <message>    parse or execution error (single line; embedded
+//                    newlines in the message are flattened to spaces)
+//
+// Pushes: sessions that issued SUBSCRIBE DRIFT ON t additionally receive
+// asynchronous lines
+//
+//   DRIFT table=<t> fd_index=<i> tuples=<n> confidence=<c> fd=<text>
+//
+// whenever a previously-exact FD on t drifts to violated. DRIFT lines can
+// arrive at ANY point between — or even before — reply lines (a session
+// subscribed to a table it inserts into sees the DRIFT its own insert
+// triggered before that insert's OK). Clients must therefore read lines
+// until a non-DRIFT line arrives and treat the DRIFTs as out-of-band
+// (Client::Request does exactly this). <text> is the FD rendered against
+// the table schema and may contain spaces; it is always the final field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fd/schema_monitor.h"
+
+namespace fdevolve::server {
+
+/// Formats the one-line success reply (no trailing newline).
+std::string FormatOk(uint64_t value);
+
+/// Formats the one-line error reply; newlines in `message` become spaces
+/// so the reply cannot be mistaken for multiple frames.
+std::string FormatError(const std::string& message);
+
+/// Formats an asynchronous drift push line. `fd_text` is the violated
+/// FD rendered against the table schema.
+std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
+                        const std::string& fd_text);
+
+/// A reply or push line, decoded.
+struct ParsedReply {
+  enum class Kind { kOk, kError, kDrift };
+  Kind kind = Kind::kError;
+  uint64_t value = 0;     ///< OK payload
+  std::string text;       ///< ERR message, or the raw DRIFT line
+};
+
+/// Decodes one reply/push line; std::nullopt if the line matches none of
+/// the three frame shapes (protocol violation).
+std::optional<ParsedReply> ParseReply(const std::string& line);
+
+}  // namespace fdevolve::server

@@ -1,11 +1,27 @@
 #include "sql/ast.h"
 
+#include <cctype>
 #include <sstream>
 
+#include "sql/token.h"
 #include "util/strings.h"
 
 namespace fdevolve::sql {
 namespace {
+
+/// SQL-facing spelling of a column type (the parser matches these
+/// case-insensitively, see ParseStatement).
+const char* SqlTypeName(relation::DataType t) {
+  switch (t) {
+    case relation::DataType::kInt64:
+      return "INT64";
+    case relation::DataType::kDouble:
+      return "DOUBLE";
+    case relation::DataType::kString:
+      return "STRING";
+  }
+  return "STRING";
+}
 
 std::string RenderLiteral(const relation::Value& v) {
   if (v.is_null()) return "NULL";
@@ -36,23 +52,48 @@ std::string RenderLiteral(const relation::Value& v) {
 
 }  // namespace
 
+std::string QuoteIdentifier(const std::string& name) {
+  bool bare = !name.empty() && !IsReservedWord(name);
+  if (bare) {
+    char first = name[0];
+    if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+      bare = false;
+    }
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        bare = false;
+        break;
+      }
+    }
+  }
+  if (bare) return name;
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
 std::string Condition::ToString() const {
+  const std::string col = QuoteIdentifier(column);
   switch (op) {
     case Op::kEq:
-      return column + " = " + RenderLiteral(literal);
+      return col + " = " + RenderLiteral(literal);
     case Op::kNeq:
-      return column + " <> " + RenderLiteral(literal);
+      return col + " <> " + RenderLiteral(literal);
     case Op::kIsNull:
-      return column + " IS NULL";
+      return col + " IS NULL";
     case Op::kIsNotNull:
-      return column + " IS NOT NULL";
+      return col + " IS NOT NULL";
   }
-  return column;
+  return col;
 }
 
 std::string InsertStatement::ToString() const {
   std::ostringstream os;
-  os << "INSERT INTO " << table << " VALUES ";
+  os << "INSERT INTO " << QuoteIdentifier(table) << " VALUES ";
   for (size_t r = 0; r < rows.size(); ++r) {
     if (r > 0) os << ", ";
     os << "(";
@@ -72,16 +113,52 @@ std::string CountQuery::ToString() const {
     os << "DISTINCT ";
     for (size_t i = 0; i < columns.size(); ++i) {
       if (i > 0) os << ", ";
-      os << columns[i];
+      os << QuoteIdentifier(columns[i]);
     }
   } else {
     os << "*";
   }
-  os << ") FROM " << table;
+  os << ") FROM " << QuoteIdentifier(table);
   for (size_t i = 0; i < where.size(); ++i) {
     os << (i == 0 ? " WHERE " : " AND ") << where[i].ToString();
   }
   return os.str();
+}
+
+std::string CreateTableStatement::ToString() const {
+  std::ostringstream os;
+  os << "CREATE TABLE " << QuoteIdentifier(table) << " (";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(attrs[i].name) << " " << SqlTypeName(attrs[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string DeclareFdStatement::ToString() const {
+  std::ostringstream os;
+  os << "DECLARE FD ";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(lhs[i]);
+  }
+  os << " -> ";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(rhs[i]);
+  }
+  os << " ON " << QuoteIdentifier(table);
+  if (check_interval != 0) os << " EVERY " << check_interval;
+  return os.str();
+}
+
+std::string CheckpointStatement::ToString() const { return "CHECKPOINT"; }
+
+std::string ShutdownStatement::ToString() const { return "SHUTDOWN"; }
+
+std::string SubscribeStatement::ToString() const {
+  return "SUBSCRIBE DRIFT ON " + QuoteIdentifier(table);
 }
 
 }  // namespace fdevolve::sql

@@ -2,26 +2,44 @@
 //
 // Grammar (enough to express everything §4.4 issues, plus simple
 // selections for the conditional-FD extension, plus the INSERT the
-// paper's monitoring scenario feeds on):
+// paper's monitoring scenario feeds on, plus the DDL / monitoring
+// statements the FD-monitoring server multiplexes over one catalog):
 //
-//   statement  := query | insert
+//   statement  := query | insert | create | declare_fd
+//               | checkpoint | shutdown | subscribe
 //   query      := SELECT COUNT '(' (DISTINCT columns | '*') ')'
 //                 FROM identifier [WHERE condition (AND condition)*]
 //   insert     := INSERT INTO identifier VALUES row (',' row)*
+//   create     := CREATE TABLE identifier
+//                 '(' identifier type (',' identifier type)* ')'
+//   declare_fd := DECLARE FD columns '->' columns ON identifier
+//                 [EVERY number]
+//   checkpoint := CHECKPOINT
+//   shutdown   := SHUTDOWN
+//   subscribe  := SUBSCRIBE DRIFT ON identifier
 //   row        := '(' literal (',' literal)* ')'
 //   columns    := identifier (',' identifier)*
 //   condition  := identifier ('=' | '<>') literal
 //               | identifier IS [NOT] NULL
 //   literal    := number | string | NULL
+//   type       := INT64 | INT | DOUBLE | FLOAT | STRING | STR (identifier,
+//                 matched case-insensitively — not reserved words)
 #pragma once
 
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "relation/schema.h"
 #include "relation/value.h"
 
 namespace fdevolve::sql {
+
+/// Renders a name as a dialect identifier: bare when it lexes back as the
+/// same unquoted identifier, otherwise "quoted" with embedded quotes
+/// doubled. Every ToString in this file routes names through here, so
+/// parse(ToString(ast)) == ast holds for any identifier the lexer accepts.
+std::string QuoteIdentifier(const std::string& name);
 
 /// One WHERE conjunct.
 struct Condition {
@@ -53,7 +71,54 @@ struct InsertStatement {
   std::string ToString() const;
 };
 
+/// CREATE TABLE t (a INT64, b STRING, ...) — registers an empty relation
+/// in the catalog.
+struct CreateTableStatement {
+  std::string table;
+  std::vector<relation::Attribute> attrs;
+
+  std::string ToString() const;
+};
+
+/// DECLARE FD a, b -> c ON t [EVERY n] — declares the FD in the catalog
+/// and (in a server session) registers it with the table's monitor.
+/// Columns are stored by name; the engine resolves them against the
+/// table's schema at execution time.
+struct DeclareFdStatement {
+  std::string table;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  /// Monitor check interval (EVERY n); 0 = unspecified, the executor's
+  /// default applies (the server checks after every INSERT statement).
+  size_t check_interval = 0;
+
+  std::string ToString() const;
+};
+
+/// CHECKPOINT — persist the server's state to its configured snapshot
+/// path. Only meaningful in a server session.
+struct CheckpointStatement {
+  std::string ToString() const;
+};
+
+/// SHUTDOWN — checkpoint (if configured) and stop the server. Only
+/// meaningful in a server session.
+struct ShutdownStatement {
+  std::string ToString() const;
+};
+
+/// SUBSCRIBE DRIFT ON t — push this table's drift events to the issuing
+/// session as they fire. Only meaningful in a server session.
+struct SubscribeStatement {
+  std::string table;
+
+  std::string ToString() const;
+};
+
 /// Any parsable statement (see ParseStatement in parser.h).
-using Statement = std::variant<CountQuery, InsertStatement>;
+using Statement =
+    std::variant<CountQuery, InsertStatement, CreateTableStatement,
+                 DeclareFdStatement, CheckpointStatement, ShutdownStatement,
+                 SubscribeStatement>;
 
 }  // namespace fdevolve::sql

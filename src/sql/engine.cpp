@@ -160,11 +160,41 @@ uint64_t Execute(const InsertStatement& insert, Database& db) {
   return rows.size();
 }
 
+uint64_t Execute(const CreateTableStatement& create, Database& db) {
+  // Schema's constructor rejects duplicate column names; AddRelation
+  // rejects duplicate table names.
+  db.AddRelation(
+      relation::Relation(create.table, relation::Schema(create.attrs)));
+  return 0;
+}
+
+uint64_t Execute(const DeclareFdStatement& declare, Database& db) {
+  const relation::Relation& rel = db.Get(declare.table);
+  // Resolve throws on unknown columns; the Fd constructor rejects
+  // overlapping sides and an empty consequent.
+  fd::Fd fd(rel.schema().Resolve(declare.lhs), rel.schema().Resolve(declare.rhs));
+  db.DeclareFd(declare.table, std::move(fd));
+  return 0;
+}
+
 uint64_t Execute(const Statement& stmt, Database& db) {
   if (const auto* q = std::get_if<CountQuery>(&stmt)) {
     return Execute(*q, static_cast<const Database&>(db));
   }
-  return Execute(std::get<InsertStatement>(stmt), db);
+  if (const auto* ins = std::get_if<InsertStatement>(&stmt)) {
+    return Execute(*ins, db);
+  }
+  if (const auto* create = std::get_if<CreateTableStatement>(&stmt)) {
+    return Execute(*create, db);
+  }
+  if (const auto* declare = std::get_if<DeclareFdStatement>(&stmt)) {
+    return Execute(*declare, db);
+  }
+  // CHECKPOINT / SHUTDOWN / SUBSCRIBE DRIFT need a server session: they
+  // act on the serving process (durability, lifecycle, push channels),
+  // not on catalog contents.
+  throw std::invalid_argument(
+      "this statement requires a server session (see server::Service)");
 }
 
 uint64_t ExecuteSql(const std::string& text, const Database& db) {

@@ -24,8 +24,22 @@ uint64_t Execute(const CountQuery& query, const Database& db);
 /// relation unchanged.
 uint64_t Execute(const InsertStatement& insert, Database& db);
 
+/// Executes a parsed CREATE TABLE: registers an empty relation. Returns 0.
+/// Throws std::invalid_argument on duplicate table or column names.
+uint64_t Execute(const CreateTableStatement& create, Database& db);
+
+/// Executes a parsed DECLARE FD: resolves the column names against the
+/// table's schema and declares the FD in the catalog. Returns 0. Throws
+/// std::invalid_argument on unknown table/columns or an invalid FD
+/// (overlapping sides). The EVERY interval is *not* catalog state — it
+/// configures the monitor in a server session (see server::Service);
+/// executing against a bare Database ignores it.
+uint64_t Execute(const DeclareFdStatement& declare, Database& db);
+
 /// Executes any parsed statement (reads need only const access; this
-/// overload exists for writes).
+/// overload exists for writes). CHECKPOINT / SHUTDOWN / SUBSCRIBE DRIFT
+/// only make sense against a server session and throw
+/// std::invalid_argument here.
 uint64_t Execute(const Statement& stmt, Database& db);
 
 /// Convenience: parse + execute a COUNT query (read-only catalogs).

@@ -9,8 +9,10 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kw = {
-      "SELECT", "COUNT", "DISTINCT", "FROM",   "WHERE", "AND",   "IS",
-      "NOT",    "NULL",  "AS",       "INSERT", "INTO",  "VALUES"};
+      "SELECT",  "COUNT",   "DISTINCT",   "FROM",     "WHERE",     "AND",
+      "IS",      "NOT",     "NULL",       "AS",       "INSERT",    "INTO",
+      "VALUES",  "CREATE",  "TABLE",      "DECLARE",  "FD",        "ON",
+      "EVERY",   "CHECKPOINT", "SHUTDOWN", "SUBSCRIBE", "DRIFT"};
   return kw;
 }
 
@@ -20,6 +22,10 @@ std::string Upper(std::string s) {
 }
 
 }  // namespace
+
+bool IsReservedWord(const std::string& word) {
+  return Keywords().count(Upper(word)) != 0;
+}
 
 std::vector<Token> Lex(const std::string& input) {
   std::vector<Token> out;
@@ -48,12 +54,28 @@ std::vector<Token> Lex(const std::string& input) {
     }
     if (c == '"') {  // quoted identifier, preserves case/spaces
       ++i;
-      size_t close = input.find('"', i);
-      if (close == std::string::npos) {
-        throw SqlError("unterminated quoted identifier", start);
+      std::string name;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          if (i + 1 < n && input[i + 1] == '"') {  // "" escapes a quote
+            name.push_back('"');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        name.push_back(input[i++]);
       }
-      out.push_back({TokenType::kIdentifier, input.substr(i, close - i), start});
-      i = close + 1;
+      if (!closed) throw SqlError("unterminated quoted identifier", start);
+      if (name.empty()) {
+        // "" would name a column nothing else can reference (ToString
+        // would render it as the empty escape again).
+        throw SqlError("empty quoted identifier", start);
+      }
+      out.push_back({TokenType::kIdentifier, std::move(name), start});
       continue;
     }
     if (c == '\'') {
@@ -100,6 +122,11 @@ std::vector<Token> Lex(const std::string& input) {
         }
       }
       out.push_back({TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '>') {
+      out.push_back({TokenType::kSymbol, "->", start});
+      i += 2;
       continue;
     }
     if (c == '<' && i + 1 < n && input[i + 1] == '>') {

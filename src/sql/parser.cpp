@@ -1,6 +1,9 @@
 #include "sql/parser.h"
 
+#include <cctype>
 #include <charconv>
+
+#include "util/parse.h"
 
 namespace fdevolve::sql {
 namespace {
@@ -14,6 +17,31 @@ class Parser {
       InsertStatement ins = ParseInsert();
       ExpectEnd();
       return ins;
+    }
+    if (Peek().IsKeyword("CREATE")) {
+      CreateTableStatement create = ParseCreateTable();
+      ExpectEnd();
+      return create;
+    }
+    if (Peek().IsKeyword("DECLARE")) {
+      DeclareFdStatement declare = ParseDeclareFd();
+      ExpectEnd();
+      return declare;
+    }
+    if (Peek().IsKeyword("CHECKPOINT")) {
+      Advance();
+      ExpectEnd();
+      return CheckpointStatement{};
+    }
+    if (Peek().IsKeyword("SHUTDOWN")) {
+      Advance();
+      ExpectEnd();
+      return ShutdownStatement{};
+    }
+    if (Peek().IsKeyword("SUBSCRIBE")) {
+      SubscribeStatement sub = ParseSubscribe();
+      ExpectEnd();
+      return sub;
     }
     CountQuery q = ParseQueryBody();
     ExpectEnd();
@@ -51,6 +79,92 @@ class Parser {
     }
     ExpectSymbol(")");
     return row;
+  }
+
+  CreateTableStatement ParseCreateTable() {
+    CreateTableStatement create;
+    ExpectKeyword("CREATE");
+    ExpectKeyword("TABLE");
+    create.table = ExpectIdentifier();
+    ExpectSymbol("(");
+    create.attrs.push_back(ParseColumnDef());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      create.attrs.push_back(ParseColumnDef());
+    }
+    ExpectSymbol(")");
+    return create;
+  }
+
+  relation::Attribute ParseColumnDef() {
+    relation::Attribute attr;
+    attr.name = ExpectIdentifier();
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      throw SqlError("expected column type", t.position);
+    }
+    // Type names are ordinary identifiers (not reserved), matched
+    // case-insensitively — the same spellings the CSV header accepts.
+    std::string lower;
+    for (char c : t.text) {
+      lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "int64" || lower == "int") {
+      attr.type = relation::DataType::kInt64;
+    } else if (lower == "double" || lower == "float") {
+      attr.type = relation::DataType::kDouble;
+    } else if (lower == "string" || lower == "str") {
+      attr.type = relation::DataType::kString;
+    } else {
+      throw SqlError("unknown column type '" + t.text + "'", t.position);
+    }
+    Advance();
+    return attr;
+  }
+
+  DeclareFdStatement ParseDeclareFd() {
+    DeclareFdStatement declare;
+    ExpectKeyword("DECLARE");
+    ExpectKeyword("FD");
+    declare.lhs.push_back(ExpectIdentifier());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      declare.lhs.push_back(ExpectIdentifier());
+    }
+    ExpectSymbol("->");
+    declare.rhs.push_back(ExpectIdentifier());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      declare.rhs.push_back(ExpectIdentifier());
+    }
+    ExpectKeyword("ON");
+    declare.table = ExpectIdentifier();
+    if (Peek().IsKeyword("EVERY")) {
+      Advance();
+      const Token& t = Peek();
+      if (t.type != TokenType::kNumber) {
+        throw SqlError("EVERY expects a positive integer", t.position);
+      }
+      auto v = util::ParseUint64(t.text);
+      if (!v || *v == 0) {
+        throw SqlError("EVERY expects a positive integer, got '" + t.text +
+                           "'",
+                       t.position);
+      }
+      declare.check_interval = static_cast<size_t>(*v);
+      Advance();
+    }
+    return declare;
+  }
+
+  SubscribeStatement ParseSubscribe() {
+    SubscribeStatement sub;
+    ExpectKeyword("SUBSCRIBE");
+    ExpectKeyword("DRIFT");
+    ExpectKeyword("ON");
+    sub.table = ExpectIdentifier();
+    return sub;
   }
 
   CountQuery ParseQueryBody() {
@@ -122,14 +236,18 @@ class Parser {
     if (t.type == TokenType::kNumber) {
       Advance();
       if (t.text.find_first_of(".eE") != std::string::npos) {
-        try {
-          return relation::Value(std::stod(t.text));
-        } catch (const std::out_of_range&) {
-          // e.g. 1e999: keep the documented SqlError contract, like the
-          // integer branch below.
+        // from_chars-based and therefore locale-independent: under a
+        // comma-decimal process locale (e.g. de_DE) std::stod would stop
+        // at the '.' and silently parse 3.14 as 3.
+        auto v = util::ParseDouble(t.text);
+        if (!v) {
+          // The lexer only emits well-formed numbers, so the one failure mode
+          // is overflow (e.g. 1e999) — keep the documented SqlError
+          // contract, like the integer branch below.
           throw SqlError("numeric literal out of range '" + t.text + "'",
                          t.position);
         }
+        return relation::Value(*v);
       }
       int64_t v = 0;
       auto [ptr, ec] =

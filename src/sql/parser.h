@@ -12,8 +12,9 @@ namespace fdevolve::sql {
 /// non-SELECT statements — use ParseStatement for the full dialect).
 CountQuery Parse(const std::string& input);
 
-/// Parses one statement of the full dialect (SELECT COUNT or INSERT);
-/// throws SqlError on syntax errors.
+/// Parses one statement of the full dialect (SELECT COUNT, INSERT, CREATE
+/// TABLE, DECLARE FD, CHECKPOINT, SHUTDOWN, SUBSCRIBE DRIFT); throws
+/// SqlError on syntax errors.
 Statement ParseStatement(const std::string& input);
 
 }  // namespace fdevolve::sql

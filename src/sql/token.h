@@ -10,11 +10,13 @@ namespace fdevolve::sql {
 
 enum class TokenType {
   kKeyword,     // SELECT, COUNT, DISTINCT, FROM, WHERE, AND, IS, NOT, NULL,
-                // AS, INSERT, INTO, VALUES
-  kIdentifier,  // table / column names (optionally "quoted")
+                // AS, INSERT, INTO, VALUES, CREATE, TABLE, DECLARE, FD, ON,
+                // EVERY, CHECKPOINT, SHUTDOWN, SUBSCRIBE, DRIFT
+  kIdentifier,  // table / column names (optionally "quoted"; "" escapes a
+                // literal quote inside a quoted identifier)
   kNumber,      // integer or decimal literal
   kString,      // 'single-quoted'
-  kSymbol,      // ( ) , * = < > !
+  kSymbol,      // ( ) , * = <> ->
   kEnd,
 };
 
@@ -48,5 +50,9 @@ class SqlError : public std::runtime_error {
 /// Tokenises an SQL string; throws SqlError on bad characters or
 /// unterminated strings.
 std::vector<Token> Lex(const std::string& input);
+
+/// True if `word` (any case) is a reserved keyword — such a name must be
+/// "quoted" to be used as an identifier (see QuoteIdentifier in ast.h).
+bool IsReservedWord(const std::string& word);
 
 }  // namespace fdevolve::sql

@@ -20,6 +20,7 @@ enum PayloadKind : uint32_t {
   kKindRelation = 1,
   kKindDatabase = 2,
   kKindMonitor = 3,
+  kKindServer = 4,
 };
 
 const char* KindName(uint32_t kind) {
@@ -30,6 +31,8 @@ const char* KindName(uint32_t kind) {
       return "database";
     case kKindMonitor:
       return "monitor checkpoint";
+    case kKindServer:
+      return "server state";
   }
   return "unknown";
 }
@@ -221,38 +224,31 @@ relation::Relation ReadRelationPayload(BinaryReader& r) {
                                          std::move(columns));
 }
 
-void WriteCheckpointPayload(BinaryWriter& w,
-                            const fd::MonitorCheckpoint& ckpt) {
-  WriteRelationPayload(w, ckpt.rel);
-  w.U64(ckpt.check_interval);
-  w.U64(ckpt.inserts_since_check);
-  w.U64(ckpt.checks_run);
-  w.U64(ckpt.stream_batch_hint);
-  w.U32(static_cast<uint32_t>(ckpt.fds.size()));
-  for (const auto& m : ckpt.fds) {
+// Monitored-FD list + drift log — the relation-free core shared by the
+// monitor checkpoint and the server-state payloads.
+
+void WriteFdsAndDrift(BinaryWriter& w, const std::vector<fd::MonitoredFd>& fds,
+                      const std::vector<fd::DriftEvent>& drift_log) {
+  w.U32(static_cast<uint32_t>(fds.size()));
+  for (const auto& m : fds) {
     WriteFd(w, m.fd);
     WriteMeasures(w, m.measures);
     w.U8(m.was_exact_at_registration ? 1 : 0);
     w.U8(m.violated ? 1 : 0);
     w.U64(m.first_violation_at);
   }
-  w.U32(static_cast<uint32_t>(ckpt.drift_log.size()));
-  for (const auto& ev : ckpt.drift_log) {
+  w.U32(static_cast<uint32_t>(drift_log.size()));
+  for (const auto& ev : drift_log) {
     w.U64(ev.fd_index);
     w.U64(ev.tuple_count);
     WriteMeasures(w, ev.measures);
   }
 }
 
-fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
-  relation::Relation rel = ReadRelationPayload(r);
-  uint64_t check_interval = r.U64();
-  uint64_t inserts_since_check = r.U64();
-  uint64_t checks_run = r.U64();
-  uint64_t stream_batch_hint = r.U64();
+void ReadFdsAndDrift(BinaryReader& r, std::vector<fd::MonitoredFd>* fds,
+                     std::vector<fd::DriftEvent>* drift_log) {
   uint32_t fd_count = r.U32();
-  std::vector<fd::MonitoredFd> fds;
-  fds.reserve(fd_count);
+  fds->reserve(fd_count);
   for (uint32_t i = 0; i < fd_count; ++i) {
     fd::MonitoredFd m;
     m.fd = ReadFd(r);
@@ -260,11 +256,10 @@ fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
     m.was_exact_at_registration = r.U8() != 0;
     m.violated = r.U8() != 0;
     m.first_violation_at = r.U64();
-    fds.push_back(std::move(m));
+    fds->push_back(std::move(m));
   }
   uint32_t drift_count = r.U32();
-  std::vector<fd::DriftEvent> drift;
-  drift.reserve(drift_count);
+  drift_log->reserve(drift_count);
   for (uint32_t i = 0; i < drift_count; ++i) {
     fd::DriftEvent ev;
     ev.fd_index = r.U64();
@@ -275,8 +270,29 @@ fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
     }
     ev.tuple_count = r.U64();
     ev.measures = ReadMeasures(r);
-    drift.push_back(std::move(ev));
+    drift_log->push_back(std::move(ev));
   }
+}
+
+void WriteCheckpointPayload(BinaryWriter& w,
+                            const fd::MonitorCheckpoint& ckpt) {
+  WriteRelationPayload(w, ckpt.rel);
+  w.U64(ckpt.check_interval);
+  w.U64(ckpt.inserts_since_check);
+  w.U64(ckpt.checks_run);
+  w.U64(ckpt.stream_batch_hint);
+  WriteFdsAndDrift(w, ckpt.fds, ckpt.drift_log);
+}
+
+fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
+  relation::Relation rel = ReadRelationPayload(r);
+  uint64_t check_interval = r.U64();
+  uint64_t inserts_since_check = r.U64();
+  uint64_t checks_run = r.U64();
+  uint64_t stream_batch_hint = r.U64();
+  std::vector<fd::MonitoredFd> fds;
+  std::vector<fd::DriftEvent> drift;
+  ReadFdsAndDrift(r, &fds, &drift);
   return fd::MonitorCheckpoint{std::move(rel),
                                std::move(fds),
                                std::move(drift),
@@ -284,6 +300,52 @@ fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
                                static_cast<size_t>(inserts_since_check),
                                static_cast<size_t>(checks_run),
                                static_cast<size_t>(stream_batch_hint)};
+}
+
+void WriteMonitorStatePayload(BinaryWriter& w, const fd::MonitorState& s) {
+  w.U64(s.check_interval);
+  w.U64(s.inserts_since_check);
+  w.U64(s.checks_run);
+  w.U64(s.watermark);
+  WriteFdsAndDrift(w, s.fds, s.drift_log);
+}
+
+fd::MonitorState ReadMonitorStatePayload(BinaryReader& r) {
+  fd::MonitorState s;
+  s.check_interval = static_cast<size_t>(r.U64());
+  s.inserts_since_check = static_cast<size_t>(r.U64());
+  s.checks_run = static_cast<size_t>(r.U64());
+  s.watermark = static_cast<size_t>(r.U64());
+  ReadFdsAndDrift(r, &s.fds, &s.drift_log);
+  return s;
+}
+
+// The catalog section of the database/server payloads (tables + declared
+// FDs), factored so the server payload is exactly "catalog then monitors".
+
+void WriteDatabasePayload(BinaryWriter& w, const sql::Database& db) {
+  const auto tables = db.TableNames();
+  w.U32(static_cast<uint32_t>(tables.size()));
+  for (const auto& name : tables) WriteRelationPayload(w, db.Get(name));
+  const auto fds = db.Fds();
+  w.U32(static_cast<uint32_t>(fds.size()));
+  for (const auto& d : fds) {
+    w.Str(d.table);
+    WriteFd(w, d.fd);
+  }
+}
+
+void ReadDatabasePayload(BinaryReader& r, sql::Database* db) {
+  uint32_t table_count = r.U32();
+  for (uint32_t i = 0; i < table_count; ++i) {
+    db->AddRelation(ReadRelationPayload(r));
+  }
+  uint32_t fd_count = r.U32();
+  for (uint32_t i = 0; i < fd_count; ++i) {
+    std::string table = r.Str();
+    // DeclareFd validates table existence and schema bounds.
+    db->DeclareFd(table, ReadFd(r));
+  }
 }
 
 // --- Envelope.
@@ -420,15 +482,7 @@ RelationSnapshotResult DeserializeRelation(std::string_view bytes) {
 
 std::string SerializeDatabase(const sql::Database& db) {
   BinaryWriter w = OpenWriter(kKindDatabase);
-  const auto tables = db.TableNames();
-  w.U32(static_cast<uint32_t>(tables.size()));
-  for (const auto& name : tables) WriteRelationPayload(w, db.Get(name));
-  const auto fds = db.Fds();
-  w.U32(static_cast<uint32_t>(fds.size()));
-  for (const auto& d : fds) {
-    w.Str(d.table);
-    WriteFd(w, d.fd);
-  }
+  WriteDatabasePayload(w, db);
   return Seal(std::move(w));
 }
 
@@ -438,22 +492,65 @@ bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
   if (!payload) return false;
   try {
     BinaryReader r(*payload);
-    uint32_t table_count = r.U32();
-    for (uint32_t i = 0; i < table_count; ++i) {
-      db->AddRelation(ReadRelationPayload(r));
-    }
-    uint32_t fd_count = r.U32();
-    for (uint32_t i = 0; i < fd_count; ++i) {
-      std::string table = r.Str();
-      // DeclareFd validates table existence and schema bounds.
-      db->DeclareFd(table, ReadFd(r));
-    }
+    ReadDatabasePayload(r, db);
     if (!r.AtEnd()) {
       if (error) *error = "trailing bytes after database payload";
       return false;
     }
   } catch (const std::exception& e) {
     if (error) *error = std::string("corrupt database snapshot: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+std::string SerializeServerState(
+    const sql::Database& db, const std::vector<ServerMonitorState>& monitors) {
+  BinaryWriter w = OpenWriter(kKindServer);
+  WriteDatabasePayload(w, db);
+  w.U32(static_cast<uint32_t>(monitors.size()));
+  for (const auto& m : monitors) {
+    w.Str(m.table);
+    WriteMonitorStatePayload(w, m.state);
+  }
+  return Seal(std::move(w));
+}
+
+bool DeserializeServerState(std::string_view bytes, sql::Database* db,
+                            std::vector<ServerMonitorState>* monitors,
+                            std::string* error) {
+  auto payload = OpenEnvelope(bytes, kKindServer, error);
+  if (!payload) return false;
+  try {
+    BinaryReader r(*payload);
+    ReadDatabasePayload(r, db);
+    uint32_t monitor_count = r.U32();
+    for (uint32_t i = 0; i < monitor_count; ++i) {
+      ServerMonitorState m;
+      m.table = r.Str();
+      m.state = ReadMonitorStatePayload(r);
+      if (!db->Has(m.table)) {
+        throw util::BinaryIoError("monitor state references unknown table '" +
+                                  m.table + "'");
+      }
+      // The restore constructor re-checks this too, but failing at load
+      // time pins the blame on the file rather than on server wiring.
+      if (m.state.watermark != db->Get(m.table).version()) {
+        throw util::BinaryIoError(
+            "monitor state for '" + m.table + "' captured at watermark " +
+            std::to_string(m.state.watermark) + " but the table holds " +
+            std::to_string(db->Get(m.table).version()) + " tuples");
+      }
+      monitors->push_back(std::move(m));
+    }
+    if (!r.AtEnd()) {
+      if (error) *error = "trailing bytes after server-state payload";
+      return false;
+    }
+  } catch (const std::exception& e) {
+    if (error) {
+      *error = std::string("corrupt server-state snapshot: ") + e.what();
+    }
     return false;
   }
   return true;
@@ -523,6 +620,20 @@ CheckpointResult LoadMonitorCheckpoint(const std::string& path) {
   auto bytes = ReadFileBytes(path, &result.error);
   if (!bytes) return result;
   return DeserializeCheckpoint(*bytes);
+}
+
+bool SaveServerSnapshot(const sql::Database& db,
+                        const std::vector<ServerMonitorState>& monitors,
+                        const std::string& path, std::string* error) {
+  return WriteFileBytes(SerializeServerState(db, monitors), path, error);
+}
+
+bool LoadServerSnapshot(const std::string& path, sql::Database* db,
+                        std::vector<ServerMonitorState>* monitors,
+                        std::string* error) {
+  auto bytes = ReadFileBytes(path, error);
+  if (!bytes) return false;
+  return DeserializeServerState(*bytes, db, monitors, error);
 }
 
 }  // namespace fdevolve::storage

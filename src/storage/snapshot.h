@@ -4,21 +4,26 @@
 // every restart; snapshots instead serialize the *encoded* layer directly
 // (per-column dictionary + dense codes + row watermark, no per-cell Value
 // boxing), in the spirit of DuckDB's persisted column segments and
-// Hyrise's binary table export. Three payload kinds share one envelope:
+// Hyrise's binary table export. Four payload kinds share one envelope:
 //
 //   * Relation          — one dictionary-encoded relation;
 //   * Database catalog  — named relations + declared FDs;
 //   * Monitor checkpoint — a SchemaMonitor's complete resumable state
 //     (relation, registered FDs, accepted repairs, per-FD maintained
 //     counters, drift log, interval position), so a monitoring process can
-//     stop and resume mid-stream without replaying it.
+//     stop and resume mid-stream without replaying it;
+//   * Server state      — a server::Service's durable state: the whole
+//     catalog plus one relation-free MonitorState per monitored table
+//     (the relations live in the catalog section; embedding a copy per
+//     monitor would double the file).
 //
 // File layout (all integers little-endian, see util/binary_io.h):
 //
 //   offset 0: magic "FDEV"            (4 bytes)
 //             format version u32     (currently 1)
 //             payload kind u32       (1 = relation, 2 = database,
-//                                     3 = monitor checkpoint)
+//                                     3 = monitor checkpoint,
+//                                     4 = server state)
 //             payload bytes
 //   trailer:  FNV-1a u64 over everything before the trailer
 //
@@ -41,6 +46,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fd/schema_monitor.h"
 #include "relation/relation.h"
@@ -73,6 +79,13 @@ struct CheckpointResult {
   bool ok() const { return checkpoint.has_value(); }
 };
 
+/// One monitored table's relation-free monitor state, keyed by table name
+/// into the catalog persisted alongside it (see the server-state kind).
+struct ServerMonitorState {
+  std::string table;
+  fd::MonitorState state;
+};
+
 // --- Buffer-level API (the file functions are thin wrappers; tests use
 // --- these to corrupt bytes in memory).
 
@@ -81,11 +94,24 @@ std::string SerializeRelation(const relation::Relation& rel);
 std::string SerializeDatabase(const sql::Database& db);
 std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt);
 
+std::string SerializeServerState(
+    const sql::Database& db, const std::vector<ServerMonitorState>& monitors);
+
 /// Parses a complete snapshot byte string of the matching kind.
 RelationSnapshotResult DeserializeRelation(std::string_view bytes);
 bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
                          std::string* error);
 CheckpointResult DeserializeCheckpoint(std::string_view bytes);
+
+/// Adds the snapshot's catalog into `db` (normally empty) and fills
+/// `monitors` with the per-table monitor states. Structural validation:
+/// every monitor state must reference a table present in the snapshot and
+/// its watermark must equal that table's tuple count (the pairing
+/// guarantee SchemaMonitor's restore constructor relies on). On failure
+/// `*db` may hold a partial load.
+bool DeserializeServerState(std::string_view bytes, sql::Database* db,
+                            std::vector<ServerMonitorState>* monitors,
+                            std::string* error);
 
 // --- File-level API. Writers flush before reporting success so
 // --- flush-time I/O errors (e.g. disk full) are not swallowed.
@@ -110,5 +136,12 @@ bool SaveMonitorCheckpoint(const fd::SchemaMonitor& monitor,
 bool SaveMonitorCheckpoint(const fd::MonitorCheckpoint& ckpt,
                            const std::string& path, std::string* error);
 CheckpointResult LoadMonitorCheckpoint(const std::string& path);
+
+bool SaveServerSnapshot(const sql::Database& db,
+                        const std::vector<ServerMonitorState>& monitors,
+                        const std::string& path, std::string* error);
+bool LoadServerSnapshot(const std::string& path, sql::Database* db,
+                        std::vector<ServerMonitorState>* monitors,
+                        std::string* error);
 
 }  // namespace fdevolve::storage

@@ -287,5 +287,102 @@ TEST(SchemaMonitorTest, ThreadsKnobDoesNotChangeResults) {
   }
 }
 
+TEST(SchemaMonitorTest, ExternalModePollMatchesOwningInsert) {
+  // Owning monitor fed through Insert() vs. external monitor observing a
+  // caller-owned relation through Poll(): identical checks, measures, and
+  // drift events.
+  SchemaMonitor owning(CleanInstance(),
+                       {Fd::Parse("zip -> state", MonitorSchema())},
+                       /*check_interval=*/2);
+  Relation shared = CleanInstance();
+  SchemaMonitor external(&shared,
+                         {Fd::Parse("zip -> state", MonitorSchema())},
+                         /*check_interval=*/2);
+  const std::vector<std::vector<Value>> rows = {
+      {"Hoboken", "07030", "NJ"},
+      {"Weehawken", "10001", "NJ"},  // 10001 -> {NY, NJ}: drift
+      {"Camden", "08101", "NJ"},
+      {"Newark", "07101", "NJ"},
+  };
+  for (const auto& row : rows) {
+    owning.Insert(row);
+    shared.AppendRow(row);
+    external.Poll();
+    ASSERT_EQ(external.checks_run(), owning.checks_run());
+    ASSERT_EQ(external.fds()[0].violated, owning.fds()[0].violated);
+  }
+  ASSERT_EQ(external.drift_log().size(), owning.drift_log().size());
+  ASSERT_EQ(external.drift_log().size(), 1u);
+  EXPECT_EQ(external.drift_log()[0].tuple_count,
+            owning.drift_log()[0].tuple_count);
+}
+
+TEST(SchemaMonitorTest, ExternalModePollFoldsWholeAppendedSuffix) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/3);
+  // Three rows appended behind the monitor's back, one Poll: exactly one
+  // check (same cadence an InsertBatch of three would give).
+  shared.AppendRow({"Hoboken", "07030", "NJ"});
+  shared.AppendRow({"Weehawken", "10001", "NJ"});
+  shared.AppendRow({"Camden", "08101", "NJ"});
+  EXPECT_EQ(mon.checks_run(), 0u);
+  mon.Poll();
+  EXPECT_EQ(mon.checks_run(), 1u);
+  EXPECT_TRUE(mon.fds()[0].violated);
+  mon.Poll();  // nothing new appended: no-op
+  EXPECT_EQ(mon.checks_run(), 1u);
+}
+
+TEST(SchemaMonitorTest, AddFdRegistersOnLiveMonitor) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, std::vector<Fd>{}, /*check_interval=*/1);
+  EXPECT_TRUE(mon.fds().empty());
+  size_t idx = mon.AddFd(Fd::Parse("zip -> state", MonitorSchema()));
+  EXPECT_EQ(idx, 0u);
+  ASSERT_EQ(mon.fds().size(), 1u);
+  EXPECT_TRUE(mon.fds()[0].measures.exact);
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();
+  EXPECT_TRUE(mon.fds()[0].violated);
+  // Out-of-schema FDs are rejected up front.
+  AttrSet bad;
+  bad.Add(7);
+  AttrSet rhs;
+  rhs.Add(0);
+  EXPECT_THROW(mon.AddFd(Fd(bad, rhs)), std::invalid_argument);
+}
+
+TEST(SchemaMonitorTest, MonitorStateRoundTripContinuesCadence) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/3);
+  shared.AppendRow({"Hoboken", "07030", "NJ"});
+  mon.Poll();  // counter at 1, below interval: no check yet
+  EXPECT_EQ(mon.checks_run(), 0u);
+
+  MonitorState state = mon.State();
+  EXPECT_EQ(state.watermark, shared.version());
+  SchemaMonitor restored(&shared, state);
+  shared.AppendRow({"Weehawken", "10001", "NJ"});
+  shared.AppendRow({"Camden", "08101", "NJ"});
+  mon.Poll();
+  restored.Poll();
+  EXPECT_EQ(restored.checks_run(), mon.checks_run());
+  ASSERT_EQ(restored.drift_log().size(), mon.drift_log().size());
+  ASSERT_EQ(restored.drift_log().size(), 1u);
+  // 2 seed rows + 3 appends; the EVERY-3 check fires on the third append.
+  EXPECT_EQ(restored.drift_log()[0].tuple_count, 5u);
+}
+
+TEST(SchemaMonitorTest, MonitorStateRestoreRejectsWatermarkMismatch) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  MonitorState state = mon.State();
+  shared.AppendRow({"Hoboken", "07030", "NJ"});  // relation moved on
+  EXPECT_THROW(SchemaMonitor(&shared, std::move(state)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fdevolve::fd

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "support/scoped_locale.h"
+
 namespace fdevolve::relation {
 namespace {
 
@@ -289,6 +291,22 @@ TEST(CsvTest, DoubleRoundTripIsValueExact) {
   EXPECT_EQ(r.relation->Get(0, 0).as_double(), 0.1 + 0.2);
   EXPECT_EQ(r.relation->Get(1, 0).as_double(), 1e-7);
   EXPECT_EQ(r.relation->Get(2, 0).as_double(), 12345678.9012345);
+}
+
+TEST(CsvTest, DoubleCellsAreLocaleIndependent) {
+  testsupport::ScopedCommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Under de_DE-style locales std::stod reads "3.14" as 3 (it stops at
+  // the '.'); the from_chars-based cell parser must not.
+  std::istringstream in("x:double\n3.14\n1.5e2\n");
+  CsvResult r = ReadCsv(in, "t");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.relation->tuple_count(), 2u);
+  EXPECT_EQ(r.relation->Get(0, 0).as_double(), 3.14)
+      << "locale " << locale.name();
+  EXPECT_EQ(r.relation->Get(1, 0).as_double(), 1.5e2);
 }
 
 TEST(CsvTest, WriteFileAndReadBack) {

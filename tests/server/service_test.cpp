@@ -1,0 +1,200 @@
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace fdevolve::server {
+namespace {
+
+uint64_t OkValue(const Service::Result& res) {
+  auto parsed = ParseReply(res.reply);
+  EXPECT_TRUE(parsed.has_value()) << res.reply;
+  EXPECT_EQ(parsed->kind, ParsedReply::Kind::kOk) << res.reply;
+  return parsed->value;
+}
+
+bool IsErr(const Service::Result& res) {
+  auto parsed = ParseReply(res.reply);
+  return parsed && parsed->kind == ParsedReply::Kind::kError;
+}
+
+TEST(ServiceTest, CreateInsertSelect) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(
+                s, "CREATE TABLE t (city STRING, zip INT64)")),
+            0u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(
+                s, "INSERT INTO t VALUES ('NY', 10001), ('LA', 90001)")),
+            2u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "SELECT COUNT(*) FROM t")), 2u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(
+                s, "SELECT COUNT(DISTINCT city) FROM t")),
+            2u);
+}
+
+TEST(ServiceTest, ErrorsComeBackAsErrReplies) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "SELEC COUNT(*) FROM t")));  // parse
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "SELECT COUNT(*) FROM ghost")));
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "INSERT INTO ghost VALUES (1)")));
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64)");
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "CREATE TABLE t (a INT64)")));  // dup
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "INSERT INTO t VALUES ('x')")));
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "DECLARE FD a -> ghost ON t")));
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "SUBSCRIBE DRIFT ON ghost")));
+  // CHECKPOINT without a configured path.
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "CHECKPOINT")));
+}
+
+TEST(ServiceTest, ShutdownSetsFlag) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  Service::Result res = svc.ExecuteLine(s, "SHUTDOWN");
+  EXPECT_EQ(OkValue(res), 0u);
+  EXPECT_TRUE(res.shutdown);
+}
+
+TEST(ServiceTest, DriftPushedToSubscribers) {
+  Service svc;
+  std::vector<std::string> pushed;
+  auto listener = svc.OpenSession([&pushed](const std::string& line) {
+    pushed.push_back(line);
+    return true;
+  });
+  auto writer = svc.OpenSession(nullptr);
+  svc.ExecuteLine(writer, "CREATE TABLE t (a INT64, b INT64)");
+  EXPECT_EQ(OkValue(svc.ExecuteLine(writer, "DECLARE FD a -> b ON t")), 0u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(listener, "SUBSCRIBE DRIFT ON t")), 0u);
+  // a=1 maps to two b values: the FD drifts exact→violated.
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 1)");
+  EXPECT_TRUE(pushed.empty());
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 2)");
+  ASSERT_EQ(pushed.size(), 1u);
+  EXPECT_EQ(pushed[0].rfind("DRIFT ", 0), 0u) << pushed[0];
+  auto parsed = ParseReply(pushed[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, ParsedReply::Kind::kDrift);
+  // Drift is edge-triggered: further violations don't re-fire.
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 3)");
+  EXPECT_EQ(pushed.size(), 1u);
+  ASSERT_EQ(svc.DriftLog("t").size(), 1u);
+  EXPECT_EQ(svc.DriftLog("t")[0].tuple_count, 2u);
+}
+
+TEST(ServiceTest, ClosedSessionStopsReceivingPushes) {
+  Service svc;
+  int pushes = 0;
+  auto listener = svc.OpenSession([&pushes](const std::string&) {
+    ++pushes;
+    return true;
+  });
+  auto writer = svc.OpenSession(nullptr);
+  svc.ExecuteLine(writer, "CREATE TABLE t (a INT64, b INT64)");
+  svc.ExecuteLine(writer, "DECLARE FD a -> b ON t");
+  svc.ExecuteLine(listener, "SUBSCRIBE DRIFT ON t");
+  svc.CloseSession(listener);
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 1), (1, 2)");
+  EXPECT_EQ(pushes, 0);
+  EXPECT_EQ(svc.DriftLog("t").size(), 1u);
+}
+
+TEST(ServiceTest, EveryConfiguresCheckCadence) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b INT64)");
+  svc.ExecuteLine(s, "DECLARE FD a -> b ON t EVERY 4");
+  // Violating pair lands at rows 1-2, but the check only runs at row 4.
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 1)");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 2)");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (2, 1)");
+  EXPECT_TRUE(svc.DriftLog("t").empty());
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (3, 1)");
+  ASSERT_EQ(svc.DriftLog("t").size(), 1u);
+  EXPECT_EQ(svc.DriftLog("t")[0].tuple_count, 4u);
+  // A second DECLARE with a conflicting EVERY is rejected; without EVERY
+  // it joins the existing monitor.
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "DECLARE FD b -> a ON t EVERY 2")));
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "DECLARE FD b -> a ON t")), 0u);
+}
+
+TEST(ServiceTest, JournalRecordsCommitOrder) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64)");
+  svc.ExecuteLine(s, "DECLARE FD a -> a ON t");  // invalid (overlap): ERR
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1)");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (2), (3)");
+  svc.ExecuteLine(s, "SELECT COUNT(*) FROM t");  // reads are not journaled
+  auto journal = svc.Journal("t");
+  ASSERT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal[0], "CREATE TABLE t (a INT64)");
+  EXPECT_EQ(journal[1], "INSERT INTO t VALUES (1)");
+  EXPECT_EQ(journal[2], "INSERT INTO t VALUES (2), (3)");
+}
+
+TEST(ServiceTest, ReplayingJournalReproducesStateBitIdentically) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b STRING)");
+  svc.ExecuteLine(s, "DECLARE FD a -> b ON t EVERY 2");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 'z')");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (3, 'w')");
+
+  Service replay;
+  auto r = replay.OpenSession(nullptr);
+  for (const auto& line : svc.Journal("t")) {
+    auto parsed = ParseReply(replay.ExecuteLine(r, line).reply);
+    ASSERT_TRUE(parsed && parsed->kind == ParsedReply::Kind::kOk) << line;
+  }
+  EXPECT_EQ(svc.SerializeState(), replay.SerializeState());
+}
+
+TEST(ServiceTest, CheckpointAndResumeRoundTrip) {
+  const std::string path =
+      testing::TempDir() + "/fdevolve_service_ckpt.fdev";
+  Service::Options opts;
+  opts.checkpoint_path = path;
+  {
+    Service svc(opts);
+    auto s = svc.OpenSession(nullptr);
+    svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b INT64)");
+    svc.ExecuteLine(s, "DECLARE FD a -> b ON t EVERY 3");
+    svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 1), (1, 2)");  // unchecked
+    EXPECT_EQ(OkValue(svc.ExecuteLine(s, "CHECKPOINT")), 0u);
+
+    Service resumed(opts);
+    std::string error;
+    ASSERT_TRUE(resumed.Resume(&error)) << error;
+    EXPECT_EQ(resumed.SerializeState(), svc.SerializeState());
+
+    // Both continue identically: the pending-insert counter survived, so
+    // the next insert triggers the EVERY-3 check and the drift fires at
+    // the same watermark.
+    auto r = resumed.OpenSession(nullptr);
+    svc.ExecuteLine(s, "INSERT INTO t VALUES (2, 2)");
+    resumed.ExecuteLine(r, "INSERT INTO t VALUES (2, 2)");
+    ASSERT_EQ(svc.DriftLog("t").size(), 1u);
+    ASSERT_EQ(resumed.DriftLog("t").size(), 1u);
+    EXPECT_EQ(svc.DriftLog("t")[0].tuple_count, 3u);
+    EXPECT_EQ(svc.SerializeState(), resumed.SerializeState());
+  }
+}
+
+TEST(ServiceTest, ResumeFailsCleanlyOnMissingFile) {
+  Service::Options opts;
+  opts.checkpoint_path = testing::TempDir() + "/fdevolve_absent.fdev";
+  Service svc(opts);
+  std::string error;
+  EXPECT_FALSE(svc.Resume(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace fdevolve::server

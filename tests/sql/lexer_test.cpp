@@ -72,5 +72,65 @@ TEST(LexerTest, EmptyInputYieldsEnd) {
   EXPECT_EQ(tokens[0].type, TokenType::kEnd);
 }
 
+TEST(LexerTest, QuotedIdentifierEscapesDoubledQuote) {
+  // "" inside a quoted identifier is one literal quote — previously this
+  // lexed as two adjacent identifiers `a` and `b`.
+  auto tokens = Lex("\"a\"\"b\"");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "a\"b");
+  EXPECT_EQ(tokens[1].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, QuotedIdentifierAllQuotes) {
+  auto tokens = Lex("\"\"\"\"");  // "" "" → a single-quote-char identifier
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "\"");
+}
+
+TEST(LexerTest, EmptyQuotedIdentifierRejected) {
+  try {
+    Lex("\"\"");
+    FAIL() << "expected SqlError";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.position(), 0u);
+  }
+}
+
+TEST(LexerTest, UnterminatedQuotedIdentifierWithEscapeThrows) {
+  // The closing quote here is consumed by the "" escape, so the
+  // identifier is unterminated.
+  EXPECT_THROW(Lex("\"a\"\""), SqlError);
+}
+
+TEST(LexerTest, ArrowSymbol) {
+  auto tokens = Lex("a, b -> c");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[3].IsSymbol("->"));
+  // `-> ` vs a negative number: `-7` still lexes as one number token.
+  auto neg = Lex("-7");
+  EXPECT_EQ(neg[0].type, TokenType::kNumber);
+  EXPECT_EQ(neg[0].text, "-7");
+}
+
+TEST(LexerTest, ServerStatementKeywords) {
+  auto tokens =
+      Lex("create table declare fd on every checkpoint shutdown subscribe "
+          "drift");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword) << i;
+  }
+  EXPECT_TRUE(tokens[0].IsKeyword("CREATE"));
+  EXPECT_TRUE(tokens[8].IsKeyword("SUBSCRIBE"));
+}
+
+TEST(LexerTest, IsReservedWord) {
+  EXPECT_TRUE(IsReservedWord("select"));
+  EXPECT_TRUE(IsReservedWord("TABLE"));
+  EXPECT_TRUE(IsReservedWord("Drift"));
+  EXPECT_FALSE(IsReservedWord("AreaCode"));
+  EXPECT_FALSE(IsReservedWord("int64"));
+}
+
 }  // namespace
 }  // namespace fdevolve::sql

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sql/parser.h"
+#include "support/scoped_locale.h"
 
 namespace fdevolve::sql {
 namespace {
@@ -148,6 +149,113 @@ TEST(ParserTest, InsertSyntaxErrors) {
   EXPECT_THROW(ParseStatement("INSERT INTO t VALUES (1) junk"), SqlError);
   // Parse() remains query-only: INSERT is a syntax error there.
   EXPECT_THROW(Parse("INSERT INTO t VALUES (1)"), SqlError);
+}
+
+TEST(ParserTest, CreateTable) {
+  const auto create = std::get<CreateTableStatement>(ParseStatement(
+      "CREATE TABLE places (name STRING, area int64, lat Double)"));
+  EXPECT_EQ(create.table, "places");
+  ASSERT_EQ(create.attrs.size(), 3u);
+  EXPECT_EQ(create.attrs[0].name, "name");
+  EXPECT_EQ(create.attrs[0].type, relation::DataType::kString);
+  EXPECT_EQ(create.attrs[1].type, relation::DataType::kInt64);
+  EXPECT_EQ(create.attrs[2].type, relation::DataType::kDouble);
+  // Type aliases.
+  const auto alias = std::get<CreateTableStatement>(
+      ParseStatement("CREATE TABLE t (a INT, b FLOAT, c STR)"));
+  EXPECT_EQ(alias.attrs[0].type, relation::DataType::kInt64);
+  EXPECT_EQ(alias.attrs[1].type, relation::DataType::kDouble);
+  EXPECT_EQ(alias.attrs[2].type, relation::DataType::kString);
+
+  EXPECT_THROW(ParseStatement("CREATE TABLE t ()"), SqlError);
+  EXPECT_THROW(ParseStatement("CREATE TABLE t (a BLOB)"), SqlError);
+  EXPECT_THROW(ParseStatement("CREATE t (a INT64)"), SqlError);
+}
+
+TEST(ParserTest, DeclareFd) {
+  const auto declare = std::get<DeclareFdStatement>(
+      ParseStatement("DECLARE FD city, state -> zip ON addresses"));
+  EXPECT_EQ(declare.table, "addresses");
+  ASSERT_EQ(declare.lhs.size(), 2u);
+  EXPECT_EQ(declare.lhs[0], "city");
+  EXPECT_EQ(declare.lhs[1], "state");
+  ASSERT_EQ(declare.rhs.size(), 1u);
+  EXPECT_EQ(declare.rhs[0], "zip");
+  EXPECT_EQ(declare.check_interval, 0u);  // unspecified
+
+  const auto every = std::get<DeclareFdStatement>(
+      ParseStatement("DECLARE FD a -> b ON t EVERY 100"));
+  EXPECT_EQ(every.check_interval, 100u);
+
+  EXPECT_THROW(ParseStatement("DECLARE FD a -> b ON t EVERY 0"), SqlError);
+  EXPECT_THROW(ParseStatement("DECLARE FD a -> b ON t EVERY x"), SqlError);
+  EXPECT_THROW(ParseStatement("DECLARE FD a -> ON t"), SqlError);
+  EXPECT_THROW(ParseStatement("DECLARE FD -> b ON t"), SqlError);
+  EXPECT_THROW(ParseStatement("DECLARE FD a -> b"), SqlError);
+}
+
+TEST(ParserTest, ServerControlStatements) {
+  EXPECT_TRUE(std::holds_alternative<CheckpointStatement>(
+      ParseStatement("CHECKPOINT")));
+  EXPECT_TRUE(
+      std::holds_alternative<ShutdownStatement>(ParseStatement("shutdown")));
+  const auto sub = std::get<SubscribeStatement>(
+      ParseStatement("SUBSCRIBE DRIFT ON places"));
+  EXPECT_EQ(sub.table, "places");
+  EXPECT_THROW(ParseStatement("CHECKPOINT now"), SqlError);
+  EXPECT_THROW(ParseStatement("SUBSCRIBE DRIFT places"), SqlError);
+  EXPECT_THROW(ParseStatement("SUBSCRIBE ON places"), SqlError);
+}
+
+TEST(ParserTest, NewStatementsToStringRoundTrip) {
+  for (const char* text : {
+           "CREATE TABLE t (a INT64, b DOUBLE, c STRING)",
+           "DECLARE FD a, b -> c ON t",
+           "DECLARE FD a -> b ON t EVERY 50",
+           "SUBSCRIBE DRIFT ON t",
+           "CHECKPOINT",
+           "SHUTDOWN",
+       }) {
+    Statement stmt = ParseStatement(text);
+    std::string rendered = std::visit(
+        [](const auto& s) { return s.ToString(); }, stmt);
+    EXPECT_EQ(rendered, text);
+    // Idempotent: re-parsing the rendering renders identically.
+    Statement again = ParseStatement(rendered);
+    EXPECT_EQ(std::visit([](const auto& s) { return s.ToString(); }, again),
+              rendered);
+  }
+}
+
+TEST(ParserTest, QuotedIdentifiersRoundTripThroughToString) {
+  // Names needing quoting: spaces, reserved words, embedded quotes.
+  const auto create = std::get<CreateTableStatement>(ParseStatement(
+      "CREATE TABLE \"my table\" (\"select\" INT64, \"a\"\"b\" STRING)"));
+  EXPECT_EQ(create.table, "my table");
+  EXPECT_EQ(create.attrs[0].name, "select");
+  EXPECT_EQ(create.attrs[1].name, "a\"b");
+  const std::string rendered = create.ToString();
+  EXPECT_EQ(rendered,
+            "CREATE TABLE \"my table\" (\"select\" INT64, \"a\"\"b\" "
+            "STRING)");
+  const auto reparsed =
+      std::get<CreateTableStatement>(ParseStatement(rendered));
+  EXPECT_EQ(reparsed.table, create.table);
+  EXPECT_EQ(reparsed.attrs[1].name, create.attrs[1].name);
+}
+
+TEST(ParserTest, DoubleLiteralsAreLocaleIndependent) {
+  testsupport::ScopedCommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Under de_DE-style locales std::stod parses "3.14" as 3 (stopping at
+  // the '.'); the from_chars-based path must not.
+  const auto ins = std::get<InsertStatement>(
+      ParseStatement("INSERT INTO t VALUES (3.14, 1.5e2)"));
+  ASSERT_TRUE(ins.rows[0][0].is_double());
+  EXPECT_EQ(ins.rows[0][0].as_double(), 3.14) << "locale " << locale.name();
+  EXPECT_EQ(ins.rows[0][1].as_double(), 1.5e2);
 }
 
 }  // namespace

@@ -1,0 +1,56 @@
+// RAII process-locale override for locale-independence regression tests.
+//
+// ScopedCommaLocale switches LC_NUMERIC to the first available locale
+// whose decimal separator is a comma (de_DE, fr_FR, ...). Under such a
+// locale, locale-dependent parsers (std::stod and friends) stop at the
+// '.' in "3.14" and silently return 3 — exactly the bug class the parse
+// paths must be immune to. If the container has no comma-decimal locale
+// installed, active() is false and the test should GTEST_SKIP (CI
+// installs de_DE.UTF-8 so the regression genuinely runs there).
+//
+// setlocale mutates process-global state: only use this from
+// single-threaded test code, never while other threads parse.
+#pragma once
+
+#include <clocale>
+#include <string>
+
+namespace fdevolve::testsupport {
+
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    // setlocale returns a pointer into static storage that the next call
+    // invalidates — copy before probing.
+    const char* prev = std::setlocale(LC_NUMERIC, nullptr);
+    previous_ = prev ? prev : "C";
+    static constexpr const char* kCandidates[] = {
+        "de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+        "it_IT.UTF-8", "it_IT.utf8", "de_DE",       "fr_FR",
+    };
+    for (const char* candidate : kCandidates) {
+      if (std::setlocale(LC_NUMERIC, candidate) == nullptr) continue;
+      const char* sep = std::localeconv()->decimal_point;
+      if (sep != nullptr && std::string(sep) == ",") {
+        active_ = candidate;
+        return;
+      }
+    }
+    std::setlocale(LC_NUMERIC, previous_.c_str());
+  }
+
+  ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+
+  ScopedCommaLocale(const ScopedCommaLocale&) = delete;
+  ScopedCommaLocale& operator=(const ScopedCommaLocale&) = delete;
+
+  /// True when a comma-decimal locale is installed and in effect.
+  bool active() const { return !active_.empty(); }
+  const std::string& name() const { return active_; }
+
+ private:
+  std::string previous_;
+  std::string active_;
+};
+
+}  // namespace fdevolve::testsupport
