@@ -1,0 +1,245 @@
+// Mutation-path microbench + identity gate for the mutable-relation stack.
+//
+// Three questions, three phases:
+//
+//   1. Per-delete cost scaling — delete random live rows from a warm
+//      DistinctEvaluator + EVERY-1 SchemaMonitor at two relation sizes
+//      (4x apart). The tombstone design folds a deletion into each cached
+//      grouping via its maintained ids — O(chain levels) per cached
+//      grouping, independent of n — so per-delete latency must stay
+//      roughly flat as the relation grows. The size ratio lands in the
+//      JSON for trend tracking (not hard-gated: CI timing flakes).
+//   2. Statement throughput — DELETE/UPDATE through the SQL engine
+//      (parse + predicate scan + tombstone/rewrite), plus one Compact()
+//      at the large size for the rewrite cost.
+//   3. Identity gate (hard, exit-nonzero) — after each storm the mutated
+//      evaluator's counts and the monitor's measures must equal a
+//      from-scratch computation over CompactedCopy(). This is the CI
+//      FAST-mode smoke contract, same as bench_server's count gate.
+//
+// Results land in BENCH_mutation.json in the working directory.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fd/measures.h"
+#include "fd/schema_monitor.h"
+#include "query/distinct.h"
+#include "relation/relation.h"
+#include "sql/database.h"
+#include "sql/engine.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fdevolve;
+using relation::AttrSet;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+using relation::Value;
+
+Schema ThreeInts() {
+  return Schema({{"a", DataType::kInt64},
+                 {"b", DataType::kInt64},
+                 {"c", DataType::kInt64}});
+}
+
+Relation BuildRelation(size_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  Relation rel("bench", ThreeInts());
+  for (size_t i = 0; i < rows; ++i) {
+    rel.AppendRow({Value(static_cast<int64_t>(rng.Below(rows / 8 + 2))),
+                   Value(static_cast<int64_t>(rng.Below(64))),
+                   Value(static_cast<int64_t>(rng.Below(16)))});
+  }
+  return rel;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+int g_gate_failures = 0;
+
+/// Hard identity gate: the mutated incremental state must match a fresh
+/// from-scratch computation over the compacted copy of the live rows.
+void CheckIdentity(const Relation& rel, query::DistinctEvaluator& eval,
+                   const fd::SchemaMonitor* mon, const std::string& where) {
+  Relation fresh = rel.CompactedCopy();
+  query::DistinctEvaluator scratch(fresh);
+  for (const AttrSet& s :
+       {AttrSet::Of({0}), AttrSet::Of({0, 1}), AttrSet::Of({0, 1, 2})}) {
+    if (eval.Count(s) != scratch.Count(s)) {
+      std::cerr << "IDENTITY FAIL (" << where << "): Count mismatch on "
+                << s.Count() << "-attr set\n";
+      ++g_gate_failures;
+    }
+  }
+  if (mon != nullptr) {
+    for (const auto& m : mon->fds()) {
+      fd::FdMeasures expect = fd::ComputeMeasures(fresh, m.fd);
+      if (m.measures.confidence != expect.confidence ||
+          m.violated == expect.exact) {
+        std::cerr << "IDENTITY FAIL (" << where
+                  << "): monitor measures diverge from scratch\n";
+        ++g_gate_failures;
+      }
+    }
+  }
+}
+
+struct DeletePhase {
+  size_t rows = 0;
+  double per_delete_us = 0;
+};
+
+/// Deletes `deletes` random live rows from a warm evaluator + EVERY-1
+/// monitor, timing only the delete + fold + poll path.
+DeletePhase RunDeletePhase(size_t rows, size_t deletes, uint64_t seed) {
+  Relation rel = BuildRelation(rows, seed);
+  query::DistinctEvaluator eval(rel);
+  // Warm the grouping cache the way the repair search would.
+  eval.Count(AttrSet::Of({0}));
+  eval.Count(AttrSet::Of({0, 1}));
+  eval.Count(AttrSet::Of({0, 1, 2}));
+  fd::SchemaMonitor mon(&rel, {fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))},
+                        /*check_interval=*/1);
+  mon.Poll();
+
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  // First deletion triggers the evaluator's one-time lazy level-table
+  // build (a single O(n) prefix replay). Pay it before the timer so the
+  // loop measures the steady-state per-delete fold, which is the claim.
+  rel.DeleteRow(rng.Below(rel.tuple_count()));
+  eval.Count(AttrSet::Of({0, 1}));
+  mon.Poll();
+
+  util::Timer timer;
+  size_t done = 0;
+  while (done < deletes) {
+    size_t t = rng.Below(rel.tuple_count());
+    if (!rel.is_live(t)) continue;
+    rel.DeleteRow(t);
+    eval.Count(AttrSet::Of({0, 1}));  // forces the fold, like a monitor
+    mon.Poll();
+    ++done;
+  }
+  DeletePhase out;
+  out.rows = rows;
+  out.per_delete_us = timer.ElapsedMs() * 1000.0 / deletes;
+  CheckIdentity(rel, eval, &mon, "delete@" + std::to_string(rows));
+  return out;
+}
+
+struct SqlPhase {
+  double deletes_per_sec = 0;
+  double updates_per_sec = 0;
+  double compaction_ms = 0;
+};
+
+/// DELETE/UPDATE statements through the SQL engine, then one Compact().
+SqlPhase RunSqlPhase(size_t rows, size_t statements, uint64_t seed) {
+  sql::Database db;
+  db.AddRelation(BuildRelation(rows, seed));
+  util::Rng rng(seed ^ 0xbf58476d1ce4e5b9ULL);
+  const size_t domain = rows / 8 + 2;
+
+  util::Timer del_timer;
+  for (size_t n = 0; n < statements; ++n) {
+    sql::Execute(sql::ParseStatement(
+                     "DELETE FROM bench WHERE a = " +
+                     std::to_string(rng.Below(domain)) + " AND c = " +
+                     std::to_string(rng.Below(16))),
+                 db);
+  }
+  double del_s = del_timer.ElapsedSeconds();
+
+  util::Timer upd_timer;
+  for (size_t n = 0; n < statements; ++n) {
+    sql::Execute(sql::ParseStatement(
+                     "UPDATE bench SET b = " + std::to_string(rng.Below(64)) +
+                     " WHERE a = " + std::to_string(rng.Below(domain)) +
+                     " AND c = " + std::to_string(rng.Below(16))),
+                 db);
+  }
+  double upd_s = upd_timer.ElapsedSeconds();
+
+  Relation& rel = db.GetMutable("bench");
+  query::DistinctEvaluator eval(rel);
+  CheckIdentity(rel, eval, nullptr, "sql@" + std::to_string(rows));
+
+  util::Timer compact_timer;
+  rel.Compact();
+  SqlPhase out;
+  out.compaction_ms = compact_timer.ElapsedMs();
+  out.deletes_per_sec = static_cast<double>(statements) / del_s;
+  out.updates_per_sec = static_cast<double>(statements) / upd_s;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  const size_t kSmall = fast ? 10'000 : 50'000;
+  const size_t kLarge = kSmall * 4;
+  const size_t kDeletes = fast ? 1'000 : 4'000;
+  const size_t kStatements = fast ? 300 : 1'500;
+
+  DeletePhase small = RunDeletePhase(kSmall, kDeletes, 0x2545f4914f6cdd1dULL);
+  DeletePhase large = RunDeletePhase(kLarge, kDeletes, 0x2545f4914f6cdd1dULL);
+  // O(chain levels), not O(n): 4x the rows should NOT mean 4x the cost.
+  double ratio = small.per_delete_us > 0
+                     ? large.per_delete_us / small.per_delete_us
+                     : 0.0;
+  SqlPhase sql_phase = RunSqlPhase(kLarge, kStatements, 0xa0761d6478bd642fULL);
+
+  util::TablePrinter table("mutation path (delete fold + EVERY-1 poll)");
+  table.SetHeader({"phase", "rows", "metric", "value"});
+  table.AddRow({"delete", std::to_string(small.rows), "per-delete us",
+                Fmt(small.per_delete_us)});
+  table.AddRow({"delete", std::to_string(large.rows), "per-delete us",
+                Fmt(large.per_delete_us)});
+  table.AddRow({"delete", "4x scaling", "cost ratio", Fmt(ratio)});
+  table.AddRow({"sql DELETE", std::to_string(kLarge), "stmts/s",
+                Fmt(sql_phase.deletes_per_sec)});
+  table.AddRow({"sql UPDATE", std::to_string(kLarge), "stmts/s",
+                Fmt(sql_phase.updates_per_sec)});
+  table.AddRow({"compaction", std::to_string(kLarge), "ms",
+                Fmt(sql_phase.compaction_ms)});
+  table.Print(std::cout);
+  if (fast) std::cout << "FDEVOLVE_BENCH_FAST\n";
+
+  std::ofstream json("BENCH_mutation.json");
+  json << "{\n"
+       << "  \"rows_small\": " << small.rows << ",\n"
+       << "  \"rows_large\": " << large.rows << ",\n"
+       << "  \"deletes_timed\": " << kDeletes << ",\n"
+       << "  \"per_delete_us_small\": " << small.per_delete_us << ",\n"
+       << "  \"per_delete_us_large\": " << large.per_delete_us << ",\n"
+       << "  \"per_delete_cost_ratio_4x\": " << ratio << ",\n"
+       << "  \"sql_deletes_per_sec\": " << sql_phase.deletes_per_sec << ",\n"
+       << "  \"sql_updates_per_sec\": " << sql_phase.updates_per_sec << ",\n"
+       << "  \"compaction_ms\": " << sql_phase.compaction_ms << ",\n"
+       << "  \"identity_gate_failures\": " << g_gate_failures << ",\n"
+       << "  \"fast\": " << (fast ? "true" : "false") << "\n"
+       << "}\n";
+
+  if (g_gate_failures != 0) {
+    std::cerr << "FAIL: " << g_gate_failures
+              << " identity checks diverged from fresh rebuild\n";
+    return 1;
+  }
+  std::cout << "identity gate passed: mutated state == fresh rebuild\n";
+  return 0;
+}

@@ -506,7 +506,14 @@ int RunLoad(int argc, char** argv) {
   const relation::Relation& rel = *loaded.relation;
   std::cout << "Loaded '" << rel.name() << "' from " << snap_path << " in "
             << timer.ElapsedMs() << " ms: " << rel.tuple_count()
-            << " tuples, ~" << rel.EstimatedBytes() << " bytes\n";
+            << " tuples";
+  if (rel.dead_count() > 0) {
+    // FDEV2 snapshots carry the deletion log, so a mutated relation
+    // round-trips with its tombstones intact.
+    std::cout << " (" << rel.live_count() << " live, " << rel.dead_count()
+              << " deleted)";
+  }
+  std::cout << ", ~" << rel.EstimatedBytes() << " bytes\n";
   for (int i = 0; i < rel.attr_count(); ++i) {
     const auto& a = rel.schema().attr(i);
     std::cout << "  " << a.name << ":" << relation::DataTypeName(a.type)

@@ -4,10 +4,13 @@
 Drives build/examples/fdevolve_serverd over a real TCP socket exactly the
 way a human with nc would, and checks the full durability story:
 
-  1. scripted session: CREATE / DECLARE FD / INSERT / SELECT, a DRIFT
-     push, an ERR reply, then SHUTDOWN
+  1. scripted session: CREATE / DECLARE FD / INSERT / SELECT, a
+     kind=violated DRIFT push, then the mutation round-trip — DELETE the
+     violating row (kind=recovered push), UPDATE a survivor, an ERR
+     reply, then SHUTDOWN
   2. checkpoint-on-shutdown: the .fdev file exists after a clean exit
-  3. restart with --resume: the row count and a fresh insert both survive
+  3. restart with --resume: tombstoned rows stay deleted, the UPDATE
+     survives, and a fresh insert lands
   4. SIGTERM path: the signal handler shuts down cleanly and the exit
      checkpoint is loadable again
 
@@ -100,8 +103,22 @@ def main():
     expect(reply == "OK 0", "SUBSCRIBE -> " + reply)
     reply, drift = s.request("INSERT INTO city VALUES ('Hoboken', 10001, 'NJ')")
     expect(reply == "OK 1", "violating INSERT -> " + reply)
-    expect(len(drift) == 1 and "table=city" in drift[0],
-           "DRIFT push received: " + (drift[0] if drift else "<none>"))
+    expect(len(drift) == 1 and "table=city" in drift[0]
+           and " kind=violated " in drift[0],
+           "violated DRIFT push received: " + (drift[0] if drift else "<none>"))
+    # Mutation round-trip: deleting the violating row restores the FD, so
+    # the subscriber gets a kind=recovered push in the same critical
+    # section as the OK reply.
+    reply, drift = s.request("DELETE FROM city WHERE name = 'Hoboken'")
+    expect(reply == "OK 1", "DELETE violator -> " + reply)
+    expect(len(drift) == 1 and " kind=recovered " in drift[0],
+           "recovered DRIFT push received: " + (drift[0] if drift else "<none>"))
+    reply, _ = s.request("UPDATE city SET name = 'NYC' WHERE zip = 10001")
+    expect(reply == "OK 1", "UPDATE survivor -> " + reply)
+    reply, _ = s.request("SELECT COUNT(*) FROM city")
+    expect(reply == "OK 2", "COUNT(*) counts live rows -> " + reply)
+    reply, _ = s.request("SELECT COUNT(DISTINCT name) FROM city")
+    expect(reply == "OK 2", "rewritten name visible -> " + reply)
     reply, _ = s.request("SELECT COUNT(*) FROM ghost")
     expect(reply.startswith("ERR "), "unknown table -> " + reply)
     reply, _ = s.request("SHUTDOWN")
@@ -112,11 +129,14 @@ def main():
     # 2. Checkpoint-on-shutdown invariant.
     expect(os.path.exists(checkpoint), "checkpoint written on shutdown")
 
-    # 3. Resume: state survives the restart.
+    # 3. Resume: state survives the restart — including the tombstone
+    #    (the deleted violator stays deleted) and the rewritten name.
     proc, port = start_server(binary, checkpoint, resume=True)
     s = Session(port)
     reply, _ = s.request("SELECT COUNT(*) FROM city")
-    expect(reply == "OK 3", "count after --resume -> " + reply)
+    expect(reply == "OK 2", "tombstones survive --resume -> " + reply)
+    reply, _ = s.request("SELECT COUNT(DISTINCT name) FROM city")
+    expect(reply == "OK 2", "UPDATE survives --resume -> " + reply)
     reply, _ = s.request("INSERT INTO city VALUES ('SF', 94101, 'CA')")
     expect(reply == "OK 1", "insert after --resume -> " + reply)
 
@@ -127,7 +147,7 @@ def main():
     proc, port = start_server(binary, checkpoint, resume=True)
     s = Session(port)
     reply, _ = s.request("SELECT COUNT(*) FROM city")
-    expect(reply == "OK 4", "count after SIGTERM checkpoint -> " + reply)
+    expect(reply == "OK 3", "count after SIGTERM checkpoint -> " + reply)
     s.request("SHUTDOWN")
     expect(proc.wait(timeout=30) == 0, "final clean exit")
 

@@ -4,7 +4,8 @@ namespace fdevolve::clustering {
 
 Clustering::Clustering(const relation::Relation& rel,
                        const relation::AttrSet& attrs)
-    : Clustering(query::GroupBy(rel, attrs)) {}
+    : Clustering((relation::RequireNoTombstones(rel, "clustering::Clustering"),
+                  query::GroupBy(rel, attrs))) {}
 
 Clustering::Clustering(query::Grouping grouping)
     : grouping_(std::move(grouping)) {

@@ -10,6 +10,7 @@ namespace fdevolve::discovery {
 
 DataRepairResult RepairByDeletion(const relation::Relation& rel,
                                   const fd::Fd& fd, int threads) {
+  relation::RequireNoTombstones(rel, "discovery::RepairByDeletion");
   DataRepairResult result;
   const size_t n = rel.tuple_count();
   if (n == 0) return result;
@@ -65,6 +66,7 @@ relation::Relation ApplyDeletion(const relation::Relation& rel,
 DataRepairResult RepairAllByDeletion(const relation::Relation& rel,
                                      const std::vector<fd::Fd>& fds,
                                      int max_rounds, int threads) {
+  relation::RequireNoTombstones(rel, "discovery::RepairAllByDeletion");
   // Track surviving original indices so the reported deletion set refers
   // to the input relation.
   std::vector<size_t> original(rel.tuple_count());
@@ -111,6 +113,7 @@ DataRepairResult RepairAllByDeletion(const relation::Relation& rel,
 
 size_t CountViolatingPairs(const relation::Relation& rel, const fd::Fd& fd,
                            int threads) {
+  relation::RequireNoTombstones(rel, "discovery::CountViolatingPairs");
   const size_t n = rel.tuple_count();
   if (n == 0) return 0;
   query::RefineScratch scratch;

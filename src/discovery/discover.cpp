@@ -36,6 +36,7 @@ class MinimalDeterminants {
 
 DiscoveryResult DiscoverFds(const relation::Relation& rel,
                             const DiscoveryOptions& opts) {
+  relation::RequireNoTombstones(rel, "discovery::DiscoverFds");
   util::Timer timer;
   DiscoveryResult result;
 

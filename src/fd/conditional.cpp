@@ -47,6 +47,7 @@ relation::Relation SelectByPattern(
 
 CfdMeasures ComputeCfdMeasures(const relation::Relation& rel,
                                const ConditionalFd& cfd) {
+  relation::RequireNoTombstones(rel, "fd::ComputeCfdMeasures");
   CfdMeasures m;
   if (cfd.IsPlainFd()) {
     m.fd_measures = ComputeMeasures(rel, cfd.embedded());
@@ -67,6 +68,7 @@ CfdMeasures ComputeCfdMeasures(const relation::Relation& rel,
 RepairResult ExtendConditional(const relation::Relation& rel,
                                const ConditionalFd& cfd,
                                const RepairOptions& opts) {
+  relation::RequireNoTombstones(rel, "fd::ExtendConditional");
   if (cfd.IsPlainFd()) return Extend(rel, cfd.embedded(), opts);
   relation::Relation selected = SelectByPattern(rel, cfd.pattern());
   RepairOptions local = opts;

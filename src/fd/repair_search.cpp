@@ -50,6 +50,7 @@ FdMeasures MeasuresOf(const Node& n) {
 
 RepairResult Extend(const relation::Relation& rel, const Fd& fd,
                     const RepairOptions& opts) {
+  relation::RequireNoTombstones(rel, "fd::Extend");
   util::Timer timer;
   RepairResult result;
   result.original = fd;

@@ -23,7 +23,9 @@ SchemaMonitor::SchemaMonitor(relation::Relation initial, std::vector<Fd> fds,
       rel_(owned_.get()),
       eval_(*rel_, threads),
       check_interval_(check_interval == 0 ? 1 : check_interval),
-      observed_version_(rel_->version()) {
+      observed_version_(rel_->version()),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()),
+      observed_compactions_(rel_->compactions()) {
   RegisterFds(std::move(fds));
 }
 
@@ -32,7 +34,9 @@ SchemaMonitor::SchemaMonitor(relation::Relation* shared, std::vector<Fd> fds,
     : rel_(shared),
       eval_(*rel_, threads),
       check_interval_(check_interval == 0 ? 1 : check_interval),
-      observed_version_(rel_->version()) {
+      observed_version_(rel_->version()),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()),
+      observed_compactions_(rel_->compactions()) {
   RegisterFds(std::move(fds));
 }
 
@@ -43,7 +47,9 @@ SchemaMonitor::SchemaMonitor(relation::Relation* shared, MonitorState state,
       check_interval_(state.check_interval == 0 ? 1 : state.check_interval),
       inserts_since_check_(state.inserts_since_check),
       checks_run_(state.checks_run),
-      observed_version_(rel_->version()) {
+      observed_version_(rel_->version()),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()),
+      observed_compactions_(rel_->compactions()) {
   if (state.watermark != rel_->version()) {
     throw std::invalid_argument(
         "SchemaMonitor: monitor state was captured at watermark " +
@@ -63,7 +69,9 @@ SchemaMonitor::SchemaMonitor(MonitorCheckpoint checkpoint, int threads)
                           : checkpoint.check_interval),
       inserts_since_check_(checkpoint.inserts_since_check),
       checks_run_(checkpoint.checks_run),
-      observed_version_(rel_->version()) {
+      observed_version_(rel_->version()),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()),
+      observed_compactions_(rel_->compactions()) {
   RestoreMonitored(std::move(checkpoint.fds), std::move(checkpoint.drift_log));
 }
 
@@ -157,6 +165,7 @@ void SchemaMonitor::Track(const Fd& fd) {
 void SchemaMonitor::Insert(const std::vector<relation::Value>& row) {
   rel_->AppendRow(row);
   observed_version_ = rel_->version();
+  ++observed_mutations_;
   if (++inserts_since_check_ >= check_interval_) {
     inserts_since_check_ = 0;
     CheckNow();
@@ -168,6 +177,7 @@ void SchemaMonitor::InsertBatch(
   if (rows.empty()) return;
   rel_->AppendRows(rows);
   observed_version_ = rel_->version();
+  observed_mutations_ += rows.size();
   inserts_since_check_ += rows.size();
   if (inserts_since_check_ >= check_interval_) {
     inserts_since_check_ %= check_interval_;
@@ -176,10 +186,15 @@ void SchemaMonitor::InsertBatch(
 }
 
 void SchemaMonitor::Poll() {
-  size_t version = rel_->version();
-  if (version == observed_version_) return;
-  size_t delta = version - observed_version_;
-  observed_version_ = version;
+  ResyncAfterCompaction();
+  // Cadence counts through the lifetime counters, not version(): a delete
+  // leaves version() unchanged and a compaction shrinks it, but both must
+  // advance the monitor toward its next check without underflow.
+  const size_t mutations = rel_->appends_ever() + rel_->deletes_ever();
+  if (mutations == observed_mutations_) return;
+  const size_t delta = mutations - observed_mutations_;
+  observed_mutations_ = mutations;
+  observed_version_ = rel_->version();
   inserts_since_check_ += delta;
   if (inserts_since_check_ >= check_interval_) {
     inserts_since_check_ %= check_interval_;
@@ -187,12 +202,35 @@ void SchemaMonitor::Poll() {
   }
 }
 
+void SchemaMonitor::ResyncAfterCompaction() {
+  if (rel_->compactions() == observed_compactions_) return;
+  observed_compactions_ = rel_->compactions();
+  observed_version_ = rel_->version();
+  // The evaluator drops every cached grouping when it observes the
+  // compaction; re-materialize the monitored chains immediately so the
+  // next checks go back to O(Δ) instead of degrading to count-only
+  // recomputation.
+  for (const auto& m : monitored_) Track(m.fd);
+}
+
+void SchemaMonitor::PushEvent(size_t fd_index, DriftKind kind,
+                              const FdMeasures& measures) {
+  DriftEvent ev;
+  ev.fd_index = fd_index;
+  ev.tuple_count = rel_->live_count();
+  ev.measures = measures;
+  ev.kind = kind;
+  drift_log_.push_back(ev);
+  if (on_drift_) on_drift_(ev);
+}
+
 std::vector<size_t> SchemaMonitor::CheckNow() {
+  ResyncAfterCompaction();
   ++checks_run_;
   std::vector<size_t> violated;
-  // The evaluator auto-advances over the appended suffix on the first
-  // query; every monitored FD's counts are then O(1) reads off the
-  // maintained groupings.
+  // The evaluator auto-advances over the appended suffix (and folds any
+  // pending deletions) on the first query; every monitored FD's counts
+  // are then O(1) reads off the maintained groupings.
   for (size_t i = 0; i < monitored_.size(); ++i) {
     MonitoredFd& m = monitored_[i];
     bool was_violated = m.violated;
@@ -202,13 +240,13 @@ std::vector<size_t> SchemaMonitor::CheckNow() {
       violated.push_back(i);
       if (!was_violated) {
         m.first_violation_at = rel_->tuple_count();
-        DriftEvent ev;
-        ev.fd_index = i;
-        ev.tuple_count = rel_->tuple_count();
-        ev.measures = m.measures;
-        drift_log_.push_back(ev);
-        if (on_drift_) on_drift_(ev);
+        PushEvent(i, DriftKind::kViolated, m.measures);
       }
+    } else if (was_violated) {
+      // Deletes removed the last violating witness pair: the FD is exact
+      // again. Unreachable under an append-only workload.
+      m.first_violation_at = 0;
+      PushEvent(i, DriftKind::kRecovered, m.measures);
     }
   }
   return violated;
@@ -217,6 +255,15 @@ std::vector<size_t> SchemaMonitor::CheckNow() {
 std::vector<RepairResult> SchemaMonitor::SuggestRepairs(
     const RepairOptions& opts) {
   std::vector<RepairResult> out;
+  if (rel_->has_tombstones()) {
+    // The repair search scans physical rows (tombstone-unaware by
+    // design); hand it the live instance.
+    const relation::Relation compacted = rel_->CompactedCopy();
+    for (const auto& m : monitored_) {
+      if (m.violated) out.push_back(Extend(compacted, m.fd, opts));
+    }
+    return out;
+  }
   for (const auto& m : monitored_) {
     if (m.violated) {
       out.push_back(Extend(*rel_, m.fd, opts));

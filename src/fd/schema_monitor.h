@@ -2,9 +2,10 @@
 // continuous checks of FD validity").
 //
 // The monitor owns a relation that receives inserts; every `check_interval`
-// inserts it re-validates the declared FDs and records which of them
-// drifted from exact to violated. The designer then asks for repair
-// suggestions on the drifted set.
+// mutations (inserts and deletes both count) it re-validates the declared
+// FDs and records which of them drifted from exact to violated — or, under
+// deletions, recovered from violated back to exact. The designer then asks
+// for repair suggestions on the drifted set.
 //
 // Checks are incremental: the monitor owns one query::DistinctEvaluator
 // for its whole lifetime and materializes the |π_X| / |π_XY| groupings of
@@ -14,9 +15,19 @@
 // the violation state straight off the maintained group counts: an exact
 // X→Y breaks exactly when a new tuple lands in an existing X-group under a
 // new XY-key, which is the one event that moves |π_XY| without |π_X|.
+//
+// Deletions fold in at the same cost class: the evaluator keeps per-group
+// live refcounts, so one deleted row is one decrement per maintained
+// grouping, and the counts a check reads are live-row counts. Removing the
+// last witness of a violating XY-pair is the one event that moves |π_XY|
+// down to |π_X| — the violated→exact transition the recovery event
+// reports. A compaction of the monitored relation resets the evaluator;
+// the monitor detects it (Relation::compactions()) and re-materializes
+// every monitored grouping so subsequent checks stay O(Δ).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,11 +49,21 @@ struct MonitoredFd {
   size_t first_violation_at = 0;
 };
 
-/// Event emitted when a previously-exact FD becomes violated.
+/// Direction of a drift transition.
+enum class DriftKind : uint8_t {
+  kViolated = 0,   ///< exact → violated (an insert broke the FD)
+  kRecovered = 1,  ///< violated → exact (deletes removed every witness)
+};
+
+/// Event emitted when a monitored FD crosses the exact/violated boundary
+/// in either direction. Under an append-only workload only kViolated is
+/// reachable; kRecovered requires deletions.
 struct DriftEvent {
   size_t fd_index = 0;
+  /// Live tuples at the transition (== tuple_count() when no tombstones).
   size_t tuple_count = 0;
   FdMeasures measures;
+  DriftKind kind = DriftKind::kViolated;
 };
 
 /// Complete resumable state of a SchemaMonitor — everything a monitoring
@@ -171,11 +192,15 @@ class SchemaMonitor {
   /// when the accumulated insert count crosses the interval.
   void InsertBatch(const std::vector<std::vector<relation::Value>>& rows);
 
-  /// External-mode observation: folds rows appended to the relation since
-  /// the monitor last looked into the insert counter, and runs at most one
-  /// check when the accumulated count crosses the interval — the same
-  /// cadence InsertBatch gives a batch of that size. A no-op when nothing
-  /// was appended.
+  /// External-mode observation: folds mutations (appends AND deletes)
+  /// applied to the relation since the monitor last looked into the
+  /// mutation counter, and runs at most one check when the accumulated
+  /// count crosses the interval — the same cadence InsertBatch gives a
+  /// batch of that size. Counts through Relation::appends_ever() /
+  /// deletes_ever(), so a compaction (which shrinks version()) cannot make
+  /// the interval arithmetic underflow; a compaction also triggers
+  /// re-materialization of the monitored groupings. A no-op when nothing
+  /// changed.
   void Poll();
 
   /// Registers an additional FD on the live monitor (the server's DECLARE
@@ -185,11 +210,15 @@ class SchemaMonitor {
   size_t AddFd(Fd fd);
 
   /// Forces a validation pass; returns indices of currently violated FDs.
-  /// Cost is O(rows appended since the previous check) — the pass advances
-  /// the maintained groupings and reads the counters.
+  /// Cost is O(mutations since the previous check) — the pass advances
+  /// the maintained groupings, folds pending deletions, and reads the
+  /// live-group counters. Emits a kViolated event per exact→violated
+  /// transition and a kRecovered event per violated→exact transition.
   std::vector<size_t> CheckNow();
 
-  /// Suggests repairs for every currently violated FD.
+  /// Suggests repairs for every currently violated FD. When the relation
+  /// carries tombstones the search runs on a CompactedCopy() — the repair
+  /// search scans physical rows and is tombstone-unaware by design.
   std::vector<RepairResult> SuggestRepairs(const RepairOptions& opts = {});
 
   /// Designer accepts a repair: the declared FD is replaced by the repaired
@@ -226,6 +255,13 @@ class SchemaMonitor {
   void RestoreMonitored(std::vector<MonitoredFd> fds,
                         std::vector<DriftEvent> drift_log);
 
+  /// Re-materializes every monitored grouping after an observed
+  /// compaction (the evaluator dropped its caches); no-op otherwise.
+  void ResyncAfterCompaction();
+
+  /// Appends a drift event to the log and fires the callback.
+  void PushEvent(size_t fd_index, DriftKind kind, const FdMeasures& measures);
+
   std::unique_ptr<relation::Relation> owned_;  ///< null in external mode
   relation::Relation* rel_;                    ///< owned_ or the shared one
   query::DistinctEvaluator eval_;  ///< long-lived; advanced, never rebuilt
@@ -233,9 +269,13 @@ class SchemaMonitor {
   std::vector<DriftEvent> drift_log_;
   std::function<void(const DriftEvent&)> on_drift_;
   size_t check_interval_;
-  size_t inserts_since_check_ = 0;
+  size_t inserts_since_check_ = 0;  ///< mutations accumulated toward a check
   size_t checks_run_ = 0;
-  size_t observed_version_ = 0;  ///< watermark the insert counter is at
+  size_t observed_version_ = 0;  ///< physical watermark last observed
+  /// appends_ever() + deletes_ever() last observed — the cadence counter
+  /// (monotone across compactions, unlike observed_version_).
+  size_t observed_mutations_ = 0;
+  size_t observed_compactions_ = 0;  ///< compactions() last observed
 };
 
 }  // namespace fdevolve::fd

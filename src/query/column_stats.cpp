@@ -1,18 +1,68 @@
 #include "query/column_stats.h"
 
+#include <vector>
+
 namespace fdevolve::query {
+namespace {
+
+double ValueWidth(const relation::Value& v) {
+  return v.is_string() ? static_cast<double>(v.as_string().size()) : 8.0;
+}
+
+}  // namespace
 
 std::vector<ColumnStats> ComputeColumnStats(const relation::Relation& rel) {
   std::vector<ColumnStats> out;
   out.reserve(static_cast<size_t>(rel.attr_count()));
+  const size_t live_rows = rel.live_count();
+  const bool tombstoned = rel.has_tombstones();
+  // Scratch reused across columns when an occurrence scan is needed.
+  std::vector<uint32_t> occurrences;
   for (int i = 0; i < rel.attr_count(); ++i) {
     const auto& col = rel.column(i);
     ColumnStats s;
     s.name = rel.schema().attr(i).name;
-    s.null_count = col.null_count();
-    s.distinct_count = col.dict_size();
-    s.is_unique = col.dict_size() + col.null_count() == col.size() &&
-                  col.size() > 0 && col.null_count() == 0;
+    size_t max_occurrence = 0;
+    if (!tombstoned) {
+      // Append-only fast path: the dictionary is exactly the live ndv.
+      s.null_count = col.null_count();
+      s.distinct_count = col.dict_size();
+      max_occurrence =
+          col.dict_size() + col.null_count() == col.size() ? 1 : 2;
+      double width = 0.0;
+      for (size_t c = 0; c < col.dict_size(); ++c) {
+        width += ValueWidth(col.DictValue(static_cast<uint32_t>(c)));
+      }
+      s.avg_dict_width = col.dict_size() > 0 ? width / col.dict_size() : 0.0;
+    } else {
+      // One occurrence-count pass over the live rows: a dictionary entry
+      // only referenced by dead rows must not count toward ndv.
+      occurrences.assign(col.dict_size(), 0u);
+      const auto& codes = col.codes();
+      for (size_t t = 0; t < codes.size(); ++t) {
+        if (!rel.is_live(t)) continue;
+        const uint32_t c = codes[t];
+        if (c == relation::kNullCode) {
+          ++s.null_count;
+          continue;
+        }
+        const size_t n = ++occurrences[c];
+        if (n > max_occurrence) max_occurrence = n;
+      }
+      double width = 0.0;
+      for (size_t c = 0; c < occurrences.size(); ++c) {
+        if (occurrences[c] == 0) continue;
+        ++s.distinct_count;
+        width += ValueWidth(col.DictValue(static_cast<uint32_t>(c)));
+      }
+      s.avg_dict_width =
+          s.distinct_count > 0 ? width / s.distinct_count : 0.0;
+      if (max_occurrence == 0) max_occurrence = s.null_count > 0 ? 1 : 0;
+    }
+    s.null_fraction =
+        live_rows > 0 ? static_cast<double>(s.null_count) / live_rows : 0.0;
+    s.is_unique = live_rows > 0 && s.null_count == 0 && max_occurrence <= 1 &&
+                  s.distinct_count == live_rows;
     out.push_back(std::move(s));
   }
   return out;

@@ -1,6 +1,14 @@
-// Per-column statistics used for candidate-pool selection and reporting.
+// Per-column statistics used for candidate-pool selection, cost planning,
+// and reporting.
+//
+// All statistics are computed over the relation's LIVE rows — a tombstoned
+// row contributes neither to distinct counts nor to NULL fractions, so the
+// stats describe exactly the instance a fresh rebuild of the live rows
+// would produce. On an append-only relation the dictionary answers ndv in
+// O(1); under tombstones one occurrence-count scan per column is paid.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -8,20 +16,28 @@
 
 namespace fdevolve::query {
 
-/// Summary of one column.
+/// Summary of one column, over the relation's live rows.
 struct ColumnStats {
   std::string name;
-  size_t distinct_count = 0;  ///< distinct non-NULL values
-  size_t null_count = 0;
-  bool is_unique = false;  ///< every non-NULL value occurs exactly once
+  size_t distinct_count = 0;  ///< distinct non-NULL values (ndv) among live rows
+  size_t null_count = 0;      ///< NULL cells among live rows
+  double null_fraction = 0.0; ///< null_count / live rows (0 when no live rows)
+  bool is_unique = false;     ///< nonempty, NULL-free, every live value distinct
+
+  /// Mean encoded width in bytes of the distinct live values — the
+  /// dictionary footprint per entry (string payload size, 8 bytes for
+  /// numeric values). 0 when the column has no live non-NULL value. The
+  /// cost planner uses this as the per-group key-build estimate.
+  double avg_dict_width = 0.0;
 };
 
-/// Computes stats for every column of `rel`.
+/// Computes stats for every column of `rel` over its live rows.
 std::vector<ColumnStats> ComputeColumnStats(const relation::Relation& rel);
 
-/// Attributes whose columns are UNIQUE over the instance (candidate keys of
-/// size one). The paper's §3/§6.3 discussion singles these out: adding a
-/// UNIQUE attribute trivially repairs any FD but is a degenerate choice.
+/// Attributes whose columns are UNIQUE over the live instance (candidate
+/// keys of size one). The paper's §3/§6.3 discussion singles these out:
+/// adding a UNIQUE attribute trivially repairs any FD but is a degenerate
+/// choice.
 relation::AttrSet UniqueAttrs(const relation::Relation& rel);
 
 }  // namespace fdevolve::query

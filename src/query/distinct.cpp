@@ -12,19 +12,25 @@ namespace {
 
 size_t SortDistinct(const relation::Relation& rel,
                     const relation::AttrSet& attrs) {
-  const size_t n = rel.tuple_count();
+  const size_t n = rel.live_count();
   if (n == 0) return 0;
   const auto cols = attrs.ToVector();
   if (cols.empty()) return 1;
   const size_t k = cols.size();
 
-  // One flat row-major key buffer + an index sort. This mirrors what a
-  // sort-based COUNT DISTINCT plan does in a DBMS, without the per-row
-  // vector allocations a naive materialization would pay.
+  // One flat row-major key buffer + an index sort, over the live rows
+  // only. This mirrors what a sort-based COUNT DISTINCT plan does in a
+  // DBMS, without the per-row vector allocations a naive materialization
+  // would pay.
+  std::vector<uint32_t> rows;
+  rows.reserve(n);
+  for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    if (rel.is_live(t)) rows.push_back(static_cast<uint32_t>(t));
+  }
   std::vector<uint32_t> keys(n * k);
   for (size_t j = 0; j < k; ++j) {
     const auto& codes = rel.column(cols[j]).codes();
-    for (size_t t = 0; t < n; ++t) keys[t * k + j] = codes[t];
+    for (size_t t = 0; t < n; ++t) keys[t * k + j] = codes[rows[t]];
   }
   std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
@@ -61,50 +67,120 @@ DistinctEvaluator::DistinctEvaluator(const relation::Relation& rel,
                                      int threads)
     : rel_(rel), watermark_(rel.version()) {
   scratch_.threads = util::ResolveThreads(threads);
+  mutation_seen_ = rel.has_tombstones();
+  tomb_pos_ = rel.deletion_log().size();
+  epoch_seen_ = rel.mutation_epoch();
+  compactions_seen_ = rel.compactions();
 }
 
 void DistinctEvaluator::MaybeAdvance() {
-  if (rel_.version() != watermark_) Advance();
+  if (rel_.version() != watermark_ || rel_.mutation_epoch() != epoch_seen_ ||
+      rel_.compactions() != compactions_seen_) {
+    Advance();
+  }
 }
 
 void DistinctEvaluator::Advance() {
+  if (rel_.compactions() != compactions_seen_) {
+    // A compaction reassigned physical row ids and dictionary codes
+    // wholesale — every cached grouping is meaningless now. Drop the lot
+    // and restart from the compacted relation; because its encoded state
+    // is bit-identical to a fresh build of the live rows, the rebuilt
+    // caches reproduce fresh-rebuild results exactly.
+    cache_.clear();
+    counts_.clear();
+    by_size_.clear();
+    watermark_ = rel_.version();
+    compactions_seen_ = rel_.compactions();
+    epoch_seen_ = rel_.mutation_epoch();
+    mutation_seen_ = rel_.has_tombstones();
+    tomb_pos_ = rel_.deletion_log().size();
+    return;
+  }
   const size_t n = rel_.version();
-  if (n == watermark_) return;
   if (n < watermark_) {
     throw std::logic_error(
-        "DistinctEvaluator::Advance: relation shrank below the watermark");
+        "DistinctEvaluator::Advance: relation shrank below the watermark "
+        "without a compaction — stale evaluator paired with a mutated "
+        "relation");
   }
-  // Popcount-ascending bucket order advances every grouping's base before
-  // the grouping itself, so dependent chains always read already-extended
-  // base ids.
-  for (const auto& bucket : by_size_) {
-    for (const relation::AttrSet& key : bucket) {
-      AdvanceGrouping(cache_.find(key)->second, n);
+  const bool appended = n != watermark_;
+  const bool mutated = rel_.mutation_epoch() != epoch_seen_;
+  if (!appended && !mutated) return;
+  if (appended) {
+    // Popcount-ascending bucket order advances every grouping's base
+    // before the grouping itself, so dependent chains always read
+    // already-extended base ids.
+    for (const auto& bucket : by_size_) {
+      for (const relation::AttrSet& key : bucket) {
+        AdvanceGrouping(cache_.find(key)->second, n);
+      }
     }
   }
+  // Appends first, then deletions: a row appended and deleted between two
+  // queries is first counted live by AdvanceGrouping and then decremented
+  // by its deletion-log entry — refcount updates commute, so the net
+  // state is exact.
+  if (mutated) FoldDeletions();
   // Count memos: grouping-backed entries are refreshed from the advanced
-  // group counts; count-only memos have no chain to extend and are dropped
-  // (they recompute on next use — O(1) for the empty/single-attribute fast
-  // paths, one refinement chain otherwise).
+  // state (live-group counts once refcounts are active); count-only memos
+  // have no chain to extend and are dropped (they recompute on next use —
+  // O(1) for the empty/single-attribute fast paths, one refinement chain
+  // otherwise).
   for (auto it = counts_.begin(); it != counts_.end();) {
     auto backing = cache_.find(it->first);
     if (backing == cache_.end()) {
       it = counts_.erase(it);
     } else {
-      it->second = backing->second.grouping.group_count;
+      const CachedGrouping& cg = backing->second;
+      it->second = mutation_seen_ ? cg.live_groups : cg.grouping.group_count;
       ++it;
     }
   }
   watermark_ = n;
+  epoch_seen_ = rel_.mutation_epoch();
+}
+
+void DistinctEvaluator::BuildLiveRefcounts(CachedGrouping& cg) {
+  const Grouping& g = cg.grouping;
+  const auto& bitmap = rel_.live_bitmap();
+  cg.live.assign(g.group_count, 0u);
+  cg.live_groups = 0;
+  for (size_t t = 0; t < g.ids.size(); ++t) {
+    if (!bitmap.empty() && bitmap[t] == 0) continue;
+    if (cg.live[g.ids[t]]++ == 0) ++cg.live_groups;
+  }
+}
+
+void DistinctEvaluator::FoldDeletions() {
+  const auto& log = rel_.deletion_log();
+  if (!mutation_seen_) {
+    // First observed mutation: materialize refcounts for every cached
+    // grouping in one scan each. Appends were folded first, so each
+    // grouping covers the full bitmap.
+    mutation_seen_ = true;
+    for (auto& entry : cache_) BuildLiveRefcounts(entry.second);
+    tomb_pos_ = log.size();
+    return;
+  }
+  for (auto& entry : cache_) {
+    CachedGrouping& cg = entry.second;
+    for (size_t p = tomb_pos_; p < log.size(); ++p) {
+      if (--cg.live[cg.grouping.ids[log[p]]] == 0) --cg.live_groups;
+    }
+  }
+  tomb_pos_ = log.size();
 }
 
 void DistinctEvaluator::AdvanceGrouping(CachedGrouping& cg, size_t n) {
   Grouping& g = cg.grouping;
+  const size_t prev = g.ids.size();
   if (cg.gap.empty()) {
     // The empty attribute set: every tuple in one group.
     g.ids.resize(n, 0u);
     g.group_count = n > 0 ? 1 : 0;
     cg.tabled = n;
+    ExtendLiveRefcounts(cg, prev, n);
     return;
   }
   if (cg.levels.empty()) {
@@ -152,6 +228,20 @@ void DistinctEvaluator::AdvanceGrouping(CachedGrouping& cg, size_t n) {
   }
   g.group_count = cg.levels.back().group_count;
   cg.tabled = n;
+  ExtendLiveRefcounts(cg, prev, n);
+}
+
+void DistinctEvaluator::ExtendLiveRefcounts(CachedGrouping& cg, size_t from,
+                                            size_t to) {
+  if (!mutation_seen_ || to <= from) return;
+  // Appended rows are always live at append time; if one was deleted again
+  // before this advance, its deletion-log entry (folded after appends)
+  // takes the refcount back down.
+  const Grouping& g = cg.grouping;
+  cg.live.resize(g.group_count, 0u);
+  for (size_t t = from; t < to; ++t) {
+    if (cg.live[g.ids[t]]++ == 0) ++cg.live_groups;
+  }
 }
 
 size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
@@ -160,7 +250,20 @@ size_t DistinctEvaluator::Count(const relation::AttrSet& attrs) {
     return memo->second;
   }
   size_t result;
-  if (rel_.tuple_count() == 0 || attrs.Empty() || attrs.Count() == 1) {
+  if (mutation_seen_) {
+    // Tombstones active: the dictionary fast path is invalid and a
+    // count-only memo would be dropped on every Advance, so route every
+    // nontrivial query through a refcounted cached grouping — repeated
+    // monitor checks then stay O(Δ) per mutation.
+    if (rel_.live_count() == 0) {
+      result = 0;
+    } else if (attrs.Empty()) {
+      result = 1;
+    } else {
+      GroupFor(attrs);  // ensures a refcounted cache entry exists
+      result = cache_.find(attrs)->second.live_groups;
+    }
+  } else if (rel_.tuple_count() == 0 || attrs.Empty() || attrs.Count() == 1) {
     // O(1) via the dictionary fast path; not worth counting as a miss.
     result = GroupCountBy(rel_, attrs, scratch_);
   } else if (auto it = cache_.find(attrs); it != cache_.end()) {
@@ -233,7 +336,6 @@ DistinctEvaluator::SubsetMatch DistinctEvaluator::BestCachedSubset(
 const Grouping& DistinctEvaluator::Insert(const relation::AttrSet& attrs,
                                           Grouping g,
                                           const relation::AttrSet* base_key) {
-  counts_.emplace(attrs, g.group_count);
   CachedGrouping cg;
   cg.grouping = std::move(g);
   if (base_key != nullptr) {
@@ -243,6 +345,9 @@ const Grouping& DistinctEvaluator::Insert(const relation::AttrSet& attrs,
   } else {
     cg.gap = attrs.ToVector();
   }
+  if (mutation_seen_) BuildLiveRefcounts(cg);
+  counts_.emplace(attrs,
+                  mutation_seen_ ? cg.live_groups : cg.grouping.group_count);
   // Level tables are not built here: Advance() replays the prefix through
   // fresh tables the first time this grouping must be extended, so static
   // workloads never pay for them (cg.tabled stays 0 until then).

@@ -21,11 +21,13 @@ enum class DistinctStrategy {
   kSort,  ///< sort composite keys, then count boundaries
 };
 
-/// \brief |π_attrs(rel)| — the number of distinct projected tuples.
+/// \brief |π_attrs(rel)| — the number of distinct projected tuples over
+/// the relation's live rows (tombstoned rows are excluded).
 ///
-/// Empty attrs yields 1 on non-empty relations, 0 on empty ones.
+/// Empty attrs yields 1 when any live row exists, 0 otherwise.
 /// The hash strategy is count-only: it never materializes group ids, and a
-/// single attribute is answered from the column dictionary in O(1).
+/// single attribute on an append-only relation is answered from the
+/// column dictionary in O(1).
 ///
 /// \param threads execution width for the hash strategy's refinement
 ///        passes: 0 (default) resolves to `hardware_concurrency`, 1 forces
@@ -73,6 +75,28 @@ size_t DistinctCount(const relation::Relation& rel,
 /// tables are built lazily on the first Advance (one replay of the
 /// prefix), so purely-static workloads pay nothing for them.
 ///
+/// \par Deletions and compaction
+/// The evaluator also tracks relation::Relation::mutation_epoch() and the
+/// deletion log. Cached groupings keep covering every physical row (their
+/// ids never change — deletion does not reassign row ids or codes), and
+/// each grows a per-group LIVE REFCOUNT vector the first time a deletion
+/// is observed: Count() then answers with the number of groups whose
+/// refcount is nonzero. Folding one deleted row into one cached grouping
+/// is a single decrement via its maintained ids — O(cached groupings) per
+/// deleted row overall, independent of relation size — and appends keep
+/// their O(levels) cost (a fresh row increments its group's refcount as
+/// its id is assigned). Under tombstones every Count() is routed through
+/// a cached grouping (the dictionary fast path is no longer valid), so
+/// monitor-style workloads stay O(Δ) per check.
+///
+/// A Compact() reassigns physical row ids and codes wholesale; the
+/// evaluator detects it via relation::Relation::compactions() and drops
+/// every cache entry — Grouping references obtained before a compaction
+/// are invalidated (their contents are cleared, not extended). The next
+/// query rebuilds from the compacted relation, whose encoded state is
+/// bit-identical to a fresh append-only build of the live rows, so
+/// post-compaction results equal fresh-rebuild results exactly.
+///
 /// \par Thread-safety contract
 /// An evaluator instance is **single-owner**: Count(), GroupFor(), and
 /// Advance() mutate the memo caches, so two threads must never call into
@@ -100,28 +124,35 @@ class DistinctEvaluator {
   ///        DistinctCount); 0 = auto, 1 = exact sequential path.
   explicit DistinctEvaluator(const relation::Relation& rel, int threads = 0);
 
-  /// \brief |π_attrs(rel)| with memoisation (count-only; see class
-  /// comment). Identical for every `threads` setting.
+  /// \brief |π_attrs| over the relation's live rows, with memoisation
+  /// (see class comment). Identical for every `threads` setting.
   size_t Count(const relation::AttrSet& attrs);
 
   /// \brief Memoised grouping for an attribute set (shared with clustering
-  /// code).
+  /// code). Covers every physical row, tombstoned ones included.
   ///
-  /// The returned reference is stable for the evaluator's lifetime: cache
-  /// entries are never evicted or moved after insertion. Their contents
-  /// are extended in place by Advance() — `Grouping::ids` grows and
-  /// `group_count` may increase, but ids already assigned never change.
+  /// The returned reference is stable until the relation is compacted:
+  /// cache entries are never evicted or moved after insertion, and their
+  /// contents are extended in place by Advance() — `Grouping::ids` grows
+  /// and `group_count` may increase, but ids already assigned never
+  /// change. A relation::Relation::Compact() invalidates every previously
+  /// returned reference (the cache is dropped and rebuilt); callers that
+  /// snapshot references must not hold them across a compaction.
   const Grouping& GroupFor(const relation::AttrSet& attrs);
 
-  /// \brief Folds rows appended to rel() since the last query into every
-  /// cached grouping and count. O(appended rows × chain levels) per cached
-  /// grouping, plus a one-time prefix replay per grouping that has never
-  /// been advanced before.
+  /// \brief Folds relation changes since the last query into every cached
+  /// grouping and count: appended rows first (O(appended × chain levels)
+  /// per cached grouping, plus a one-time prefix replay per grouping that
+  /// has never been advanced before), then newly tombstoned rows from the
+  /// deletion log (O(1) per cached grouping per deleted row). A observed
+  /// compaction instead resets the caches entirely.
   ///
   /// Count() and GroupFor() call this automatically when the relation's
-  /// version has moved, so explicit calls are only needed to control
-  /// *when* the work happens. No-op when nothing was appended. Throws
-  /// std::logic_error if the relation shrank (unsupported).
+  /// version, mutation epoch, or compaction counter has moved, so
+  /// explicit calls are only needed to control *when* the work happens.
+  /// Throws std::logic_error if the relation shrank without a compaction
+  /// (a stale-cache pairing bug — see relation::Relation's class
+  /// comment).
   void Advance();
 
   /// Rows already folded into the caches (== rel().version() after any
@@ -162,6 +193,13 @@ class DistinctEvaluator {
     };
     std::vector<Level> levels;  ///< built lazily on the first Advance
     size_t tabled = 0;          ///< rows [0, tabled) folded into `levels`
+
+    /// Per-group live-row refcounts, materialized for every cached
+    /// grouping the first time a deletion is observed (empty before
+    /// that). `live_groups` is the number of nonzero entries — the
+    /// live-row distinct count this grouping answers.
+    std::vector<uint32_t> live;
+    size_t live_groups = 0;
   };
 
   struct SubsetMatch {
@@ -176,12 +214,29 @@ class DistinctEvaluator {
   const Grouping& Insert(const relation::AttrSet& attrs, Grouping g,
                          const relation::AttrSet* base_key);
 
-  /// Runs Advance() if the relation's version moved since the last query.
+  /// Runs Advance() if the relation's version, mutation epoch, or
+  /// compaction counter moved since the last query; resets the caches
+  /// outright when a compaction happened.
   void MaybeAdvance();
 
   /// Extends one cached grouping to cover rows [0, n), building its level
-  /// tables first if this is its first advance.
+  /// tables first if this is its first advance. When refcounts are active
+  /// (`mutation_seen_`), the newly folded rows — always live, appends
+  /// cannot be pre-tombstoned — increment their groups' refcounts.
   void AdvanceGrouping(CachedGrouping& cg, size_t n);
+
+  /// Builds `cg.live` / `cg.live_groups` from scratch by scanning
+  /// `cg.grouping.ids` against the relation's tombstone bitmap.
+  void BuildLiveRefcounts(CachedGrouping& cg);
+
+  /// Increments refcounts for freshly appended rows [from, to); no-op
+  /// before the first observed mutation.
+  void ExtendLiveRefcounts(CachedGrouping& cg, size_t from, size_t to);
+
+  /// Folds deletion-log entries [tomb_pos_, end) into every cached
+  /// grouping's refcounts; on the first observed mutation builds the
+  /// refcounts wholesale instead.
+  void FoldDeletions();
 
   const relation::Relation& rel_;
   std::unordered_map<relation::AttrSet, CachedGrouping, relation::AttrSetHash>
@@ -195,6 +250,12 @@ class DistinctEvaluator {
   RefineScratch scratch_;
   size_t misses_ = 0;
   size_t watermark_ = 0;  ///< rows folded into the caches so far
+
+  // Mutation tracking (see the class comment's deletion paragraph).
+  bool mutation_seen_ = false;    ///< refcounts are materialized
+  size_t tomb_pos_ = 0;           ///< deletion-log entries already folded
+  size_t epoch_seen_ = 0;         ///< rel_.mutation_epoch() snapshot
+  size_t compactions_seen_ = 0;   ///< rel_.compactions() snapshot
 };
 
 }  // namespace fdevolve::query

@@ -27,9 +27,15 @@ bool UseDense(size_t groups, size_t stride, size_t n) {
 /// partition) with `col`'s dictionary codes. Writes the refined ids to `out`
 /// unless it is nullptr (count-only), and returns the refined group count.
 /// `out` may alias `base_ids`: each slot is read before it is written.
+///
+/// `live` (optional, count-only passes only): tombstone bitmap — rows with
+/// live[t] == 0 are skipped, so the returned count is the number of groups
+/// with at least one live row. Materializing passes must cover every
+/// physical row (group ids are append-stable over physical order), so
+/// callers pass live == nullptr whenever out != nullptr.
 size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
                   const relation::Column& col, size_t n, RefineScratch& s,
-                  uint32_t* out) {
+                  uint32_t* out, const uint8_t* live = nullptr) {
   if (n == 0) return 0;
   const uint32_t* codes = col.codes().data();
   const size_t dict = col.dict_size();
@@ -41,6 +47,7 @@ size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
     std::fill(s.dense.begin(), s.dense.begin() + static_cast<ptrdiff_t>(cells),
               kNoId);
     for (size_t t = 0; t < n; ++t) {
+      if (live != nullptr && live[t] == 0) continue;
       const uint32_t code = codes[t];
       const size_t c = code == relation::kNullCode ? dict : code;
       const size_t id_in = base_ids ? base_ids[t] : 0u;
@@ -61,6 +68,7 @@ size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
   } else {
     s.table.Reset(n);  // a pass introduces at most n distinct (id, code) pairs
     for (size_t t = 0; t < n; ++t) {
+      if (live != nullptr && live[t] == 0) continue;
       const size_t id_in = base_ids ? base_ids[t] : 0u;
       // Same contract as the dense branch: reject ids >= group_count, so a
       // malformed base fails identically regardless of which path runs.
@@ -101,7 +109,8 @@ size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
 /// paths apart.
 size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
                           const relation::Column& col, size_t n,
-                          RefineScratch& s, int width, uint32_t* out) {
+                          RefineScratch& s, int width, uint32_t* out,
+                          const uint8_t* live = nullptr) {
   const uint32_t* codes = col.codes().data();
   const size_t dict = col.dict_size();
   const size_t stride = dict + (col.has_nulls() ? 1 : 0);
@@ -133,6 +142,7 @@ size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
             std::fill(cs.dense.begin(),
                       cs.dense.begin() + static_cast<ptrdiff_t>(cells), kNoId);
             for (size_t t = lo; t < hi; ++t) {
+              if (live != nullptr && live[t] == 0) continue;
               const uint32_t code = codes[t];
               const size_t cc = code == relation::kNullCode ? dict : code;
               const size_t id_in = base_ids ? base_ids[t] : 0u;
@@ -155,6 +165,7 @@ size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
           } else {
             cs.table.Reset(hi - lo);
             for (size_t t = lo; t < hi; ++t) {
+              if (live != nullptr && live[t] == 0) continue;
               const size_t id_in = base_ids ? base_ids[t] : 0u;
               if (id_in >= base_groups) {
                 throw std::invalid_argument(
@@ -212,17 +223,45 @@ size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
 /// code path.
 size_t RunRefinePass(const uint32_t* base_ids, size_t base_groups,
                      const relation::Column& col, size_t n, RefineScratch& s,
-                     uint32_t* out) {
+                     uint32_t* out, const uint8_t* live = nullptr) {
   if (s.threads != 1 && n > s.grain) {
     const size_t grain = std::max<size_t>(s.grain, 1);
     const int width = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(util::ResolveThreads(s.threads)),
         (n + grain - 1) / grain));
     if (width > 1) {
-      return ParallelRefinePass(base_ids, base_groups, col, n, s, width, out);
+      return ParallelRefinePass(base_ids, base_groups, col, n, s, width, out,
+                                live);
     }
   }
-  return RefinePass(base_ids, base_groups, col, n, s, out);
+  return RefinePass(base_ids, base_groups, col, n, s, out, live);
+}
+
+/// Tombstone bitmap pointer for count-only passes: nullptr when every row
+/// is live, so the append-only hot loops keep their branch-free shape.
+const uint8_t* LiveMask(const relation::Relation& rel) {
+  return rel.has_tombstones() ? rel.live_bitmap().data() : nullptr;
+}
+
+/// Distinct live dictionary codes of one column — the tombstone-aware
+/// replacement for the O(1) dict_size fast path. O(n + dict).
+size_t LiveDistinctOneColumn(const relation::Relation& rel, int attr) {
+  const relation::Column& col = rel.column(attr);
+  const uint32_t* codes = col.codes().data();
+  const uint8_t* live = rel.live_bitmap().data();
+  const size_t n = rel.tuple_count();
+  const size_t dict = col.dict_size();
+  std::vector<uint8_t> seen(dict + 1, 0);  // slot `dict` counts NULL
+  size_t distinct = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (live[t] == 0) continue;
+    const size_t c = codes[t] == relation::kNullCode ? dict : codes[t];
+    if (seen[c] == 0) {
+      seen[c] = 1;
+      ++distinct;
+    }
+  }
+  return distinct;
 }
 
 void CheckBase(const relation::Relation& rel, const Grouping& base,
@@ -320,13 +359,19 @@ size_t GroupCountBy(const relation::Relation& rel,
                     const relation::AttrSet& attrs, RefineScratch& scratch) {
   const size_t n = rel.tuple_count();
   if (n == 0) return 0;
+  const uint8_t* live = LiveMask(rel);
+  if (live != nullptr && rel.live_count() == 0) return 0;
   const auto cols = attrs.ToVector();
   if (cols.empty()) return 1;
   if (cols.size() == 1) {
+    if (live != nullptr) return LiveDistinctOneColumn(rel, cols[0]);
     // |π_A| falls straight out of the dictionary: no per-tuple work.
     const auto& col = rel.column(cols[0]);
     return col.dict_size() + (col.has_nulls() ? 1 : 0);
   }
+  // The chain passes materialize over every physical row (dead included —
+  // intermediate ids must stay append-stable); only the final count-only
+  // pass filters, which is what makes the count "groups with a live row".
   scratch.chain_ids.resize(n);
   uint32_t* ids = scratch.chain_ids.data();
   const uint32_t* base = nullptr;
@@ -336,7 +381,7 @@ size_t GroupCountBy(const relation::Relation& rel,
     base = ids;
   }
   return RunRefinePass(base, groups, rel.column(cols.back()), n, scratch,
-                       nullptr);
+                       nullptr, live);
 }
 
 size_t GroupCountBy(const relation::Relation& rel,
@@ -349,8 +394,23 @@ size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
                      const relation::AttrSet& attrs, RefineScratch& scratch) {
   CheckBase(rel, base, "RefineCountBy");
   const size_t n = base.ids.size();
+  if (n == 0) return attrs.Empty() ? base.group_count : 0;
+  const uint8_t* live = LiveMask(rel);
   const auto cols = attrs.ToVector();
-  if (cols.empty() || n == 0) return base.group_count;
+  if (cols.empty()) {
+    if (live == nullptr) return base.group_count;
+    // Tombstone-aware: groups of `base` with at least one live row.
+    std::vector<uint8_t> seen(base.group_count, 0);
+    size_t groups = 0;
+    for (size_t t = 0; t < n; ++t) {
+      if (live[t] == 0) continue;
+      if (seen[base.ids[t]] == 0) {
+        seen[base.ids[t]] = 1;
+        ++groups;
+      }
+    }
+    return groups;
+  }
   const uint32_t* ids = base.ids.data();
   size_t groups = base.group_count;
   if (cols.size() > 1) {
@@ -363,7 +423,7 @@ size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
     }
   }
   return RunRefinePass(ids, groups, rel.column(cols.back()), n, scratch,
-                       nullptr);
+                       nullptr, live);
 }
 
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,

@@ -44,6 +44,12 @@ namespace fdevolve::query {
 /// — the parallel execution path reproduces exactly the same assignment.
 /// Invariant (enforced by the refinement engine, required of hand-built
 /// instances): every id is < group_count.
+///
+/// Groupings cover every PHYSICAL row of the relation, tombstoned ones
+/// included — that is what keeps ids append-stable under deletions.
+/// `group_count` therefore counts groups over physical rows; live-only
+/// distinct counts come from the count-only entry points below or from
+/// query::DistinctEvaluator's per-group live refcounts.
 struct Grouping {
   std::vector<uint32_t> ids;   ///< per-tuple dense group id
   size_t group_count = 0;      ///< number of distinct groups
@@ -125,20 +131,26 @@ Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
                   const relation::AttrSet& attrs, RefineScratch& scratch);
 
 /// \brief |GroupBy(rel, attrs).group_count| without materializing
-/// `Grouping::ids`.
+/// `Grouping::ids`, restricted to the relation's LIVE rows.
 ///
-/// A single attribute is answered straight from the column dictionary
-/// (dict_size + has_nulls) with no per-tuple work at all; longer sets run
-/// the refinement chain but skip writing ids on the final pass (the
-/// parallel path still merges chunk key sets, which is what produces the
-/// global count).
+/// On an append-only relation a single attribute is answered straight
+/// from the column dictionary (dict_size + has_nulls) with no per-tuple
+/// work at all; longer sets run the refinement chain but skip writing ids
+/// on the final pass (the parallel path still merges chunk key sets,
+/// which is what produces the global count). When the relation carries
+/// tombstones the final (count-only) pass skips dead rows — the count is
+/// the number of groups with at least one live row — while intermediate
+/// materializing passes still cover every physical row, keeping their ids
+/// append-stable.
 size_t GroupCountBy(const relation::Relation& rel,
                     const relation::AttrSet& attrs);
 size_t GroupCountBy(const relation::Relation& rel,
                     const relation::AttrSet& attrs, RefineScratch& scratch);
 
-/// \brief Number of groups RefineBy(rel, base, attrs) would produce, without
-/// materializing the refined ids.
+/// \brief Number of groups RefineBy(rel, base, attrs) would produce with
+/// at least one live row, without materializing the refined ids. `base`
+/// must cover every physical row (dead included), which is what GroupBy /
+/// RefineBy produce.
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
                      const relation::AttrSet& attrs);
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,

@@ -92,6 +92,7 @@ bool FindUnrepresentableCell(const Relation& rel, std::string* error) {
   }
   if (!any_bad) return false;
   for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    if (!rel.is_live(t)) continue;  // dead rows are never exported
     for (int i = 0; i < s.size(); ++i) {
       const auto& bad = bad_codes[static_cast<size_t>(i)];
       if (bad.empty()) continue;
@@ -220,7 +221,10 @@ bool WriteCsv(const Relation& rel, std::ostream& out, std::string* error) {
     out << s.attr(i).name << ":" << DataTypeName(s.attr(i).type);
   }
   out << "\n";
+  // Live rows only: an exported CSV holds the logical instance, so a
+  // read-back equals CompactedCopy(), not the physical tombstoned layout.
   for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    if (!rel.is_live(t)) continue;
     for (int i = 0; i < s.size(); ++i) {
       if (i > 0) out << ",";
       out << RenderCell(rel.Get(t, i));

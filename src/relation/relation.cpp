@@ -43,6 +43,39 @@ Value Column::Get(size_t t) const {
   return c == kNullCode ? Value::Null() : dict_.at(c);
 }
 
+void Column::Compact(const std::vector<uint8_t>& live) {
+  if (live.size() != codes_.size()) {
+    throw std::invalid_argument("Column::Compact: bitmap size mismatch");
+  }
+  // Remap surviving codes to first-appearance order over the kept rows —
+  // exactly the codes Append would assign when fed the kept values in
+  // order — and drop dictionary entries no survivor references.
+  std::vector<uint32_t> remap(dict_.size(), kNullCode);
+  std::vector<Value> dict;
+  std::vector<uint32_t> codes;
+  size_t nulls = 0;
+  for (size_t t = 0; t < codes_.size(); ++t) {
+    if (live[t] == 0) continue;
+    const uint32_t c = codes_[t];
+    if (c == kNullCode) {
+      codes.push_back(kNullCode);
+      ++nulls;
+      continue;
+    }
+    uint32_t& m = remap[c];
+    if (m == kNullCode) {
+      m = static_cast<uint32_t>(dict.size());
+      dict.push_back(dict_[c]);
+    }
+    codes.push_back(m);
+  }
+  dict_ = std::move(dict);
+  codes_ = std::move(codes);
+  null_count_ = nulls;
+  // Lazily rebuilt on the next Append, like the FromEncoded path.
+  dict_index_.clear();
+}
+
 void Column::RebuildDictIndex() {
   dict_index_.clear();
   dict_index_.reserve(dict_.size());
@@ -149,6 +182,8 @@ void Relation::AppendRow(const std::vector<Value>& row) {
     columns_[i].Append(row[i]);
   }
   ++tuple_count_;
+  ++appends_ever_;
+  if (!live_.empty()) live_.push_back(1);
 }
 
 void Relation::AppendRows(const std::vector<std::vector<Value>>& rows) {
@@ -158,7 +193,55 @@ void Relation::AppendRows(const std::vector<std::vector<Value>>& rows) {
       columns_[i].Append(row[i]);
     }
     ++tuple_count_;
+    ++appends_ever_;
+    if (!live_.empty()) live_.push_back(1);
   }
+}
+
+void Relation::DeleteRow(size_t t) {
+  if (t >= tuple_count_) {
+    throw std::out_of_range("Relation::DeleteRow: row " + std::to_string(t) +
+                            " out of range " + std::to_string(tuple_count_));
+  }
+  if (live_.empty()) live_.assign(tuple_count_, 1);
+  if (live_[t] == 0) {
+    throw std::invalid_argument("Relation::DeleteRow: row " +
+                                std::to_string(t) + " is already deleted");
+  }
+  live_[t] = 0;
+  deletion_log_.push_back(static_cast<uint32_t>(t));
+  ++dead_count_;
+  ++deletes_ever_;
+  ++mutation_epoch_;
+}
+
+size_t Relation::Compact() {
+  const size_t removed = dead_count_;
+  if (removed != 0) {
+    for (auto& col : columns_) col.Compact(live_);
+    tuple_count_ -= removed;
+    live_.clear();
+    deletion_log_.clear();
+    dead_count_ = 0;
+  }
+  // Epoch and incarnation move even for a no-op compaction: callers that
+  // trigger Compact() deterministically (the server's policy) must see
+  // identical counters on replay regardless of whether rows were dead.
+  ++mutation_epoch_;
+  ++compactions_;
+  return removed;
+}
+
+Relation Relation::CompactedCopy() const {
+  Relation copy = *this;
+  copy.Compact();
+  // The copy is a fresh instance as far as consumers are concerned: its
+  // lifetime counters restart at the compacted contents.
+  copy.appends_ever_ = copy.tuple_count_;
+  copy.deletes_ever_ = 0;
+  copy.mutation_epoch_ = 0;
+  copy.compactions_ = 0;
+  return copy;
 }
 
 AttrSet Relation::NonNullAttrs() const {
@@ -197,7 +280,19 @@ Relation Relation::FromEncoded(std::string name, Schema schema,
   Relation rel(std::move(name), std::move(schema));
   rel.columns_ = std::move(columns);
   rel.tuple_count_ = rows;
+  rel.appends_ever_ = rows;
   return rel;
+}
+
+void RequireNoTombstones(const Relation& rel, const char* where) {
+  if (rel.has_tombstones()) {
+    throw std::logic_error(
+        std::string(where) + ": relation '" + rel.name() + "' carries " +
+        std::to_string(rel.dead_count()) +
+        " tombstoned rows; this consumer scans physical rows and would "
+        "include deleted tuples — compact the relation (or pass "
+        "CompactedCopy()) first");
+  }
 }
 
 size_t Relation::EstimatedBytes() const {

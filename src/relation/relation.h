@@ -63,6 +63,14 @@ class Column {
   /// Cell accessor (decodes through the dictionary).
   Value Get(size_t t) const;
 
+  /// Drops every row whose `live` byte is 0 and re-encodes: surviving
+  /// codes are remapped to dense first-appearance order over the kept
+  /// rows and unreferenced dictionary values are dropped, so the result
+  /// is bit-identical to a column built by appending the kept values in
+  /// order (Relation::Compact's rebuilt-equivalence guarantee rests on
+  /// this). `live.size()` must equal size().
+  void Compact(const std::vector<uint8_t>& live);
+
  private:
   struct ValueHash {
     size_t operator()(const Value& v) const { return v.Hash(); }
@@ -79,13 +87,31 @@ class Column {
   static const Value kNullValue;
 };
 
-/// A relation instance: schema + equally sized columns.
+/// A relation instance: schema + equally sized columns, with deletion
+/// support via tombstones.
 ///
-/// Relations are append-only: tuples are never updated or deleted, and
-/// dictionary codes are never reassigned once handed out. Those two facts
-/// make `version()` a monotone row watermark that downstream caches
-/// (query::DistinctEvaluator) can diff against to maintain their state
-/// over just the appended suffix instead of rebuilding.
+/// The storage itself stays append-shaped: physical rows and dictionary
+/// codes are never reassigned once handed out, so group ids derived from
+/// row order remain append-stable. DeleteRow() only marks a row dead in a
+/// tombstone bitmap and records it in an ordered deletion log; the bytes
+/// of the row stay in place until Compact() rewrites the relation.
+///
+/// Downstream caches therefore need TWO counters, not one:
+///
+///   * `version()` — the physical row watermark (== tuple_count()). It
+///     grows by one per append and only ever moves backwards at a
+///     Compact(), which also bumps `compactions()`. Rows [0, version())
+///     have immutable codes between compactions.
+///   * `mutation_epoch()` — a monotone change counter bumped by every
+///     DeleteRow() and every Compact(). A cache whose epoch snapshot is
+///     stale must re-fold the deletion log (or rebuild, after a
+///     compaction) before trusting any live-row-derived result.
+///
+/// A consumer that diffs only `version()` (the historical append-only
+/// contract) would silently keep counting deleted rows. Tombstone-unaware
+/// scans must call RequireNoTombstones() at entry so that misuse is a
+/// hard error instead of silent corruption; incremental caches
+/// (query::DistinctEvaluator) track both counters plus `compactions()`.
 class Relation {
  public:
   Relation(std::string name, Schema schema);
@@ -95,14 +121,74 @@ class Relation {
   size_t tuple_count() const { return tuple_count_; }
   int attr_count() const { return schema_.size(); }
 
-  /// Monotone row watermark: the number of tuples ever appended. Because
-  /// the relation is append-only this equals tuple_count(), but callers
-  /// that cache derived state should diff against version() — it names
-  /// the contract (rows [0, version()) are immutable) rather than the
-  /// current size.
+  /// Physical row watermark: the number of physical rows currently
+  /// stored, dead ones included. NOT the number of tuples ever appended
+  /// once deletions exist — see `mutation_epoch()` and the class comment
+  /// for the cache-invalidation contract. Shrinks only at Compact().
   size_t version() const { return tuple_count_; }
 
   const Column& column(int i) const { return columns_.at(static_cast<size_t>(i)); }
+
+  // --- Tombstone surface -------------------------------------------------
+
+  /// True iff physical row `t` has not been deleted. `t` must be
+  /// < tuple_count() (unchecked; use Get for checked access).
+  bool is_live(size_t t) const { return live_.empty() || live_[t] != 0; }
+
+  /// Number of live (non-deleted) rows.
+  size_t live_count() const { return tuple_count_ - dead_count_; }
+
+  /// Number of tombstoned rows awaiting compaction.
+  size_t dead_count() const { return dead_count_; }
+
+  bool has_tombstones() const { return dead_count_ > 0; }
+
+  /// Monotone mutation counter: bumped by every DeleteRow() and every
+  /// Compact(). Appends do NOT bump it — the append fast path stays
+  /// diffable via version() alone.
+  size_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Number of Compact() calls over the relation's lifetime — the
+  /// incarnation counter caches compare to detect that physical row ids
+  /// and codes were reassigned wholesale.
+  size_t compactions() const { return compactions_; }
+
+  /// Rows ever appended / deleted, monotone across compactions (unlike
+  /// tuple_count()). The monitor's check cadence counts mutations through
+  /// these so a compaction cannot make its interval arithmetic underflow.
+  size_t appends_ever() const { return appends_ever_; }
+  size_t deletes_ever() const { return deletes_ever_; }
+
+  /// Physical ids of tombstoned rows in deletion order — the delta an
+  /// incremental cache folds in (cleared by Compact()).
+  const std::vector<uint32_t>& deletion_log() const { return deletion_log_; }
+
+  /// Raw tombstone bitmap, one byte per physical row; empty means every
+  /// row is live. Hot-loop access for the query layer's live-aware count
+  /// passes (is_live() is the per-row form).
+  const std::vector<uint8_t>& live_bitmap() const { return live_; }
+
+  /// Tombstones physical row `t`. Throws std::out_of_range if `t` is not
+  /// a physical row, std::invalid_argument if it is already dead. O(1)
+  /// amortized (the bitmap materializes on the first delete).
+  void DeleteRow(size_t t);
+
+  /// Rewrites the relation to exactly its live rows: dead rows are
+  /// dropped, surviving rows renumbered in order, and every column's
+  /// dictionary re-encoded to first-appearance order over the survivors.
+  ///
+  /// Rebuilt-equivalence guarantee: the compacted relation is
+  /// bit-identical at the encoded layer (dictionary order, codes, null
+  /// counts, watermark) to a fresh relation built by AppendRow-ing the
+  /// live rows in physical order. Clears the tombstone state, bumps
+  /// mutation_epoch() and compactions(); appends_ever()/deletes_ever()
+  /// keep their lifetime values. Returns the number of rows removed.
+  size_t Compact();
+
+  /// A fresh relation holding exactly this relation's live rows (the
+  /// compacted form), leaving this relation untouched. What tombstone-
+  /// unaware consumers (repair search, discovery) are handed.
+  Relation CompactedCopy() const;
 
   /// Appends one tuple; `row` arity must match the schema.
   ///
@@ -149,7 +235,24 @@ class Relation {
   Schema schema_;
   std::vector<Column> columns_;
   size_t tuple_count_ = 0;
+
+  /// Tombstone bitmap, one byte per physical row; empty means all live
+  /// (the append-only fast path never materializes it).
+  std::vector<uint8_t> live_;
+  std::vector<uint32_t> deletion_log_;  ///< dead row ids, deletion order
+  size_t dead_count_ = 0;
+  size_t mutation_epoch_ = 0;
+  size_t compactions_ = 0;
+  size_t appends_ever_ = 0;
+  size_t deletes_ever_ = 0;
 };
+
+/// Hard-error guard for tombstone-unaware consumers: throws
+/// std::logic_error naming `where` if `rel` carries tombstones. Scans
+/// that walk physical rows without consulting is_live() would silently
+/// include deleted tuples — callers pass such relations through
+/// Relation::CompactedCopy() (or Compact()) first.
+void RequireNoTombstones(const Relation& rel, const char* where);
 
 /// Fluent builder for tests and generators.
 class RelationBuilder {

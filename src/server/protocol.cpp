@@ -21,6 +21,8 @@ std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
          " fd_index=" + std::to_string(event.fd_index) +
          " tuples=" + std::to_string(event.tuple_count) +
          " confidence=" + std::to_string(event.measures.confidence) +
+         " kind=" +
+         (event.kind == fd::DriftKind::kRecovered ? "recovered" : "violated") +
          " fd=" + fd_text;
 }
 

@@ -3,8 +3,8 @@
 // Requests: one SQL statement per line (LF-terminated; a trailing CR is
 // stripped so `nc -C` and telnet-style clients work). Empty lines are
 // ignored. The dialect is the full sql/ grammar: SELECT COUNT, INSERT,
-// CREATE TABLE, DECLARE FD ... ON t [EVERY n], SUBSCRIBE DRIFT ON t,
-// CHECKPOINT, SHUTDOWN.
+// DELETE, UPDATE, CREATE TABLE, DECLARE FD ... ON t [EVERY n],
+// SUBSCRIBE DRIFT ON t, CHECKPOINT, SHUTDOWN.
 //
 // Replies: exactly one line per request —
 //
@@ -16,9 +16,13 @@
 // Pushes: sessions that issued SUBSCRIBE DRIFT ON t additionally receive
 // asynchronous lines
 //
-//   DRIFT table=<t> fd_index=<i> tuples=<n> confidence=<c> fd=<text>
+//   DRIFT table=<t> fd_index=<i> tuples=<n> confidence=<c>
+//         kind=<violated|recovered> fd=<text>
 //
-// whenever a previously-exact FD on t drifts to violated. DRIFT lines can
+// (one line on the wire) whenever a monitored FD on t crosses the
+// exact/violated boundary: kind=violated when an insert broke a
+// previously-exact FD, kind=recovered when deletes removed the last
+// violating witness and the FD is exact again. DRIFT lines can
 // arrive at ANY point between — or even before — reply lines (a session
 // subscribed to a table it inserts into sees the DRIFT its own insert
 // triggered before that insert's OK). Clients must therefore read lines
@@ -42,8 +46,8 @@ std::string FormatOk(uint64_t value);
 /// so the reply cannot be mistaken for multiple frames.
 std::string FormatError(const std::string& message);
 
-/// Formats an asynchronous drift push line. `fd_text` is the violated
-/// FD rendered against the table schema.
+/// Formats an asynchronous drift push line. `fd_text` is the drifted
+/// (violated or recovered) FD rendered against the table schema.
 std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
                         const std::string& fd_text);
 

@@ -108,6 +108,20 @@ Service::TableEntry* Service::FindEntry(const std::string& table) const {
   return it->second.get();
 }
 
+void Service::MaybeCompact(TableEntry* entry) {
+  // Deterministic policy: a pure function of the relation's physical
+  // state, evaluated after every committed mutation statement. Replaying
+  // a table's journal therefore compacts at exactly the same statement
+  // boundaries as the live run did — which is what keeps serial replay
+  // bit-identical to the concurrent state (group ids and dictionary
+  // codes are reassigned at a compaction, so WHEN it happens matters).
+  relation::Relation* rel = entry->rel;
+  if (rel->tuple_count() >= kCompactMinRows &&
+      rel->dead_count() * 2 >= rel->tuple_count()) {
+    rel->Compact();
+  }
+}
+
 void Service::InstallDriftCallback(TableEntry* entry,
                                    const std::string& table) {
   // Invoked by the monitor during Poll(), i.e. under the table's
@@ -150,6 +164,28 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
       // Same critical section as the append: the monitor observes the
       // quiescent post-append relation and drift pushes follow commit
       // order (see class comment).
+      if (entry->monitor) entry->monitor->Poll();
+      res.reply = FormatOk(n);
+      return res;
+    }
+    if (const auto* del = std::get_if<sql::DeleteStatement>(&stmt)) {
+      std::shared_lock cat(catalog_mutex_);
+      TableEntry* entry = FindEntry(del->table);
+      std::unique_lock table(entry->mutex);
+      uint64_t n = sql::Execute(*del, db_);
+      if (opts_.record_journal) entry->journal.push_back(del->ToString());
+      MaybeCompact(entry);
+      if (entry->monitor) entry->monitor->Poll();
+      res.reply = FormatOk(n);
+      return res;
+    }
+    if (const auto* upd = std::get_if<sql::UpdateStatement>(&stmt)) {
+      std::shared_lock cat(catalog_mutex_);
+      TableEntry* entry = FindEntry(upd->table);
+      std::unique_lock table(entry->mutex);
+      uint64_t n = sql::Execute(*upd, db_);
+      if (opts_.record_journal) entry->journal.push_back(upd->ToString());
+      MaybeCompact(entry);
       if (entry->monitor) entry->monitor->Poll();
       res.reply = FormatOk(n);
       return res;

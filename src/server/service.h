@@ -3,36 +3,41 @@
 // the bench driver can exercise the exact production locking without a
 // network in the loop (the TCP layer in server.h is a thin shell).
 //
-// Locking model (MVCC-lite over append-only relations):
+// Locking model (MVCC-lite over tombstone-mutable relations):
 //
 //   * catalog lock (shared_mutex) — guards the table map and the catalog
 //     itself. DDL (CREATE TABLE, DECLARE FD) and CHECKPOINT take it
 //     exclusively; everything else takes it shared.
-//   * per-table lock (shared_mutex) — writers (INSERT + the monitor poll
-//     that follows it, SUBSCRIBE's subscriber-list edit) take it
-//     exclusively; readers (SELECT) take it shared. Relations are
-//     append-only with a monotone row watermark, so a reader that
-//     snapshots under the shared lock sees a consistent prefix — rows
-//     [0, version()) are immutable by relation::Relation's contract.
+//   * per-table lock (shared_mutex) — writers (INSERT/DELETE/UPDATE + the
+//     monitor poll that follows each, SUBSCRIBE's subscriber-list edit)
+//     take it exclusively; readers (SELECT) take it shared. The storage
+//     stays append-shaped under mutation (DELETE only tombstones; UPDATE
+//     is delete + append), so a reader under the shared lock sees a
+//     consistent state: rows [0, version()) have immutable codes and the
+//     tombstone bitmap only changes under the exclusive lock.
 //
 //   Lock order is always catalog before table; no operation holds two
 //   table locks at once (CHECKPOINT quiesces via the exclusive catalog
 //   lock alone, which every data path acquires shared).
 //
 // Monitors run in external mode (fd::SchemaMonitor's shared-relation
-// constructors): the INSERT path appends through the SQL engine and then
+// constructors): each write path mutates through the SQL engine and then
 // calls Poll() under the same exclusive table lock, so the monitor always
-// observes a quiescent relation. Drift events are pushed to subscribed
-// sessions from inside that critical section — ordering is therefore
-// exactly commit order per table.
+// observes a quiescent relation. Drift events (violated AND recovered)
+// are pushed to subscribed sessions from inside that critical section —
+// ordering is therefore exactly commit order per table.
 //
-// Serial-replay identity: every committed write statement is journaled
-// per table in commit order (the canonical ToString of the parsed
-// statement, CREATE TABLE first). Replaying a table's journal through a
-// fresh Service reproduces the relation, group ids, monitor counters, and
-// drift log bit-for-bit — group ids are append-stable first-appearance
-// ids, so they depend only on per-table append order, which is what the
-// journal records. The concurrency suite asserts this equivalence.
+// Serial-replay identity: every committed write statement (INSERT,
+// DELETE, UPDATE, CREATE TABLE first, DECLARE FD) is journaled per table
+// in commit order (the canonical ToString of the parsed statement).
+// Replaying a table's journal through a fresh Service reproduces the
+// relation, group ids, monitor counters, and drift log bit-for-bit —
+// group ids are append-stable first-appearance ids (tombstones never
+// reassign them), DELETE/UPDATE row selection is deterministic in
+// physical row order, and compaction fires from a deterministic policy
+// (MaybeCompact) evaluated at statement boundaries, so everything depends
+// only on per-table statement order, which is what the journal records.
+// The concurrency suite asserts this equivalence.
 #pragma once
 
 #include <cstdint>
@@ -138,6 +143,17 @@ class Service {
   /// Looks up a table entry; throws std::invalid_argument if absent.
   /// Caller must hold the catalog lock (shared suffices).
   TableEntry* FindEntry(const std::string& table) const;
+
+  /// Deterministic compaction policy, run after every committed DELETE /
+  /// UPDATE under the table's exclusive lock: compacts when the relation
+  /// has at least kCompactMinRows physical rows and at least half of them
+  /// are dead. A pure function of physical state, so journal replay
+  /// compacts at identical statement boundaries (replay identity).
+  void MaybeCompact(TableEntry* entry);
+
+  /// Physical-row floor below which MaybeCompact never fires (avoids
+  /// thrashing tiny tables where a rebuild outcosts the scan it saves).
+  static constexpr size_t kCompactMinRows = 64;
 
   /// Wires the monitor's drift callback to push to subscribers. Runs
   /// under the table's exclusive lock (Poll is only called there).

@@ -106,6 +106,29 @@ std::string InsertStatement::ToString() const {
   return os.str();
 }
 
+std::string DeleteStatement::ToString() const {
+  std::ostringstream os;
+  os << "DELETE FROM " << QuoteIdentifier(table);
+  for (size_t i = 0; i < where.size(); ++i) {
+    os << (i == 0 ? " WHERE " : " AND ") << where[i].ToString();
+  }
+  return os.str();
+}
+
+std::string UpdateStatement::ToString() const {
+  std::ostringstream os;
+  os << "UPDATE " << QuoteIdentifier(table) << " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(assignments[i].column) << " = "
+       << RenderLiteral(assignments[i].value);
+  }
+  for (size_t i = 0; i < where.size(); ++i) {
+    os << (i == 0 ? " WHERE " : " AND ") << where[i].ToString();
+  }
+  return os.str();
+}
+
 std::string CountQuery::ToString() const {
   std::ostringstream os;
   os << "SELECT COUNT(";

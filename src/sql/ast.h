@@ -5,11 +5,16 @@
 // paper's monitoring scenario feeds on, plus the DDL / monitoring
 // statements the FD-monitoring server multiplexes over one catalog):
 //
-//   statement  := query | insert | create | declare_fd
+//   statement  := query | insert | delete | update | create | declare_fd
 //               | checkpoint | shutdown | subscribe
 //   query      := SELECT COUNT '(' (DISTINCT columns | '*') ')'
 //                 FROM identifier [WHERE condition (AND condition)*]
 //   insert     := INSERT INTO identifier VALUES row (',' row)*
+//   delete     := DELETE FROM identifier
+//                 [WHERE condition (AND condition)*]
+//   update     := UPDATE identifier SET identifier '=' literal
+//                 (',' identifier '=' literal)*
+//                 [WHERE condition (AND condition)*]
 //   create     := CREATE TABLE identifier
 //                 '(' identifier type (',' identifier type)* ')'
 //   declare_fd := DECLARE FD columns '->' columns ON identifier
@@ -71,6 +76,34 @@ struct InsertStatement {
   std::string ToString() const;
 };
 
+/// DELETE FROM table [WHERE ...] — tombstones every live row matching the
+/// conjunction (all live rows when the WHERE is absent). The engine never
+/// rewrites surviving rows; see relation::Relation::DeleteRow.
+struct DeleteStatement {
+  std::string table;
+  std::vector<Condition> where;  // conjunction; empty = all rows
+
+  std::string ToString() const;
+};
+
+/// One SET column = literal assignment of an UPDATE.
+struct Assignment {
+  std::string column;
+  relation::Value value;
+};
+
+/// UPDATE table SET a = 1, b = 'x' [WHERE ...] — executed as
+/// delete-old + append-derived-row per matched live row, in physical row
+/// order against the pre-statement row set (appended rows are not
+/// re-matched).
+struct UpdateStatement {
+  std::string table;
+  std::vector<Assignment> assignments;
+  std::vector<Condition> where;  // conjunction; empty = all rows
+
+  std::string ToString() const;
+};
+
 /// CREATE TABLE t (a INT64, b STRING, ...) — registers an empty relation
 /// in the catalog.
 struct CreateTableStatement {
@@ -117,8 +150,8 @@ struct SubscribeStatement {
 
 /// Any parsable statement (see ParseStatement in parser.h).
 using Statement =
-    std::variant<CountQuery, InsertStatement, CreateTableStatement,
-                 DeclareFdStatement, CheckpointStatement, ShutdownStatement,
-                 SubscribeStatement>;
+    std::variant<CountQuery, InsertStatement, DeleteStatement, UpdateStatement,
+                 CreateTableStatement, DeclareFdStatement, CheckpointStatement,
+                 ShutdownStatement, SubscribeStatement>;
 
 }  // namespace fdevolve::sql

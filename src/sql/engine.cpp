@@ -61,6 +61,28 @@ class CompiledCondition {
   bool matches_nothing_ = false;
 };
 
+/// Live rows of `rel` passing every condition, in physical row order,
+/// bounded to the pre-statement row set [0, rel.tuple_count()).
+std::vector<size_t> MatchingLiveRows(const relation::Relation& rel,
+                                     const std::vector<Condition>& where) {
+  std::vector<CompiledCondition> conds;
+  conds.reserve(where.size());
+  for (const auto& c : where) conds.emplace_back(rel, c);
+  std::vector<size_t> rows;
+  for (size_t row = 0; row < rel.tuple_count(); ++row) {
+    if (!rel.is_live(row)) continue;
+    bool pass = true;
+    for (const auto& c : conds) {
+      if (!c.Pass(rel, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace
 
 uint64_t Execute(const CountQuery& query, const Database& db) {
@@ -81,10 +103,12 @@ uint64_t Execute(const CountQuery& query, const Database& db) {
   }
 
   // Filter pass: surviving row indices (and, for DISTINCT, drop rows with
-  // NULL in any counted column — SQL semantics).
+  // NULL in any counted column — SQL semantics). Tombstoned rows are
+  // invisible to queries.
   std::vector<size_t> rows;
-  rows.reserve(rel.tuple_count());
+  rows.reserve(rel.live_count());
   for (size_t row = 0; row < rel.tuple_count(); ++row) {
+    if (!rel.is_live(row)) continue;
     bool pass = true;
     for (const auto& c : conds) {
       if (!c.Pass(rel, row)) {
@@ -160,6 +184,62 @@ uint64_t Execute(const InsertStatement& insert, Database& db) {
   return rows.size();
 }
 
+uint64_t Execute(const DeleteStatement& del, Database& db) {
+  relation::Relation& rel = db.GetMutable(del.table);
+  // Condition compilation throws on unknown columns before any mutation.
+  const std::vector<size_t> rows = MatchingLiveRows(rel, del.where);
+  for (size_t row : rows) rel.DeleteRow(row);
+  return rows.size();
+}
+
+uint64_t Execute(const UpdateStatement& update, Database& db) {
+  relation::Relation& rel = db.GetMutable(update.table);
+  const relation::Schema& schema = rel.schema();
+
+  // Validate every assignment BEFORE any mutation: a failed UPDATE must
+  // leave the relation untouched. Integer literals coerce to double
+  // columns (SQL numeric literals are typeless, matching INSERT); a
+  // double into an int column is rejected — silent truncation would
+  // corrupt data.
+  std::vector<std::pair<int, relation::Value>> sets;
+  sets.reserve(update.assignments.size());
+  for (const auto& a : update.assignments) {
+    const int idx = schema.IndexOf(a.column);
+    if (idx < 0) {
+      throw std::invalid_argument("unknown column '" + a.column + "' in " +
+                                  rel.name());
+    }
+    relation::Value v = a.value;
+    const relation::DataType type = schema.attr(idx).type;
+    if (v.is_int() && type == relation::DataType::kDouble) {
+      v = relation::Value(static_cast<double>(v.as_int()));
+    }
+    if (!v.is_null() && !v.MatchesType(type)) {
+      throw std::invalid_argument(
+          "UPDATE: value " + v.ToString() + " does not match column '" +
+          a.column + "' of type " + relation::DataTypeName(type));
+    }
+    sets.emplace_back(idx, std::move(v));
+  }
+
+  // Match against the pre-statement row set, then mutate in physical row
+  // order: delete the old row, append the derived one. Appended rows land
+  // past the snapshot bound, so they are never re-matched — UPDATE is
+  // deterministic and terminates even when the assignment re-satisfies
+  // the WHERE clause.
+  const std::vector<size_t> rows = MatchingLiveRows(rel, update.where);
+  std::vector<relation::Value> derived;
+  for (size_t row : rows) {
+    derived.clear();
+    derived.reserve(static_cast<size_t>(rel.attr_count()));
+    for (int a = 0; a < rel.attr_count(); ++a) derived.push_back(rel.Get(row, a));
+    for (const auto& [idx, v] : sets) derived[static_cast<size_t>(idx)] = v;
+    rel.DeleteRow(row);
+    rel.AppendRow(derived);
+  }
+  return rows.size();
+}
+
 uint64_t Execute(const CreateTableStatement& create, Database& db) {
   // Schema's constructor rejects duplicate column names; AddRelation
   // rejects duplicate table names.
@@ -183,6 +263,12 @@ uint64_t Execute(const Statement& stmt, Database& db) {
   }
   if (const auto* ins = std::get_if<InsertStatement>(&stmt)) {
     return Execute(*ins, db);
+  }
+  if (const auto* del = std::get_if<DeleteStatement>(&stmt)) {
+    return Execute(*del, db);
+  }
+  if (const auto* upd = std::get_if<UpdateStatement>(&stmt)) {
+    return Execute(*upd, db);
   }
   if (const auto* create = std::get_if<CreateTableStatement>(&stmt)) {
     return Execute(*create, db);

@@ -24,6 +24,22 @@ uint64_t Execute(const CountQuery& query, const Database& db);
 /// relation unchanged.
 uint64_t Execute(const InsertStatement& insert, Database& db);
 
+/// Executes a parsed DELETE: tombstones every live row matching the WHERE
+/// conjunction (every live row when it is absent), in physical row order.
+/// Returns the number of rows deleted. Throws std::invalid_argument on
+/// unknown table/columns, before any row is touched.
+uint64_t Execute(const DeleteStatement& del, Database& db);
+
+/// Executes a parsed UPDATE: for each live row matching the WHERE
+/// conjunction (matched against the pre-statement row set, so appended
+/// result rows are never re-matched), tombstones the old row and appends
+/// the updated one, in physical row order. Returns the number of rows
+/// updated. Assignments are validated up front — unknown column, NULL-able
+/// assignment aside, a type mismatch (integer literals coerce to double
+/// columns; nothing else coerces) throws std::invalid_argument BEFORE any
+/// mutation, so a failed UPDATE leaves the relation unchanged.
+uint64_t Execute(const UpdateStatement& update, Database& db);
+
 /// Executes a parsed CREATE TABLE: registers an empty relation. Returns 0.
 /// Throws std::invalid_argument on duplicate table or column names.
 uint64_t Execute(const CreateTableStatement& create, Database& db);

@@ -12,7 +12,8 @@ const std::unordered_set<std::string>& Keywords() {
       "SELECT",  "COUNT",   "DISTINCT",   "FROM",     "WHERE",     "AND",
       "IS",      "NOT",     "NULL",       "AS",       "INSERT",    "INTO",
       "VALUES",  "CREATE",  "TABLE",      "DECLARE",  "FD",        "ON",
-      "EVERY",   "CHECKPOINT", "SHUTDOWN", "SUBSCRIBE", "DRIFT"};
+      "EVERY",   "CHECKPOINT", "SHUTDOWN", "SUBSCRIBE", "DRIFT",
+      "DELETE",  "UPDATE",  "SET"};
   return kw;
 }
 

@@ -18,6 +18,16 @@ class Parser {
       ExpectEnd();
       return ins;
     }
+    if (Peek().IsKeyword("DELETE")) {
+      DeleteStatement del = ParseDelete();
+      ExpectEnd();
+      return del;
+    }
+    if (Peek().IsKeyword("UPDATE")) {
+      UpdateStatement upd = ParseUpdate();
+      ExpectEnd();
+      return upd;
+    }
     if (Peek().IsKeyword("CREATE")) {
       CreateTableStatement create = ParseCreateTable();
       ExpectEnd();
@@ -79,6 +89,50 @@ class Parser {
     }
     ExpectSymbol(")");
     return row;
+  }
+
+  DeleteStatement ParseDelete() {
+    DeleteStatement del;
+    ExpectKeyword("DELETE");
+    ExpectKeyword("FROM");
+    del.table = ExpectIdentifier();
+    del.where = ParseOptionalWhere();
+    return del;
+  }
+
+  UpdateStatement ParseUpdate() {
+    UpdateStatement upd;
+    ExpectKeyword("UPDATE");
+    upd.table = ExpectIdentifier();
+    ExpectKeyword("SET");
+    upd.assignments.push_back(ParseAssignment());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      upd.assignments.push_back(ParseAssignment());
+    }
+    upd.where = ParseOptionalWhere();
+    return upd;
+  }
+
+  Assignment ParseAssignment() {
+    Assignment a;
+    a.column = ExpectIdentifier();
+    ExpectSymbol("=");
+    a.value = ParseLiteral();
+    return a;
+  }
+
+  std::vector<Condition> ParseOptionalWhere() {
+    std::vector<Condition> where;
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      where.push_back(ParseCondition());
+      while (Peek().IsKeyword("AND")) {
+        Advance();
+        where.push_back(ParseCondition());
+      }
+    }
+    return where;
   }
 
   CreateTableStatement ParseCreateTable() {
@@ -186,14 +240,7 @@ class Parser {
     ExpectSymbol(")");
     ExpectKeyword("FROM");
     q.table = ExpectIdentifier();
-    if (Peek().IsKeyword("WHERE")) {
-      Advance();
-      q.where.push_back(ParseCondition());
-      while (Peek().IsKeyword("AND")) {
-        Advance();
-        q.where.push_back(ParseCondition());
-      }
-    }
+    q.where = ParseOptionalWhere();
     return q;
   }
 

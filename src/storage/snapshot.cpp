@@ -148,9 +148,22 @@ void WriteRelationPayload(BinaryWriter& w, const relation::Relation& rel) {
     }
     w.U32Array(col.codes());
   }
+  // v2 tombstone section: dead physical row ids in deletion order (empty
+  // array for all-live relations — one u32 of overhead, no branch on read).
+  w.U32Array(rel.deletion_log());
 }
 
-relation::Relation ReadRelationPayload(BinaryReader& r) {
+/// Replays a v2 deletion log through DeleteRow so the loaded relation's
+/// tombstone bitmap, deletion log, and mutation counters are rebuilt the
+/// same deterministic way the live writer built them. DeleteRow itself
+/// rejects out-of-range and duplicate ids, so a corrupt log fails the
+/// load instead of fabricating state.
+void ReplayDeletionLog(BinaryReader& r, relation::Relation* rel) {
+  std::vector<uint32_t> log = r.U32Array();
+  for (uint32_t id : log) rel->DeleteRow(id);
+}
+
+relation::Relation ReadRelationPayload(BinaryReader& r, uint32_t version) {
   std::string name = r.Str();
   uint32_t attr_count = r.U32();
   std::vector<relation::Attribute> attrs;
@@ -175,6 +188,7 @@ relation::Relation ReadRelationPayload(BinaryReader& r) {
     }
     relation::Relation rel(std::move(name), std::move(schema));
     for (uint64_t t = 0; t < tuples; ++t) rel.AppendRow({});
+    if (version >= 2) ReplayDeletionLog(r, &rel);
     return rel;
   }
 
@@ -220,8 +234,10 @@ relation::Relation ReadRelationPayload(BinaryReader& r) {
         type, std::move(dict), std::move(codes),
         static_cast<size_t>(null_count)));
   }
-  return relation::Relation::FromEncoded(std::move(name), std::move(schema),
-                                         std::move(columns));
+  relation::Relation rel = relation::Relation::FromEncoded(
+      std::move(name), std::move(schema), std::move(columns));
+  if (version >= 2) ReplayDeletionLog(r, &rel);
+  return rel;
 }
 
 // Monitored-FD list + drift log — the relation-free core shared by the
@@ -242,10 +258,14 @@ void WriteFdsAndDrift(BinaryWriter& w, const std::vector<fd::MonitoredFd>& fds,
     w.U64(ev.fd_index);
     w.U64(ev.tuple_count);
     WriteMeasures(w, ev.measures);
+    // v2: the event's direction. v1 files predate recovery events, so the
+    // reader's default (kViolated = 0) is exactly what they meant.
+    w.U8(static_cast<uint8_t>(ev.kind));
   }
 }
 
-void ReadFdsAndDrift(BinaryReader& r, std::vector<fd::MonitoredFd>* fds,
+void ReadFdsAndDrift(BinaryReader& r, uint32_t version,
+                     std::vector<fd::MonitoredFd>* fds,
                      std::vector<fd::DriftEvent>* drift_log) {
   uint32_t fd_count = r.U32();
   fds->reserve(fd_count);
@@ -270,6 +290,13 @@ void ReadFdsAndDrift(BinaryReader& r, std::vector<fd::MonitoredFd>* fds,
     }
     ev.tuple_count = r.U64();
     ev.measures = ReadMeasures(r);
+    if (version >= 2) {
+      uint8_t kind = r.U8();
+      if (kind > static_cast<uint8_t>(fd::DriftKind::kRecovered)) {
+        throw util::BinaryIoError("bad drift kind " + std::to_string(kind));
+      }
+      ev.kind = static_cast<fd::DriftKind>(kind);
+    }
     drift_log->push_back(std::move(ev));
   }
 }
@@ -284,15 +311,16 @@ void WriteCheckpointPayload(BinaryWriter& w,
   WriteFdsAndDrift(w, ckpt.fds, ckpt.drift_log);
 }
 
-fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r) {
-  relation::Relation rel = ReadRelationPayload(r);
+fd::MonitorCheckpoint ReadCheckpointPayload(BinaryReader& r,
+                                            uint32_t version) {
+  relation::Relation rel = ReadRelationPayload(r, version);
   uint64_t check_interval = r.U64();
   uint64_t inserts_since_check = r.U64();
   uint64_t checks_run = r.U64();
   uint64_t stream_batch_hint = r.U64();
   std::vector<fd::MonitoredFd> fds;
   std::vector<fd::DriftEvent> drift;
-  ReadFdsAndDrift(r, &fds, &drift);
+  ReadFdsAndDrift(r, version, &fds, &drift);
   return fd::MonitorCheckpoint{std::move(rel),
                                std::move(fds),
                                std::move(drift),
@@ -310,13 +338,13 @@ void WriteMonitorStatePayload(BinaryWriter& w, const fd::MonitorState& s) {
   WriteFdsAndDrift(w, s.fds, s.drift_log);
 }
 
-fd::MonitorState ReadMonitorStatePayload(BinaryReader& r) {
+fd::MonitorState ReadMonitorStatePayload(BinaryReader& r, uint32_t version) {
   fd::MonitorState s;
   s.check_interval = static_cast<size_t>(r.U64());
   s.inserts_since_check = static_cast<size_t>(r.U64());
   s.checks_run = static_cast<size_t>(r.U64());
   s.watermark = static_cast<size_t>(r.U64());
-  ReadFdsAndDrift(r, &s.fds, &s.drift_log);
+  ReadFdsAndDrift(r, version, &s.fds, &s.drift_log);
   return s;
 }
 
@@ -335,10 +363,11 @@ void WriteDatabasePayload(BinaryWriter& w, const sql::Database& db) {
   }
 }
 
-void ReadDatabasePayload(BinaryReader& r, sql::Database* db) {
+void ReadDatabasePayload(BinaryReader& r, uint32_t version,
+                         sql::Database* db) {
   uint32_t table_count = r.U32();
   for (uint32_t i = 0; i < table_count; ++i) {
-    db->AddRelation(ReadRelationPayload(r));
+    db->AddRelation(ReadRelationPayload(r, version));
   }
   uint32_t fd_count = r.U32();
   for (uint32_t i = 0; i < fd_count; ++i) {
@@ -363,11 +392,13 @@ BinaryWriter OpenWriter(uint32_t kind) {
   return w;
 }
 
-/// Verifies the envelope and returns the payload range, or fills `error`.
-/// `not_snapshot` (optional) is set when the input lacks the magic
-/// entirely — the structured "try another format" signal.
+/// Verifies the envelope, fills `*version_out` with the file's format
+/// version (payload readers branch on it), and returns the payload range
+/// — or fills `error`. `not_snapshot` (optional) is set when the input
+/// lacks the magic entirely — the structured "try another format" signal.
 std::optional<std::string_view> OpenEnvelope(std::string_view bytes,
                                              uint32_t expected_kind,
+                                             uint32_t* version_out,
                                              std::string* error,
                                              bool* not_snapshot = nullptr) {
   if (bytes.size() < kHeaderSize + kTrailerSize) {
@@ -394,13 +425,15 @@ std::optional<std::string_view> OpenEnvelope(std::string_view bytes,
   }
   BinaryReader header(bytes.substr(4));
   const uint32_t version = header.U32();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     if (error) {
       *error = "unsupported snapshot version " + std::to_string(version) +
-               " (this build reads " + std::to_string(kFormatVersion) + ")";
+               " (this build reads " + std::to_string(kMinFormatVersion) +
+               ".." + std::to_string(kFormatVersion) + ")";
     }
     return std::nullopt;
   }
+  *version_out = version;
   const uint32_t kind = header.U32();
   if (kind != expected_kind) {
     if (error) {
@@ -463,12 +496,13 @@ std::string SerializeRelation(const relation::Relation& rel) {
 
 RelationSnapshotResult DeserializeRelation(std::string_view bytes) {
   RelationSnapshotResult result;
-  auto payload = OpenEnvelope(bytes, kKindRelation, &result.error,
+  uint32_t version = 0;
+  auto payload = OpenEnvelope(bytes, kKindRelation, &version, &result.error,
                               &result.not_a_snapshot);
   if (!payload) return result;
   try {
     BinaryReader r(*payload);
-    relation::Relation rel = ReadRelationPayload(r);
+    relation::Relation rel = ReadRelationPayload(r, version);
     if (!r.AtEnd()) {
       result.error = "trailing bytes after relation payload";
       return result;
@@ -488,11 +522,12 @@ std::string SerializeDatabase(const sql::Database& db) {
 
 bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
                          std::string* error) {
-  auto payload = OpenEnvelope(bytes, kKindDatabase, error);
+  uint32_t version = 0;
+  auto payload = OpenEnvelope(bytes, kKindDatabase, &version, error);
   if (!payload) return false;
   try {
     BinaryReader r(*payload);
-    ReadDatabasePayload(r, db);
+    ReadDatabasePayload(r, version, db);
     if (!r.AtEnd()) {
       if (error) *error = "trailing bytes after database payload";
       return false;
@@ -519,16 +554,17 @@ std::string SerializeServerState(
 bool DeserializeServerState(std::string_view bytes, sql::Database* db,
                             std::vector<ServerMonitorState>* monitors,
                             std::string* error) {
-  auto payload = OpenEnvelope(bytes, kKindServer, error);
+  uint32_t version = 0;
+  auto payload = OpenEnvelope(bytes, kKindServer, &version, error);
   if (!payload) return false;
   try {
     BinaryReader r(*payload);
-    ReadDatabasePayload(r, db);
+    ReadDatabasePayload(r, version, db);
     uint32_t monitor_count = r.U32();
     for (uint32_t i = 0; i < monitor_count; ++i) {
       ServerMonitorState m;
       m.table = r.Str();
-      m.state = ReadMonitorStatePayload(r);
+      m.state = ReadMonitorStatePayload(r, version);
       if (!db->Has(m.table)) {
         throw util::BinaryIoError("monitor state references unknown table '" +
                                   m.table + "'");
@@ -564,11 +600,12 @@ std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt) {
 
 CheckpointResult DeserializeCheckpoint(std::string_view bytes) {
   CheckpointResult result;
-  auto payload = OpenEnvelope(bytes, kKindMonitor, &result.error);
+  uint32_t version = 0;
+  auto payload = OpenEnvelope(bytes, kKindMonitor, &version, &result.error);
   if (!payload) return result;
   try {
     BinaryReader r(*payload);
-    fd::MonitorCheckpoint ckpt = ReadCheckpointPayload(r);
+    fd::MonitorCheckpoint ckpt = ReadCheckpointPayload(r, version);
     if (!r.AtEnd()) {
       result.error = "trailing bytes after checkpoint payload";
       return result;

@@ -20,27 +20,40 @@
 // File layout (all integers little-endian, see util/binary_io.h):
 //
 //   offset 0: magic "FDEV"            (4 bytes)
-//             format version u32     (currently 1)
+//             format version u32     (currently 2; v1 files still load)
 //             payload kind u32       (1 = relation, 2 = database,
 //                                     3 = monitor checkpoint,
 //                                     4 = server state)
 //             payload bytes
 //   trailer:  FNV-1a u64 over everything before the trailer
 //
+// Version history:
+//
+//   v1 — append-only relations; drift events carry no kind.
+//   v2 — each relation payload ends with its tombstone deletion log (a
+//        u32 array of dead physical row ids in deletion order; empty for
+//        all-live relations), and each drift-log entry carries a kind
+//        byte (0 = violated, 1 = recovered). A v1 file therefore loads
+//        as an all-live relation whose drift events default to violated
+//        — exactly what v1 writers could express.
+//
 // Integrity policy: loads verify size, magic, version, kind, and checksum
 // before parsing, then parse with bounds-checked reads and validate every
 // structural invariant (code ranges, null counts, dictionary uniqueness,
-// schema/FD consistency, measure agreement). A truncated or bit-flipped
-// file fails with a clean error — never a crash, never a silently wrong
-// object. Version policy: the u32 after the magic is bumped on any layout
-// change; readers reject versions they do not know (no silent best-effort
-// parsing of future formats).
+// deletion-log bounds, schema/FD consistency, measure agreement). A
+// truncated or bit-flipped file fails with a clean error — never a crash,
+// never a silently wrong object. Version policy: the u32 after the magic
+// is bumped on any layout change; readers accept every version they know
+// how to parse (currently 1 and 2) and reject the rest (no silent
+// best-effort parsing of future formats). Writers always emit the
+// current version.
 //
 // Bit-identity contract: a loaded snapshot reproduces the encoded state
-// exactly — same dictionary order, same codes, same watermark — so every
-// downstream computation (group ids, distinct counts, measure doubles,
-// drift flags) is bit-identical to the evaluator state that wrote it. The
-// differential fuzz suite and bench_snapshot gate this.
+// exactly — same dictionary order, same codes, same watermark, same
+// tombstone bitmap (the deletion log is replayed through DeleteRow) — so
+// every downstream computation (group ids, distinct counts, measure
+// doubles, drift flags) is bit-identical to the evaluator state that
+// wrote it. The differential fuzz suite and bench_snapshot gate this.
 #pragma once
 
 #include <optional>
@@ -54,8 +67,10 @@
 
 namespace fdevolve::storage {
 
-/// Format version written by this build; readers accept exactly this.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Format version written by this build. Readers accept every version in
+/// [kMinFormatVersion, kFormatVersion] (see the version history above).
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kMinFormatVersion = 1;
 
 /// Result of loading a relation snapshot (mirrors relation::CsvResult).
 struct RelationSnapshotResult {

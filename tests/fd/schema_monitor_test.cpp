@@ -375,6 +375,104 @@ TEST(SchemaMonitorTest, MonitorStateRoundTripContinuesCadence) {
   EXPECT_EQ(restored.drift_log()[0].tuple_count, 5u);
 }
 
+TEST(SchemaMonitorTest, DeletionRecoversViolatedFd) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});  // 10001 -> {NY, NJ}
+  mon.Poll();
+  ASSERT_TRUE(mon.fds()[0].violated);
+  ASSERT_EQ(mon.drift_log().size(), 1u);
+  EXPECT_EQ(mon.drift_log()[0].kind, DriftKind::kViolated);
+
+  shared.DeleteRow(2);  // remove the violating witness
+  mon.Poll();
+  EXPECT_FALSE(mon.fds()[0].violated);
+  ASSERT_EQ(mon.drift_log().size(), 2u);
+  EXPECT_EQ(mon.drift_log()[1].kind, DriftKind::kRecovered);
+  EXPECT_TRUE(mon.drift_log()[1].measures.exact);
+  // tuple_count on the event is the LIVE count, not the watermark.
+  EXPECT_EQ(mon.drift_log()[1].tuple_count, 2u);
+}
+
+TEST(SchemaMonitorTest, RecoveryCallbackFiresOnce) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  std::vector<DriftKind> kinds;
+  mon.OnDrift([&](const DriftEvent& ev) { kinds.push_back(ev.kind); });
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();
+  shared.DeleteRow(2);
+  mon.Poll();
+  shared.AppendRow({"Camden", "08101", "NJ"});  // clean append: no event
+  mon.Poll();
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], DriftKind::kViolated);
+  EXPECT_EQ(kinds[1], DriftKind::kRecovered);
+}
+
+TEST(SchemaMonitorTest, ReViolationAfterRecoveryFiresAgain) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();
+  shared.DeleteRow(2);
+  mon.Poll();
+  shared.AppendRow({"Weehawken", "10001", "NJ"});  // violate again
+  mon.Poll();
+  ASSERT_EQ(mon.drift_log().size(), 3u);
+  EXPECT_EQ(mon.drift_log()[2].kind, DriftKind::kViolated);
+  EXPECT_TRUE(mon.fds()[0].violated);
+}
+
+TEST(SchemaMonitorTest, MeasuresTrackLiveRowsUnderDeletion) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  shared.DeleteRow(0);
+  mon.Poll();
+  // Ground truth: measures over the compacted logical instance.
+  FdMeasures expect =
+      ComputeMeasures(shared.CompactedCopy(), mon.fds()[0].fd);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, expect.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
+  EXPECT_EQ(mon.fds()[0].measures.confidence, expect.confidence);
+  EXPECT_EQ(mon.fds()[0].violated, !expect.exact);
+}
+
+TEST(SchemaMonitorTest, PollResyncsAfterCompaction) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();
+  ASSERT_TRUE(mon.fds()[0].violated);
+  shared.DeleteRow(2);
+  shared.Compact();  // row ids and codes reassigned wholesale
+  mon.Poll();
+  EXPECT_FALSE(mon.fds()[0].violated);
+  // Still incremental afterwards: appends against the compacted relation
+  // keep validating.
+  shared.AppendRow({"Weehawken", "10001", "NJ"});
+  mon.Poll();
+  EXPECT_TRUE(mon.fds()[0].violated);
+  FdMeasures expect = ComputeMeasures(shared, mon.fds()[0].fd);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, expect.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
+}
+
+TEST(SchemaMonitorTest, SuggestRepairsWorksOnTombstonedRelation) {
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  shared.DeleteRow(1);  // unrelated tombstone stays in place
+  mon.Poll();
+  ASSERT_TRUE(mon.fds()[0].violated);
+  // The repair search itself is tombstone-unaware; the monitor must hand
+  // it a compacted view instead of tripping the hard-error guard.
+  auto suggestions = mon.SuggestRepairs();
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_TRUE(suggestions[0].found());
+}
+
 TEST(SchemaMonitorTest, MonitorStateRestoreRejectsWatermarkMismatch) {
   Relation shared = CleanInstance();
   SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});

@@ -46,6 +46,52 @@ TEST(ColumnStatsTest, UniqueAttrsSet) {
   EXPECT_EQ(UniqueAttrs(MakeRel()), AttrSet::Of({0}));
 }
 
+TEST(ColumnStatsTest, NullFractionAndDictWidth) {
+  auto stats = ComputeColumnStats(MakeRel());
+  EXPECT_DOUBLE_EQ(stats[0].null_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats[2].null_fraction, 1.0 / 3.0);
+  // Numeric values weigh 8 bytes; strings their payload size ("a", "b").
+  EXPECT_DOUBLE_EQ(stats[0].avg_dict_width, 8.0);
+  EXPECT_DOUBLE_EQ(stats[1].avg_dict_width, 1.0);
+}
+
+TEST(ColumnStatsTest, StatsCoverLiveRowsOnly) {
+  Relation rel = MakeRel();
+  rel.DeleteRow(0);  // {1, "a", 1} leaves the live instance
+  auto stats = ComputeColumnStats(rel);
+  // uniq: {2, 3}; dup: {"a", "b"}; nully: {NULL, 2}.
+  EXPECT_EQ(stats[0].distinct_count, 2u);
+  EXPECT_TRUE(stats[0].is_unique);
+  EXPECT_EQ(stats[1].distinct_count, 2u);
+  EXPECT_TRUE(stats[1].is_unique);  // "a" occurs once among live rows now
+  EXPECT_EQ(stats[2].null_count, 1u);
+  EXPECT_DOUBLE_EQ(stats[2].null_fraction, 0.5);
+  // Ground truth: identical stats on the compacted copy (the fresh-build
+  // equivalent of the live instance).
+  auto compacted = ComputeColumnStats(rel.CompactedCopy());
+  ASSERT_EQ(stats.size(), compacted.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].distinct_count, compacted[i].distinct_count) << i;
+    EXPECT_EQ(stats[i].null_count, compacted[i].null_count) << i;
+    EXPECT_DOUBLE_EQ(stats[i].null_fraction, compacted[i].null_fraction);
+    EXPECT_EQ(stats[i].is_unique, compacted[i].is_unique) << i;
+  }
+  EXPECT_EQ(UniqueAttrs(rel), UniqueAttrs(rel.CompactedCopy()));
+}
+
+TEST(ColumnStatsTest, AllRowsDeletedMeansNoUniqueColumns) {
+  Relation rel = MakeRel();
+  for (size_t t = 0; t < rel.tuple_count(); ++t) rel.DeleteRow(t);
+  auto stats = ComputeColumnStats(rel);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.distinct_count, 0u);
+    EXPECT_EQ(s.null_count, 0u);
+    EXPECT_DOUBLE_EQ(s.null_fraction, 0.0);
+    EXPECT_FALSE(s.is_unique);
+  }
+  EXPECT_TRUE(UniqueAttrs(rel).Empty());
+}
+
 TEST(ColumnStatsTest, EmptyRelationHasNoUniqueAttrs) {
   Schema schema({{"x", DataType::kInt64}});
   Relation r("e", schema);

@@ -199,6 +199,110 @@ TEST(RelationTest, FromEncodedValidates) {
                std::invalid_argument);
 }
 
+TEST(RelationTest, DeleteRowTombstonesWithoutMovingBytes) {
+  Relation r = MakeSmall();
+  EXPECT_FALSE(r.has_tombstones());
+  EXPECT_EQ(r.live_count(), 3u);
+  r.DeleteRow(1);
+  // Physical layout untouched: watermark, codes, and cell bytes stay.
+  EXPECT_EQ(r.tuple_count(), 3u);
+  EXPECT_EQ(r.version(), 3u);
+  EXPECT_EQ(r.Get(1, 1), Value("b"));
+  // Logical view updated.
+  EXPECT_TRUE(r.has_tombstones());
+  EXPECT_EQ(r.live_count(), 2u);
+  EXPECT_EQ(r.dead_count(), 1u);
+  EXPECT_TRUE(r.is_live(0));
+  EXPECT_FALSE(r.is_live(1));
+  EXPECT_TRUE(r.is_live(2));
+  ASSERT_EQ(r.deletion_log().size(), 1u);
+  EXPECT_EQ(r.deletion_log()[0], 1u);
+}
+
+TEST(RelationTest, DeleteRowRejectsBadRows) {
+  Relation r = MakeSmall();
+  EXPECT_THROW(r.DeleteRow(3), std::out_of_range);
+  r.DeleteRow(0);
+  EXPECT_THROW(r.DeleteRow(0), std::invalid_argument);  // already dead
+}
+
+TEST(RelationTest, MutationCountersSplitAppendFromDelete) {
+  Relation r = MakeSmall();
+  EXPECT_EQ(r.mutation_epoch(), 0u);
+  EXPECT_EQ(r.appends_ever(), 3u);
+  EXPECT_EQ(r.deletes_ever(), 0u);
+  r.AppendRow({int64_t{4}, "d", 4.5});
+  // Appends move the watermark but not the epoch.
+  EXPECT_EQ(r.version(), 4u);
+  EXPECT_EQ(r.mutation_epoch(), 0u);
+  EXPECT_EQ(r.appends_ever(), 4u);
+  r.DeleteRow(2);
+  // Deletes move the epoch but not the watermark.
+  EXPECT_EQ(r.version(), 4u);
+  EXPECT_EQ(r.mutation_epoch(), 1u);
+  EXPECT_EQ(r.deletes_ever(), 1u);
+  const size_t epoch = r.mutation_epoch();
+  r.Compact();
+  EXPECT_EQ(r.version(), 3u);
+  EXPECT_GT(r.mutation_epoch(), epoch);
+  EXPECT_EQ(r.compactions(), 1u);
+  // Lifetime counters survive the compaction.
+  EXPECT_EQ(r.appends_ever(), 4u);
+  EXPECT_EQ(r.deletes_ever(), 1u);
+}
+
+TEST(RelationTest, CompactMatchesFreshBuildBitForBit) {
+  Schema schema({{"k", DataType::kInt64}, {"s", DataType::kString}});
+  Relation r("t", schema);
+  // Values chosen so deleting rows 0 and 2 drops dictionary entries and
+  // forces a code remap ("x" and 7 appear only in dead rows).
+  r.AppendRow({int64_t{7}, "x"});
+  r.AppendRow({int64_t{1}, "y"});
+  r.AppendRow({int64_t{7}, "x"});
+  r.AppendRow({int64_t{2}, "y"});
+  r.AppendRow({int64_t{1}, Value::Null()});
+  r.DeleteRow(0);
+  r.DeleteRow(2);
+  Relation fresh("t", schema);
+  for (size_t t : {1u, 3u, 4u}) {
+    fresh.AppendRow({r.Get(t, 0), r.Get(t, 1)});
+  }
+  EXPECT_EQ(r.Compact(), 2u);
+  ASSERT_EQ(r.tuple_count(), fresh.tuple_count());
+  EXPECT_FALSE(r.has_tombstones());
+  EXPECT_TRUE(r.deletion_log().empty());
+  for (int i = 0; i < r.attr_count(); ++i) {
+    EXPECT_EQ(r.column(i).codes(), fresh.column(i).codes()) << "col " << i;
+    EXPECT_EQ(r.column(i).dict_values(), fresh.column(i).dict_values());
+    EXPECT_EQ(r.column(i).null_count(), fresh.column(i).null_count());
+  }
+}
+
+TEST(RelationTest, CompactedCopyLeavesOriginalUntouched) {
+  Relation r = MakeSmall();
+  r.DeleteRow(0);
+  Relation copy = r.CompactedCopy();
+  EXPECT_EQ(copy.tuple_count(), 2u);
+  EXPECT_FALSE(copy.has_tombstones());
+  EXPECT_EQ(copy.Get(0, 1), Value("b"));
+  // The copy is a fresh lifetime: counters restart from its own contents.
+  EXPECT_EQ(copy.appends_ever(), 2u);
+  EXPECT_EQ(copy.deletes_ever(), 0u);
+  EXPECT_EQ(copy.compactions(), 0u);
+  // Original still tombstoned.
+  EXPECT_EQ(r.tuple_count(), 3u);
+  EXPECT_EQ(r.dead_count(), 1u);
+}
+
+TEST(RelationTest, RequireNoTombstonesGuards) {
+  Relation r = MakeSmall();
+  EXPECT_NO_THROW(RequireNoTombstones(r, "test"));
+  r.DeleteRow(1);
+  EXPECT_THROW(RequireNoTombstones(r, "test"), std::logic_error);
+  r.Compact();
+  EXPECT_NO_THROW(RequireNoTombstones(r, "test"));
+}
+
 TEST(RelationTest, EstimatedBytesGrowsWithData) {
   Schema schema({{"x", DataType::kInt64}});
   Relation small("s", schema);

@@ -187,6 +187,109 @@ TEST(ServiceTest, CheckpointAndResumeRoundTrip) {
   }
 }
 
+TEST(ServiceTest, DeleteAndUpdateThroughService) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b STRING)");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')");
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "DELETE FROM t WHERE b = 'x'")), 2u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "SELECT COUNT(*) FROM t")), 1u);
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "UPDATE t SET b = 'z' WHERE a = 2")),
+            1u);
+  EXPECT_EQ(
+      OkValue(svc.ExecuteLine(s, "SELECT COUNT(*) FROM t WHERE b = 'z'")),
+      1u);
+  // Mutations are journaled in commit order alongside inserts.
+  auto journal = svc.Journal("t");
+  ASSERT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal[2], "DELETE FROM t WHERE b = 'x'");
+  EXPECT_EQ(journal[3], "UPDATE t SET b = 'z' WHERE a = 2");
+}
+
+TEST(ServiceTest, RecoveredDriftPushedToSubscribers) {
+  Service svc;
+  std::vector<std::string> pushed;
+  auto listener = svc.OpenSession([&pushed](const std::string& line) {
+    pushed.push_back(line);
+    return true;
+  });
+  auto writer = svc.OpenSession(nullptr);
+  svc.ExecuteLine(writer, "CREATE TABLE t (a INT64, b INT64)");
+  svc.ExecuteLine(writer, "DECLARE FD a -> b ON t");
+  svc.ExecuteLine(listener, "SUBSCRIBE DRIFT ON t");
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 1)");
+  svc.ExecuteLine(writer, "INSERT INTO t VALUES (1, 2)");  // violated
+  ASSERT_EQ(pushed.size(), 1u);
+  EXPECT_NE(pushed[0].find(" kind=violated "), std::string::npos)
+      << pushed[0];
+  // Deleting the violating witness recovers the FD — pushed as such.
+  svc.ExecuteLine(writer, "DELETE FROM t WHERE b = 2");
+  ASSERT_EQ(pushed.size(), 2u);
+  EXPECT_NE(pushed[1].find(" kind=recovered "), std::string::npos)
+      << pushed[1];
+  auto log = svc.DriftLog("t");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].kind, fd::DriftKind::kRecovered);
+}
+
+TEST(ServiceTest, ReplayWithMutationsAndCompactionIsBitIdentical) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b STRING)");
+  svc.ExecuteLine(s, "DECLARE FD a -> b ON t EVERY 2");
+  // Enough churn to cross the compaction threshold (>= 64 physical rows,
+  // half dead): 80 inserts, then delete most of them.
+  for (int i = 0; i < 80; ++i) {
+    svc.ExecuteLine(s, "INSERT INTO t VALUES (" + std::to_string(i % 7) +
+                           ", 'v" + std::to_string(i % 3) + "')");
+  }
+  svc.ExecuteLine(s, "DELETE FROM t WHERE a = 1");
+  svc.ExecuteLine(s, "UPDATE t SET b = 'w' WHERE a = 2");
+  svc.ExecuteLine(s, "DELETE FROM t WHERE b = 'v0'");
+  svc.ExecuteLine(s, "DELETE FROM t WHERE a = 3");  // crosses half-dead
+
+  Service replay;
+  auto r = replay.OpenSession(nullptr);
+  for (const auto& line : svc.Journal("t")) {
+    auto parsed = ParseReply(replay.ExecuteLine(r, line).reply);
+    ASSERT_TRUE(parsed && parsed->kind == ParsedReply::Kind::kOk) << line;
+  }
+  EXPECT_EQ(svc.SerializeState(), replay.SerializeState());
+  // Drift logs agree event-for-event (kind and live counts included).
+  auto a = svc.DriftLog("t");
+  auto b = replay.DriftLog("t");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].tuple_count, b[i].tuple_count) << i;
+  }
+}
+
+TEST(ServiceTest, CheckpointAfterMutationRoundTrips) {
+  const std::string path =
+      testing::TempDir() + "/fdevolve_service_mut_ckpt.fdev";
+  Service::Options opts;
+  opts.checkpoint_path = path;
+  Service svc(opts);
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b INT64)");
+  svc.ExecuteLine(s, "DECLARE FD a -> b ON t");
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 1), (1, 2), (2, 5)");
+  svc.ExecuteLine(s, "DELETE FROM t WHERE b = 2");  // tombstone persists
+  EXPECT_EQ(OkValue(svc.ExecuteLine(s, "CHECKPOINT")), 0u);
+
+  Service resumed(opts);
+  std::string error;
+  ASSERT_TRUE(resumed.Resume(&error)) << error;
+  EXPECT_EQ(resumed.SerializeState(), svc.SerializeState());
+  auto r = resumed.OpenSession(nullptr);
+  EXPECT_EQ(OkValue(resumed.ExecuteLine(r, "SELECT COUNT(*) FROM t")), 2u);
+  // Both sides keep evolving identically post-resume.
+  svc.ExecuteLine(s, "UPDATE t SET b = 9 WHERE a = 2");
+  resumed.ExecuteLine(r, "UPDATE t SET b = 9 WHERE a = 2");
+  EXPECT_EQ(resumed.SerializeState(), svc.SerializeState());
+}
+
 TEST(ServiceTest, ResumeFailsCleanlyOnMissingFile) {
   Service::Options opts;
   opts.checkpoint_path = testing::TempDir() + "/fdevolve_absent.fdev";

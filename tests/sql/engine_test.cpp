@@ -78,6 +78,68 @@ TEST(EngineTest, DistinctWithWhere) {
       ExecuteSql("SELECT COUNT(DISTINCT a, c) FROM t WHERE b = 'x'", db), 3u);
 }
 
+TEST(EngineTest, DeleteTombstonesMatchingRows) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("DELETE FROM t WHERE b = 'x'", db), 3u);
+  const relation::Relation& rel = db.Get("t");
+  // Physical rows stay; the logical instance shrinks.
+  EXPECT_EQ(rel.tuple_count(), 4u);
+  EXPECT_EQ(rel.live_count(), 1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'x'", db), 0u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(DISTINCT a) FROM t", db), 1u);
+  // Deleting already-deleted rows matches nothing.
+  EXPECT_EQ(ExecuteSql("DELETE FROM t WHERE b = 'x'", db), 0u);
+  // No WHERE = empty the table.
+  EXPECT_EQ(ExecuteSql("DELETE FROM t", db), 1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 0u);
+}
+
+TEST(EngineTest, UpdateRewritesMatchingRows) {
+  Database db = MakeDb();
+  EXPECT_EQ(ExecuteSql("UPDATE t SET b = 'z' WHERE a = 1", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'z'", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'y'", db), 0u);
+  // Untouched columns keep their values (row {1,"y",NULL} → {1,"z",NULL}).
+  EXPECT_EQ(
+      ExecuteSql("SELECT COUNT(*) FROM t WHERE b = 'z' AND c IS NULL", db),
+      1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+}
+
+TEST(EngineTest, UpdateMatchesPreStatementRowsOnly) {
+  Database db = MakeDb();
+  // The appended rewrites satisfy the predicate too; they must not be
+  // re-matched (a = 1 stays a = 1 exactly once per original row).
+  EXPECT_EQ(ExecuteSql("UPDATE t SET a = 1 WHERE a = 1", db), 2u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t WHERE a = 1", db), 2u);
+}
+
+TEST(EngineTest, UpdateValidatesBeforeMutating) {
+  Database db = MakeDb();
+  // Unknown column / type mismatch fail with the table untouched.
+  EXPECT_THROW(ExecuteSql("UPDATE t SET zz = 1", db), std::exception);
+  EXPECT_THROW(ExecuteSql("UPDATE t SET a = 'nope'", db), std::exception);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM t", db), 4u);
+  EXPECT_EQ(db.Get("t").mutation_epoch(), 0u);
+  // Int literals coerce into double columns (SET c was declared INT64 in
+  // MakeDb's schema for t — use Places' Lat-style column instead: c is
+  // int64, so coerce the other way is rejected).
+  EXPECT_THROW(ExecuteSql("UPDATE t SET c = 2.5", db), std::exception);
+}
+
+TEST(EngineTest, UpdateCoercesIntLiteralIntoDoubleColumn) {
+  Database db;
+  relation::Schema schema({{"a", relation::DataType::kInt64},
+                           {"d", relation::DataType::kDouble}});
+  db.AddRelation(RelationBuilder("m", schema)
+                     .Row({int64_t{1}, 1.5})
+                     .Row({int64_t{2}, 2.5})
+                     .Build());
+  EXPECT_EQ(ExecuteSql("UPDATE m SET d = 3 WHERE a = 1", db), 1u);
+  EXPECT_EQ(ExecuteSql("SELECT COUNT(*) FROM m WHERE d = 3.0", db), 1u);
+}
+
 TEST(EngineTest, ConjunctionAndsConditions) {
   Database db = MakeDb();
   EXPECT_EQ(

@@ -124,6 +124,15 @@ TEST(LexerTest, ServerStatementKeywords) {
   EXPECT_TRUE(tokens[8].IsKeyword("SUBSCRIBE"));
 }
 
+TEST(LexerTest, MutationKeywords) {
+  auto tokens = Lex("delete update set");
+  EXPECT_TRUE(tokens[0].IsKeyword("DELETE"));
+  EXPECT_TRUE(tokens[1].IsKeyword("UPDATE"));
+  EXPECT_TRUE(tokens[2].IsKeyword("SET"));
+  EXPECT_TRUE(IsReservedWord("Update"));
+  EXPECT_TRUE(IsReservedWord("SET"));
+}
+
 TEST(LexerTest, IsReservedWord) {
   EXPECT_TRUE(IsReservedWord("select"));
   EXPECT_TRUE(IsReservedWord("TABLE"));

@@ -194,6 +194,69 @@ TEST(ParserTest, DeclareFd) {
   EXPECT_THROW(ParseStatement("DECLARE FD a -> b"), SqlError);
 }
 
+TEST(ParserTest, DeleteStatement) {
+  const auto del = std::get<DeleteStatement>(
+      ParseStatement("DELETE FROM t WHERE a = 1 AND b IS NULL"));
+  EXPECT_EQ(del.table, "t");
+  ASSERT_EQ(del.where.size(), 2u);
+  EXPECT_EQ(del.where[0].column, "a");
+  EXPECT_EQ(del.where[0].literal, relation::Value(int64_t{1}));
+  EXPECT_EQ(del.where[1].op, Condition::Op::kIsNull);
+
+  // No WHERE = delete everything.
+  const auto all = std::get<DeleteStatement>(ParseStatement("delete from t"));
+  EXPECT_TRUE(all.where.empty());
+
+  EXPECT_THROW(ParseStatement("DELETE t"), SqlError);           // no FROM
+  EXPECT_THROW(ParseStatement("DELETE FROM"), SqlError);        // no table
+  EXPECT_THROW(ParseStatement("DELETE FROM t WHERE"), SqlError);
+  EXPECT_THROW(ParseStatement("DELETE FROM t junk"), SqlError);
+}
+
+TEST(ParserTest, UpdateStatement) {
+  const auto upd = std::get<UpdateStatement>(ParseStatement(
+      "UPDATE t SET a = 5, b = 'x', c = NULL WHERE d <> 2.5"));
+  EXPECT_EQ(upd.table, "t");
+  ASSERT_EQ(upd.assignments.size(), 3u);
+  EXPECT_EQ(upd.assignments[0].column, "a");
+  EXPECT_EQ(upd.assignments[0].value, relation::Value(int64_t{5}));
+  EXPECT_EQ(upd.assignments[1].value, relation::Value("x"));
+  EXPECT_TRUE(upd.assignments[2].value.is_null());
+  ASSERT_EQ(upd.where.size(), 1u);
+  EXPECT_EQ(upd.where[0].op, Condition::Op::kNeq);
+
+  const auto all =
+      std::get<UpdateStatement>(ParseStatement("update t set a = 1"));
+  EXPECT_TRUE(all.where.empty());
+
+  EXPECT_THROW(ParseStatement("UPDATE t"), SqlError);            // no SET
+  EXPECT_THROW(ParseStatement("UPDATE SET a = 1"), SqlError);    // no table
+  EXPECT_THROW(ParseStatement("UPDATE t SET"), SqlError);
+  EXPECT_THROW(ParseStatement("UPDATE t SET a"), SqlError);      // no =
+  EXPECT_THROW(ParseStatement("UPDATE t SET a = 1,"), SqlError);
+  EXPECT_THROW(ParseStatement("UPDATE t SET a = b"), SqlError);  // not literal
+  EXPECT_THROW(ParseStatement("UPDATE t SET a = 1 junk"), SqlError);
+}
+
+TEST(ParserTest, MutationToStringRoundTrips) {
+  for (const char* text : {
+           "DELETE FROM t",
+           "DELETE FROM t WHERE a = 1 AND b IS NOT NULL",
+           "DELETE FROM \"my table\" WHERE \"select\" = 'it''s'",
+           "UPDATE t SET a = 1",
+           "UPDATE t SET a = 1, b = 'x', c = NULL WHERE d = 2",
+           "UPDATE \"my table\" SET \"select\" = 2.5 WHERE a IS NULL",
+       }) {
+    Statement stmt = ParseStatement(text);
+    std::string rendered =
+        std::visit([](const auto& s) { return s.ToString(); }, stmt);
+    EXPECT_EQ(rendered, text);
+    Statement again = ParseStatement(rendered);
+    EXPECT_EQ(std::visit([](const auto& s) { return s.ToString(); }, again),
+              rendered);
+  }
+}
+
 TEST(ParserTest, ServerControlStatements) {
   EXPECT_TRUE(std::holds_alternative<CheckpointStatement>(
       ParseStatement("CHECKPOINT")));

@@ -293,6 +293,129 @@ TEST(SnapshotTest, NonSnapshotInputSetsStructuredFlag) {
   EXPECT_FALSE(corrupt.not_a_snapshot);
 }
 
+TEST(SnapshotTest, TombstonedRelationRoundTrips) {
+  Relation rel = Mixed();
+  rel.DeleteRow(1);
+  rel.DeleteRow(3);
+  auto loaded = DeserializeRelation(SerializeRelation(rel));
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  // Physical layout identical (tombstones do not move bytes)...
+  ExpectEncodedIdentical(rel, *loaded.relation);
+  // ...and the tombstone state replays exactly.
+  EXPECT_EQ(loaded.relation->live_count(), rel.live_count());
+  EXPECT_EQ(loaded.relation->deletion_log(), rel.deletion_log());
+  for (size_t t = 0; t < rel.tuple_count(); ++t) {
+    EXPECT_EQ(loaded.relation->is_live(t), rel.is_live(t)) << t;
+  }
+  // The loaded relation compacts to the same bytes the original does.
+  Relation a = rel.CompactedCopy();
+  Relation b = loaded.relation->CompactedCopy();
+  ExpectEncodedIdentical(a, b);
+}
+
+TEST(SnapshotTest, ZeroAttributeTombstonesRoundTrip) {
+  Relation rel("degenerate", Schema(std::vector<relation::Attribute>{}));
+  rel.AppendRow({});
+  rel.AppendRow({});
+  rel.AppendRow({});
+  rel.DeleteRow(1);
+  auto loaded = DeserializeRelation(SerializeRelation(rel));
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.relation->tuple_count(), 3u);
+  EXPECT_EQ(loaded.relation->live_count(), 2u);
+  EXPECT_FALSE(loaded.relation->is_live(1));
+}
+
+TEST(SnapshotTest, CorruptDeletionLogIsRejected) {
+  Relation rel = Mixed();
+  rel.DeleteRow(0);
+  std::string bytes = SerializeRelation(rel);
+  // The log's single entry (row id 0) is the last u32 before the trailer.
+  // Point it past the watermark and re-seal: DeleteRow must refuse it.
+  const size_t id_at = bytes.size() - 8 - 4;
+  bytes[id_at] = 9;
+  const uint64_t sum = util::Checksum64(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  auto r = DeserializeRelation(bytes);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("corrupt"), std::string::npos) << r.error;
+}
+
+TEST(SnapshotTest, WritesCurrentFormatVersion) {
+  std::string bytes = SerializeRelation(Mixed());
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<uint32_t>(static_cast<unsigned char>(bytes[4])),
+            kFormatVersion);
+}
+
+TEST(SnapshotTest, V1RelationFixtureStillLoads) {
+  // A pre-tombstone v1 file, byte-built the way the v1 writer laid it
+  // out: no deletion-log section, no drift kinds. Guards the promise that
+  // bumping the format does not orphan existing snapshots.
+  util::BinaryWriter w;
+  w.Bytes("FDEV", 4);
+  w.U32(1);  // format version 1
+  w.U32(1);  // kind: relation
+  w.Str("legacy");
+  w.U32(1);  // one attribute
+  w.Str("a");
+  w.U8(0);  // int64
+  w.U64(3);  // tuple count
+  w.U64(0);  // null count
+  w.U64(2);  // dict size
+  w.I64(10);
+  w.I64(20);
+  w.U32Array({0u, 1u, 0u});
+  w.U64(w.Checksum());
+
+  auto loaded = DeserializeRelation(w.buffer());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.relation->name(), "legacy");
+  EXPECT_EQ(loaded.relation->tuple_count(), 3u);
+  EXPECT_EQ(loaded.relation->live_count(), 3u);  // v1 = all live
+  EXPECT_FALSE(loaded.relation->has_tombstones());
+  EXPECT_EQ(loaded.relation->Get(1, 0), Value(int64_t{20}));
+  // The loaded relation re-serializes as v2 (same logical content, now
+  // with an empty deletion-log section).
+  auto again = DeserializeRelation(SerializeRelation(*loaded.relation));
+  ASSERT_TRUE(again.ok()) << again.error;
+  ExpectEncodedIdentical(*loaded.relation, *again.relation);
+}
+
+TEST(SnapshotTest, DriftKindSurvivesCheckpointRoundTrip) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation shared = RelationBuilder("t", schema)
+                        .Row({int64_t{1}, int64_t{10}})
+                        .Build();
+  fd::SchemaMonitor mon(&shared,
+                        {fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))}, 1);
+  shared.AppendRow({int64_t{1}, int64_t{11}});
+  mon.Poll();  // violated
+  shared.DeleteRow(1);
+  mon.Poll();  // recovered
+  ASSERT_EQ(mon.drift_log().size(), 2u);
+  ASSERT_EQ(mon.drift_log()[1].kind, fd::DriftKind::kRecovered);
+
+  fd::MonitorState state = mon.State();
+  sql::Database db;
+  relation::Relation copy = shared;
+  db.AddRelation(std::move(copy));
+  std::string bytes = SerializeServerState(db, {{"t", state}});
+  sql::Database back;
+  std::vector<ServerMonitorState> monitors;
+  std::string err;
+  ASSERT_TRUE(DeserializeServerState(bytes, &back, &monitors, &err)) << err;
+  ASSERT_EQ(monitors.size(), 1u);
+  ASSERT_EQ(monitors[0].state.drift_log.size(), 2u);
+  EXPECT_EQ(monitors[0].state.drift_log[0].kind, fd::DriftKind::kViolated);
+  EXPECT_EQ(monitors[0].state.drift_log[1].kind, fd::DriftKind::kRecovered);
+  // The restored table carries the tombstone.
+  EXPECT_EQ(back.Get("t").live_count(), 1u);
+}
+
 TEST(SnapshotTest, CheckpointRoundTripRestoresMonitorState) {
   Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
   Relation rel = RelationBuilder("t", schema)
