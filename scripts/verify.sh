@@ -8,6 +8,9 @@
 #   scripts/verify.sh --sanitize      # ASan+UBSan build (own build dir)
 #   scripts/verify.sh --tsan          # ThreadSanitizer build (build-tsan/)
 #   scripts/verify.sh --seed 42       # base seed for the fuzz suites
+#   scripts/verify.sh --stats         # statistical suites at high trial
+#                                     # counts (nightly-CI depth; respects
+#                                     # a pre-set FDEVOLVE_STATS_TRIALS)
 #
 # Extra args after `--` are passed straight to ctest, e.g.:
 #   scripts/verify.sh -- -L fuzz --output-on-failure
@@ -34,6 +37,14 @@ while [[ $# -gt 0 ]]; do
     --tsan)
       BUILD_DIR=build-tsan
       CMAKE_ARGS+=(-DFDEVOLVE_SANITIZE=thread)
+      shift
+      ;;
+    --stats)
+      # Run only the statistical-verification suites, at nightly depth:
+      # 2000 trials per scenario instead of the in-tree default of 200.
+      # Tier-1 wall clock is untouched — this is a separate opt-in run.
+      export FDEVOLVE_STATS_TRIALS="${FDEVOLVE_STATS_TRIALS:-2000}"
+      CTEST_ARGS+=(-R "SampledStats")
       shift
       ;;
     --seed)

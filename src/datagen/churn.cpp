@@ -1,0 +1,138 @@
+#include "datagen/churn.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace fdevolve::datagen {
+
+using relation::Attribute;
+using relation::DataType;
+using relation::Relation;
+using relation::Schema;
+using relation::Value;
+
+const char* ChurnScenarioName(ChurnScenario scenario) {
+  switch (scenario) {
+    case ChurnScenario::kDeleteHeavy:
+      return "delete-heavy";
+    case ChurnScenario::kReinsertHeavy:
+      return "reinsert-heavy";
+    case ChurnScenario::kDomainGrowth:
+      return "domain-growth";
+  }
+  return "unknown";
+}
+
+ChurnStream MakeChurn(const ChurnSpec& spec) {
+  if (spec.x_domain == 0 || spec.y_domain == 0) {
+    throw std::invalid_argument("ChurnSpec: empty X or Y domain");
+  }
+  if (spec.violation_rate > 0.0 && spec.y_domain < 2) {
+    throw std::invalid_argument(
+        "ChurnSpec: violation witnesses need y_domain >= 2");
+  }
+
+  util::Rng rng(spec.seed);
+  // Canonical Y per X: non-violating inserts repeat the mapping so X -> Y
+  // holds until a planted witness (or a growth-phase collision) breaks it.
+  std::unordered_map<int64_t, int64_t> y_of_x;
+
+  auto fresh_row = [&](size_t x_width) {
+    auto x = static_cast<int64_t>(rng.Below(x_width));
+    int64_t y;
+    auto it = y_of_x.find(x);
+    if (it == y_of_x.end()) {
+      y = static_cast<int64_t>(rng.Below(spec.y_domain));
+      y_of_x.emplace(x, y);
+    } else if (spec.violation_rate > 0.0 && rng.Chance(spec.violation_rate)) {
+      y = (it->second + 1 +
+           static_cast<int64_t>(rng.Below(spec.y_domain - 1))) %
+          static_cast<int64_t>(spec.y_domain);
+    } else {
+      y = it->second;
+    }
+    return std::vector<Value>{Value(x), Value(y)};
+  };
+
+  ChurnStream stream{
+      Relation(spec.name, Schema({Attribute{"X", DataType::kInt64},
+                                  Attribute{"Y", DataType::kInt64}})),
+      {}};
+  // Shadow of the live rows in physical order — what a delete's live
+  // ordinal indexes into at application time (the same evolution the
+  // applying relation goes through, compactions included).
+  std::vector<std::vector<Value>> live;
+  for (size_t t = 0; t < spec.seed_rows; ++t) {
+    std::vector<Value> row = fresh_row(spec.x_domain);
+    stream.initial.AppendRow(row);
+    live.push_back(std::move(row));
+  }
+
+  std::vector<std::vector<Value>> pending;  // deleted rows awaiting reinsert
+  stream.ops.reserve(spec.n_ops);
+  for (size_t i = 0; i < spec.n_ops; ++i) {
+    const uint64_t r = rng.Below(10);
+    ChurnOp op;
+    const bool want_delete =
+        (spec.scenario == ChurnScenario::kDeleteHeavy && r < 5) ||
+        (spec.scenario == ChurnScenario::kReinsertHeavy && r < 4) ||
+        (spec.scenario == ChurnScenario::kDomainGrowth && r < 1);
+    if (want_delete && !live.empty()) {
+      op.kind = ChurnOp::Kind::kDelete;
+      op.live_ordinal = static_cast<size_t>(rng.Below(live.size()));
+      if (spec.scenario == ChurnScenario::kReinsertHeavy) {
+        pending.push_back(live[op.live_ordinal]);
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(op.live_ordinal));
+    } else {
+      op.kind = ChurnOp::Kind::kInsert;
+      if (spec.scenario == ChurnScenario::kReinsertHeavy &&
+          !pending.empty() && r < 8) {
+        // Replay the oldest deleted tuple verbatim.
+        op.row = pending.front();
+        pending.erase(pending.begin());
+      } else if (spec.scenario == ChurnScenario::kDomainGrowth) {
+        // Antecedent width ramps from x_domain to 5x over the stream:
+        // late inserts are mostly first-appearance X values, keeping the
+        // singleton count (and so the estimator's f1 term) high.
+        const size_t width =
+            spec.x_domain + 4 * spec.x_domain * i / std::max<size_t>(1, spec.n_ops);
+        op.row = fresh_row(width);
+      } else {
+        op.row = fresh_row(spec.x_domain);
+      }
+      live.push_back(op.row);
+    }
+    stream.ops.push_back(std::move(op));
+  }
+  return stream;
+}
+
+fd::Fd ChurnFd(const relation::Schema& schema) {
+  return fd::Fd(schema.Resolve({"X"}), schema.Resolve({"Y"}));
+}
+
+void ApplyChurnOp(relation::Relation* rel, const ChurnOp& op) {
+  if (op.kind == ChurnOp::Kind::kInsert) {
+    rel->AppendRow(op.row);
+    return;
+  }
+  size_t seen = 0;
+  for (size_t t = 0; t < rel->tuple_count(); ++t) {
+    if (!rel->is_live(t)) continue;
+    if (seen++ == op.live_ordinal) {
+      rel->DeleteRow(t);
+      return;
+    }
+  }
+  throw std::invalid_argument("ChurnOp: delete ordinal " +
+                              std::to_string(op.live_ordinal) +
+                              " out of range (" + std::to_string(seen) +
+                              " live rows)");
+}
+
+}  // namespace fdevolve::datagen

@@ -1,0 +1,247 @@
+#include "fd/sampled_monitor.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fdevolve::fd {
+namespace {
+
+/// Field-exact equality (doubles bitwise-as-values) — the restore
+/// cross-check recomputes through the identical estimation arithmetic,
+/// so an honest checkpoint matches exactly.
+bool SameMeasures(const FdMeasures& a, const FdMeasures& b) {
+  return a.distinct_x == b.distinct_x && a.distinct_xy == b.distinct_xy &&
+         a.distinct_y == b.distinct_y && a.confidence == b.confidence &&
+         a.goodness == b.goodness && a.exact == b.exact;
+}
+
+}  // namespace
+
+SampledSchemaMonitor::SampledSchemaMonitor(relation::Relation initial,
+                                           std::vector<Fd> fds,
+                                           size_t check_interval,
+                                           size_t capacity, uint64_t seed)
+    : owned_(std::make_unique<relation::Relation>(std::move(initial))),
+      rel_(owned_.get()),
+      sampler_(std::make_unique<query::ReservoirSampler>(rel_, capacity, seed)),
+      check_interval_(check_interval == 0 ? 1 : check_interval),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()) {
+  RegisterFds(std::move(fds));
+}
+
+SampledSchemaMonitor::SampledSchemaMonitor(relation::Relation* shared,
+                                           std::vector<Fd> fds,
+                                           size_t check_interval,
+                                           size_t capacity, uint64_t seed)
+    : rel_(shared),
+      sampler_(std::make_unique<query::ReservoirSampler>(rel_, capacity, seed)),
+      check_interval_(check_interval == 0 ? 1 : check_interval),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()) {
+  RegisterFds(std::move(fds));
+}
+
+SampledSchemaMonitor::SampledSchemaMonitor(relation::Relation* shared,
+                                           SampledMonitorState state)
+    : rel_(shared),
+      check_interval_(state.base.check_interval == 0
+                          ? 1
+                          : state.base.check_interval),
+      inserts_since_check_(state.base.inserts_since_check),
+      checks_run_(state.base.checks_run),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()) {
+  if (state.base.watermark != rel_->version()) {
+    throw std::invalid_argument(
+        "SampledSchemaMonitor: monitor state was captured at watermark " +
+        std::to_string(state.base.watermark) + " but the relation is at " +
+        std::to_string(rel_->version()) +
+        " (state paired with the wrong relation snapshot)");
+  }
+  // The sampler's restore constructor validates the reservoir state
+  // against the relation (watermark, compaction count, slot bounds).
+  sampler_ =
+      std::make_unique<query::ReservoirSampler>(rel_, state.reservoir);
+  RestoreMonitored(std::move(state.base.fds), std::move(state.base.drift_log));
+}
+
+SampledSchemaMonitor::SampledSchemaMonitor(SampledMonitorCheckpoint checkpoint)
+    : owned_(std::make_unique<relation::Relation>(
+          std::move(checkpoint.base.rel))),
+      rel_(owned_.get()),
+      check_interval_(checkpoint.base.check_interval == 0
+                          ? 1
+                          : checkpoint.base.check_interval),
+      inserts_since_check_(checkpoint.base.inserts_since_check),
+      checks_run_(checkpoint.base.checks_run),
+      observed_mutations_(rel_->appends_ever() + rel_->deletes_ever()) {
+  sampler_ =
+      std::make_unique<query::ReservoirSampler>(rel_, checkpoint.reservoir);
+  RestoreMonitored(std::move(checkpoint.base.fds),
+                   std::move(checkpoint.base.drift_log));
+}
+
+void SampledSchemaMonitor::RegisterFds(std::vector<Fd> fds) {
+  monitored_.reserve(fds.size());
+  estimates_.reserve(fds.size());
+  for (auto& f : fds) {
+    AddFd(std::move(f));
+  }
+}
+
+size_t SampledSchemaMonitor::AddFd(Fd fd) {
+  const relation::AttrSet all = rel_->schema().AllAttrs();
+  if (!fd.AllAttrs().SubsetOf(all)) {
+    throw std::invalid_argument(
+        "SampledSchemaMonitor: FD references attributes outside the relation "
+        "schema");
+  }
+  sampler_->Sync();
+  MonitoredFd m;
+  m.fd = std::move(fd);
+  SampledMeasures est = Estimate(m.fd, sampler_->LiveMembers());
+  m.measures = est.measures;
+  m.was_exact_at_registration = !est.witnessed_violation;
+  m.violated = est.witnessed_violation;
+  if (m.violated) m.first_violation_at = rel_->tuple_count();
+  monitored_.push_back(std::move(m));
+  estimates_.push_back(std::move(est));
+  return monitored_.size() - 1;
+}
+
+void SampledSchemaMonitor::RestoreMonitored(std::vector<MonitoredFd> fds,
+                                            std::vector<DriftEvent> drift_log) {
+  monitored_ = std::move(fds);
+  drift_log_ = std::move(drift_log);
+  estimates_.reserve(monitored_.size());
+  const relation::AttrSet all = rel_->schema().AllAttrs();
+  const std::vector<uint32_t> live = sampler_->LiveMembers();
+  for (auto& m : monitored_) {
+    if (!m.fd.AllAttrs().SubsetOf(all)) {
+      throw std::invalid_argument(
+          "SampledSchemaMonitor: checkpointed FD references attributes "
+          "outside the relation schema");
+    }
+    // Re-estimating from the restored reservoir is a pure function of
+    // (relation, reservoir slots), so with no unchecked mutations the
+    // carried measures must match bit for bit — the same tamper check
+    // the exact monitor's restore path runs.
+    SampledMeasures est = Estimate(m.fd, live);
+    if (inserts_since_check_ == 0 && !SameMeasures(est.measures, m.measures)) {
+      throw std::invalid_argument(
+          "SampledSchemaMonitor: checkpointed measures for " +
+          m.fd.ToString(rel_->schema()) +
+          " disagree with re-estimation (corrupt or mismatched checkpoint)");
+    }
+    estimates_.push_back(std::move(est));
+  }
+}
+
+SampledMonitorCheckpoint SampledSchemaMonitor::Checkpoint() const {
+  return SampledMonitorCheckpoint{
+      MonitorCheckpoint{*rel_, monitored_, drift_log_, check_interval_,
+                        inserts_since_check_, checks_run_},
+      sampler_->State()};
+}
+
+SampledMonitorState SampledSchemaMonitor::State() const {
+  SampledMonitorState s;
+  s.base = MonitorState{monitored_,
+                        drift_log_,
+                        check_interval_,
+                        inserts_since_check_,
+                        checks_run_,
+                        rel_->version()};
+  s.reservoir = sampler_->State();
+  return s;
+}
+
+SampledMeasures SampledSchemaMonitor::Estimate(
+    const Fd& fd, const std::vector<uint32_t>& live_members) const {
+  return EstimateMeasures(*rel_, live_members, rel_->live_count(), fd);
+}
+
+void SampledSchemaMonitor::Insert(const std::vector<relation::Value>& row) {
+  rel_->AppendRow(row);
+  sampler_->Sync();
+  ++observed_mutations_;
+  if (++inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ = 0;
+    CheckNow();
+  }
+}
+
+void SampledSchemaMonitor::InsertBatch(
+    const std::vector<std::vector<relation::Value>>& rows) {
+  if (rows.empty()) return;
+  rel_->AppendRows(rows);
+  sampler_->Sync();
+  observed_mutations_ += rows.size();
+  inserts_since_check_ += rows.size();
+  if (inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ %= check_interval_;
+    CheckNow();
+  }
+}
+
+void SampledSchemaMonitor::Poll() {
+  // Sync unconditionally, not just when a check is due: the sampler's
+  // draw sequence depends on when it observes each append/compaction, so
+  // folding at every statement boundary is what keeps serial replay (and
+  // checkpoint/resume) bit-identical.
+  sampler_->Sync();
+  const size_t mutations = rel_->appends_ever() + rel_->deletes_ever();
+  if (mutations == observed_mutations_) return;
+  const size_t delta = mutations - observed_mutations_;
+  observed_mutations_ = mutations;
+  inserts_since_check_ += delta;
+  if (inserts_since_check_ >= check_interval_) {
+    inserts_since_check_ %= check_interval_;
+    CheckNow();
+  }
+}
+
+void SampledSchemaMonitor::PushEvent(size_t fd_index, DriftKind kind,
+                                     const SampledMeasures& est) {
+  DriftEvent ev;
+  ev.fd_index = fd_index;
+  ev.tuple_count = rel_->live_count();
+  ev.measures = est.measures;
+  ev.kind = kind;
+  ev.approx = est.approx;
+  ev.confidence_lo = est.confidence_lo;
+  ev.confidence_hi = est.confidence_hi;
+  ev.goodness_lo = est.goodness_lo;
+  ev.goodness_hi = est.goodness_hi;
+  drift_log_.push_back(ev);
+  if (on_drift_) on_drift_(ev);
+}
+
+std::vector<size_t> SampledSchemaMonitor::CheckNow() {
+  sampler_->Sync();
+  ++checks_run_;
+  const std::vector<uint32_t> live = sampler_->LiveMembers();
+  std::vector<size_t> violated;
+  for (size_t i = 0; i < monitored_.size(); ++i) {
+    MonitoredFd& m = monitored_[i];
+    const bool was_violated = m.violated;
+    SampledMeasures est = Estimate(m.fd, live);
+    m.measures = est.measures;
+    m.violated = est.witnessed_violation;
+    if (m.violated) {
+      violated.push_back(i);
+      if (!was_violated) {
+        m.first_violation_at = rel_->tuple_count();
+        PushEvent(i, DriftKind::kViolated, est);
+      }
+    } else if (was_violated) {
+      // No sampled witness remains (deletes removed them, or the last
+      // witness was evicted from the reservoir).
+      m.first_violation_at = 0;
+      PushEvent(i, DriftKind::kRecovered, est);
+    }
+    estimates_[i] = est;
+    if (on_estimate_) on_estimate_(i, estimates_[i]);
+  }
+  return violated;
+}
+
+}  // namespace fdevolve::fd

@@ -64,6 +64,19 @@ struct DriftEvent {
   size_t tuple_count = 0;
   FdMeasures measures;
   DriftKind kind = DriftKind::kViolated;
+
+  /// True when the event came from a sampled monitor estimating from a
+  /// strict subset of the live rows; the interval fields below then
+  /// bracket the true confidence/goodness (see fd/sampled_estimate.h).
+  /// Exact monitors — and sampled monitors whose reservoir covered every
+  /// live row — leave all five fields at their defaults, so an exact
+  /// event serializes identically whichever monitor emitted it (the
+  /// sample_rate=1.0 bit-identity gate depends on this).
+  bool approx = false;
+  double confidence_lo = 1.0;
+  double confidence_hi = 1.0;
+  double goodness_lo = 0.0;
+  double goodness_hi = 0.0;
 };
 
 /// Complete resumable state of a SchemaMonitor — everything a monitoring

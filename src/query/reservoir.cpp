@@ -1,0 +1,115 @@
+#include "query/reservoir.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace fdevolve::query {
+
+ReservoirSampler::ReservoirSampler(const relation::Relation* rel,
+                                   size_t capacity, uint64_t seed)
+    : rel_(rel),
+      capacity_(capacity == 0 ? 1 : capacity),
+      seed_(seed),
+      rng_(seed),
+      observed_version_(0),
+      observed_compactions_(rel->compactions()) {
+  slots_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  Sync();
+}
+
+ReservoirSampler::ReservoirSampler(const relation::Relation* rel,
+                                   const ReservoirState& state)
+    : rel_(rel),
+      capacity_(state.capacity == 0 ? 1 : static_cast<size_t>(state.capacity)),
+      seed_(state.seed),
+      rng_(util::Rng::FromState(state.rng_state)),
+      seen_(state.seen),
+      slots_(state.rows),
+      observed_version_(static_cast<size_t>(state.observed_version)),
+      observed_compactions_(static_cast<size_t>(state.observed_compactions)) {
+  if (observed_version_ != rel_->version()) {
+    throw std::invalid_argument(
+        "ReservoirSampler: state captured at watermark " +
+        std::to_string(observed_version_) + " but the relation is at " +
+        std::to_string(rel_->version()) +
+        " (state paired with the wrong relation snapshot)");
+  }
+  if (observed_compactions_ != rel_->compactions()) {
+    throw std::invalid_argument(
+        "ReservoirSampler: state captured at compaction count " +
+        std::to_string(observed_compactions_) + " but the relation has " +
+        std::to_string(rel_->compactions()));
+  }
+  if (slots_.size() > capacity_) {
+    throw std::invalid_argument(
+        "ReservoirSampler: state holds more slots than its capacity");
+  }
+  if (seen_ < slots_.size() || seen_ > observed_version_) {
+    throw std::invalid_argument(
+        "ReservoirSampler: inconsistent offered-row counter in state");
+  }
+  for (uint32_t row : slots_) {
+    if (row >= rel_->version()) {
+      throw std::invalid_argument(
+          "ReservoirSampler: state references physical row " +
+          std::to_string(row) + " beyond the relation watermark");
+    }
+  }
+}
+
+void ReservoirSampler::Offer(uint32_t t) {
+  ++seen_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(t);
+    return;
+  }
+  // Replace a uniform slot with probability capacity/seen: one draw per
+  // offer once full, which is what makes the slot sequence a pure
+  // function of (seed, offered-row sequence) — the determinism invariant.
+  const uint64_t j = rng_.Below(seen_);
+  if (j < capacity_) slots_[static_cast<size_t>(j)] = t;
+}
+
+void ReservoirSampler::Rebuild() {
+  slots_.clear();
+  seen_ = 0;
+  const size_t n = rel_->version();
+  for (size_t t = 0; t < n; ++t) Offer(static_cast<uint32_t>(t));
+}
+
+void ReservoirSampler::Sync() {
+  if (rel_->compactions() != observed_compactions_) {
+    observed_compactions_ = rel_->compactions();
+    Rebuild();
+    observed_version_ = rel_->version();
+    return;
+  }
+  const size_t version = rel_->version();
+  for (size_t t = observed_version_; t < version; ++t) {
+    Offer(static_cast<uint32_t>(t));
+  }
+  observed_version_ = version;
+}
+
+std::vector<uint32_t> ReservoirSampler::LiveMembers() const {
+  std::vector<uint32_t> live;
+  live.reserve(slots_.size());
+  for (uint32_t row : slots_) {
+    if (rel_->is_live(row)) live.push_back(row);
+  }
+  return live;
+}
+
+ReservoirState ReservoirSampler::State() const {
+  ReservoirState s;
+  s.capacity = capacity_;
+  s.seed = seed_;
+  s.rng_state = rng_.state();
+  s.seen = seen_;
+  s.rows = slots_;
+  s.observed_version = observed_version_;
+  s.observed_compactions = observed_compactions_;
+  return s;
+}
+
+}  // namespace fdevolve::query

@@ -284,6 +284,29 @@ Relation Relation::FromEncoded(std::string name, Schema schema,
   return rel;
 }
 
+void Relation::RestoreLifetimeCounters(size_t appends_ever,
+                                       size_t deletes_ever,
+                                       size_t compactions) {
+  // The watermark counts appends since the last compaction, so lifetime
+  // appends can never be below it; same for deletes vs live tombstones.
+  if (appends_ever < tuple_count_) {
+    throw std::invalid_argument(
+        "Relation::RestoreLifetimeCounters: appends_ever " +
+        std::to_string(appends_ever) + " below the watermark " +
+        std::to_string(tuple_count_));
+  }
+  if (deletes_ever < dead_count_) {
+    throw std::invalid_argument(
+        "Relation::RestoreLifetimeCounters: deletes_ever " +
+        std::to_string(deletes_ever) + " below the tombstone count " +
+        std::to_string(dead_count_));
+  }
+  appends_ever_ = appends_ever;
+  deletes_ever_ = deletes_ever;
+  compactions_ = compactions;
+  mutation_epoch_ = deletes_ever + compactions;
+}
+
 void RequireNoTombstones(const Relation& rel, const char* where) {
   if (rel.has_tombstones()) {
     throw std::logic_error(

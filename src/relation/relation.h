@@ -226,6 +226,16 @@ class Relation {
   static Relation FromEncoded(std::string name, Schema schema,
                               std::vector<Column> columns);
 
+  /// Restores the lifetime mutation counters after a snapshot load, so
+  /// consumers keyed to mutation history (monitors via appends_ever() +
+  /// deletes_ever(), reservoir samplers via compactions()) resume against
+  /// the same watermarks they checkpointed. mutation_epoch() is derived
+  /// (every DeleteRow and Compact bumps it exactly once, appends never
+  /// do), not passed. Throws std::invalid_argument when the counters are
+  /// impossible for this relation's current physical state.
+  void RestoreLifetimeCounters(size_t appends_ever, size_t deletes_ever,
+                               size_t compactions);
+
  private:
   /// Throws std::invalid_argument unless `row` matches the schema (arity
   /// and per-cell type); performs no mutation.

@@ -17,13 +17,20 @@ std::string FormatError(const std::string& message) {
 
 std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
                         const std::string& fd_text) {
-  return "DRIFT table=" + sql::QuoteIdentifier(table) +
-         " fd_index=" + std::to_string(event.fd_index) +
-         " tuples=" + std::to_string(event.tuple_count) +
-         " confidence=" + std::to_string(event.measures.confidence) +
-         " kind=" +
-         (event.kind == fd::DriftKind::kRecovered ? "recovered" : "violated") +
-         " fd=" + fd_text;
+  std::string line = "DRIFT table=" + sql::QuoteIdentifier(table) +
+                     " fd_index=" + std::to_string(event.fd_index) +
+                     " tuples=" + std::to_string(event.tuple_count) +
+                     " confidence=" + std::to_string(event.measures.confidence);
+  if (event.approx) {
+    line += " approx=1 confidence_lo=" + std::to_string(event.confidence_lo) +
+            " confidence_hi=" + std::to_string(event.confidence_hi) +
+            " goodness_lo=" + std::to_string(event.goodness_lo) +
+            " goodness_hi=" + std::to_string(event.goodness_hi);
+  }
+  line += " kind=";
+  line += event.kind == fd::DriftKind::kRecovered ? "recovered" : "violated";
+  line += " fd=" + fd_text;
+  return line;
 }
 
 std::optional<ParsedReply> ParseReply(const std::string& line) {

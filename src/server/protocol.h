@@ -17,12 +17,17 @@
 // asynchronous lines
 //
 //   DRIFT table=<t> fd_index=<i> tuples=<n> confidence=<c>
+//         [approx=1 confidence_lo=<l> confidence_hi=<h>
+//          goodness_lo=<l> goodness_hi=<h>]
 //         kind=<violated|recovered> fd=<text>
 //
 // (one line on the wire) whenever a monitored FD on t crosses the
 // exact/violated boundary: kind=violated when an insert broke a
 // previously-exact FD, kind=recovered when deletes removed the last
-// violating witness and the FD is exact again. DRIFT lines can
+// violating witness and the FD is exact again. The bracketed fields
+// appear only on events from a sampled monitor (DECLARE FD ... SAMPLE k)
+// whose reservoir did not cover every live row: the measures are then
+// estimates and the lo/hi pairs bound them. DRIFT lines can
 // arrive at ANY point between — or even before — reply lines (a session
 // subscribed to a table it inserts into sees the DRIFT its own insert
 // triggered before that insert's OK). Clients must therefore read lines

@@ -27,18 +27,20 @@ bool Service::Resume(std::string* error) {
   }
   sql::Database db;
   std::vector<storage::ServerMonitorState> monitors;
+  std::vector<storage::ServerSampledMonitorState> sampled;
   if (!storage::LoadServerSnapshot(opts_.checkpoint_path, &db, &monitors,
-                                   error)) {
+                                   error, &sampled)) {
     return false;
   }
   db_ = std::move(db);
   tables_.clear();
-  BuildEntries(monitors);
+  BuildEntries(monitors, sampled);
   return true;
 }
 
 void Service::BuildEntries(
-    const std::vector<storage::ServerMonitorState>& monitors) {
+    const std::vector<storage::ServerMonitorState>& monitors,
+    const std::vector<storage::ServerSampledMonitorState>& sampled) {
   for (const auto& name : db_.TableNames()) {
     auto entry = std::make_unique<TableEntry>();
     entry->rel = &db_.GetMutable(name);
@@ -52,6 +54,13 @@ void Service::BuildEntries(
     entry->monitor = std::make_unique<fd::SchemaMonitor>(
         entry->rel, m.state, /*threads=*/1);
     InstallDriftCallback(entry, m.table);
+  }
+  for (const auto& m : sampled) {
+    TableEntry* entry = tables_.at(m.table).get();
+    entry->sampled_interval = m.state.base.check_interval;
+    entry->sampled = std::make_unique<fd::SampledSchemaMonitor>(
+        entry->rel, m.state);
+    InstallSampledDriftCallback(entry, m.table);
   }
 }
 
@@ -135,6 +144,18 @@ void Service::InstallDriftCallback(TableEntry* entry,
   });
 }
 
+void Service::InstallSampledDriftCallback(TableEntry* entry,
+                                          const std::string& table) {
+  // Same critical section as the exact monitor's callback; FormatDrift
+  // adds the approx + interval fields for approximate events.
+  entry->sampled->OnDrift([entry, table](const fd::DriftEvent& ev) {
+    const fd::MonitoredFd& mfd = entry->sampled->fds()[ev.fd_index];
+    std::string line = FormatDrift(
+        table, ev, mfd.fd.ToString(entry->rel->schema()));
+    for (const auto& sub : entry->subscribers) sub->Push(line);
+  });
+}
+
 Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
   Result res;
   sql::Statement stmt;
@@ -165,6 +186,7 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
       // quiescent post-append relation and drift pushes follow commit
       // order (see class comment).
       if (entry->monitor) entry->monitor->Poll();
+      if (entry->sampled) entry->sampled->Poll();
       res.reply = FormatOk(n);
       return res;
     }
@@ -176,6 +198,7 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
       if (opts_.record_journal) entry->journal.push_back(del->ToString());
       MaybeCompact(entry);
       if (entry->monitor) entry->monitor->Poll();
+      if (entry->sampled) entry->sampled->Poll();
       res.reply = FormatOk(n);
       return res;
     }
@@ -187,6 +210,7 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
       if (opts_.record_journal) entry->journal.push_back(upd->ToString());
       MaybeCompact(entry);
       if (entry->monitor) entry->monitor->Poll();
+      if (entry->sampled) entry->sampled->Poll();
       res.reply = FormatOk(n);
       return res;
     }
@@ -207,6 +231,46 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
       // Resolve throws on unknown columns; the Fd constructor rejects
       // overlapping sides — both before any state changes.
       fd::Fd fd(schema.Resolve(declare->lhs), schema.Resolve(declare->rhs));
+      if (declare->sample_size != 0) {
+        // SAMPLE k [SEED s] routes the FD to the table's sampled monitor
+        // (one reservoir per table — interval, capacity, and seed must
+        // agree across every sampled DECLARE on it).
+        if (!entry->sampled) {
+          size_t interval = declare->check_interval != 0
+                                ? declare->check_interval
+                                : opts_.default_check_interval;
+          entry->sampled = std::make_unique<fd::SampledSchemaMonitor>(
+              entry->rel, std::vector<fd::Fd>{}, interval,
+              declare->sample_size, declare->sample_seed);
+          entry->sampled_interval = interval;
+          InstallSampledDriftCallback(entry, declare->table);
+        } else {
+          if (declare->check_interval != 0 &&
+              declare->check_interval != entry->sampled_interval) {
+            throw std::invalid_argument(
+                "sampled monitor on '" + declare->table +
+                "' already checks EVERY " +
+                std::to_string(entry->sampled_interval) +
+                "; one interval per table");
+          }
+          if (declare->sample_size != entry->sampled->sample_capacity() ||
+              declare->sample_seed != entry->sampled->sample_seed()) {
+            throw std::invalid_argument(
+                "sampled monitor on '" + declare->table +
+                "' already uses SAMPLE " +
+                std::to_string(entry->sampled->sample_capacity()) + " SEED " +
+                std::to_string(entry->sampled->sample_seed()) +
+                "; one reservoir per table");
+          }
+        }
+        db_.DeclareFd(declare->table, fd);
+        entry->sampled->AddFd(std::move(fd));
+        if (opts_.record_journal) {
+          entry->journal.push_back(declare->ToString());
+        }
+        res.reply = FormatOk(0);
+        return res;
+      }
       if (!entry->monitor) {
         size_t interval = declare->check_interval != 0
                               ? declare->check_interval
@@ -266,20 +330,24 @@ bool Service::SaveCheckpoint(std::string* error) {
   // hold it shared), so the snapshot is a consistent cut.
   std::unique_lock cat(catalog_mutex_);
   std::vector<storage::ServerMonitorState> monitors;
+  std::vector<storage::ServerSampledMonitorState> sampled;
   for (const auto& [name, entry] : tables_) {
     if (entry->monitor) monitors.push_back({name, entry->monitor->State()});
+    if (entry->sampled) sampled.push_back({name, entry->sampled->State()});
   }
   return storage::SaveServerSnapshot(db_, monitors, opts_.checkpoint_path,
-                                     error);
+                                     error, sampled);
 }
 
 std::string Service::SerializeState() const {
   std::unique_lock cat(catalog_mutex_);
   std::vector<storage::ServerMonitorState> monitors;
+  std::vector<storage::ServerSampledMonitorState> sampled;
   for (const auto& [name, entry] : tables_) {
     if (entry->monitor) monitors.push_back({name, entry->monitor->State()});
+    if (entry->sampled) sampled.push_back({name, entry->sampled->State()});
   }
-  return storage::SerializeServerState(db_, monitors);
+  return storage::SerializeServerState(db_, monitors, sampled);
 }
 
 std::vector<std::string> Service::Journal(const std::string& table) const {
@@ -305,6 +373,26 @@ std::vector<fd::DriftEvent> Service::DriftLog(const std::string& table) const {
   std::shared_lock tl(it->second->mutex);
   if (!it->second->monitor) return {};
   return it->second->monitor->drift_log();
+}
+
+std::vector<fd::DriftEvent> Service::SampledDriftLog(
+    const std::string& table) const {
+  std::shared_lock cat(catalog_mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return {};
+  std::shared_lock tl(it->second->mutex);
+  if (!it->second->sampled) return {};
+  return it->second->sampled->drift_log();
+}
+
+std::vector<fd::SampledMeasures> Service::SampledEstimates(
+    const std::string& table) const {
+  std::shared_lock cat(catalog_mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return {};
+  std::shared_lock tl(it->second->mutex);
+  if (!it->second->sampled) return {};
+  return it->second->sampled->estimates();
 }
 
 }  // namespace fdevolve::server

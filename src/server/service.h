@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fd/sampled_monitor.h"
 #include "fd/schema_monitor.h"
 #include "sql/database.h"
 #include "storage/snapshot.h"
@@ -122,6 +123,16 @@ class Service {
   /// Drift log of a table's monitor (empty if no monitor).
   std::vector<fd::DriftEvent> DriftLog(const std::string& table) const;
 
+  /// Drift log of a table's *sampled* monitor (empty if none). Sampled
+  /// events carry approx=true + intervals unless the reservoir covered
+  /// every live row at the transition.
+  std::vector<fd::DriftEvent> SampledDriftLog(const std::string& table) const;
+
+  /// Latest per-FD estimates of a table's sampled monitor (empty if
+  /// none) — what the estimate-sequence suites assert on.
+  std::vector<fd::SampledMeasures> SampledEstimates(
+      const std::string& table) const;
+
  private:
   struct SessionRec {
     PushFn push;
@@ -136,6 +147,12 @@ class Service {
     mutable std::shared_mutex mutex;
     std::unique_ptr<fd::SchemaMonitor> monitor;  ///< external mode; may be null
     size_t check_interval = 0;  ///< the monitor's EVERY (0 = no monitor)
+    /// Sampled monitor (DECLARE FD ... SAMPLE k [SEED s]); external mode,
+    /// polled right after the exact monitor under the same exclusive
+    /// table lock. One reservoir per table: every sampled DECLARE must
+    /// agree on interval, capacity, and seed.
+    std::unique_ptr<fd::SampledSchemaMonitor> sampled;
+    size_t sampled_interval = 0;
     std::vector<std::shared_ptr<SessionRec>> subscribers;
     std::vector<std::string> journal;
   };
@@ -158,10 +175,15 @@ class Service {
   /// Wires the monitor's drift callback to push to subscribers. Runs
   /// under the table's exclusive lock (Poll is only called there).
   void InstallDriftCallback(TableEntry* entry, const std::string& table);
+  void InstallSampledDriftCallback(TableEntry* entry,
+                                   const std::string& table);
 
-  /// Builds entries (and monitors, when `monitors` has state for them)
-  /// for every table in db_. Caller holds the exclusive catalog lock.
-  void BuildEntries(const std::vector<storage::ServerMonitorState>& monitors);
+  /// Builds entries (and monitors, when `monitors`/`sampled` has state
+  /// for them) for every table in db_. Caller holds the exclusive
+  /// catalog lock.
+  void BuildEntries(
+      const std::vector<storage::ServerMonitorState>& monitors,
+      const std::vector<storage::ServerSampledMonitorState>& sampled);
 
   std::shared_ptr<SessionRec> FindSession(SessionId id);
 

@@ -173,6 +173,10 @@ std::string DeclareFdStatement::ToString() const {
   }
   os << " ON " << QuoteIdentifier(table);
   if (check_interval != 0) os << " EVERY " << check_interval;
+  if (sample_size != 0) {
+    os << " SAMPLE " << sample_size;
+    if (sample_seed != 0) os << " SEED " << sample_seed;
+  }
   return os.str();
 }
 

@@ -18,7 +18,7 @@
 //   create     := CREATE TABLE identifier
 //                 '(' identifier type (',' identifier type)* ')'
 //   declare_fd := DECLARE FD columns '->' columns ON identifier
-//                 [EVERY number]
+//                 [EVERY number] [SAMPLE number [SEED number]]
 //   checkpoint := CHECKPOINT
 //   shutdown   := SHUTDOWN
 //   subscribe  := SUBSCRIBE DRIFT ON identifier
@@ -113,10 +113,13 @@ struct CreateTableStatement {
   std::string ToString() const;
 };
 
-/// DECLARE FD a, b -> c ON t [EVERY n] — declares the FD in the catalog
-/// and (in a server session) registers it with the table's monitor.
-/// Columns are stored by name; the engine resolves them against the
-/// table's schema at execution time.
+/// DECLARE FD a, b -> c ON t [EVERY n] [SAMPLE k [SEED s]] — declares the
+/// FD in the catalog and (in a server session) registers it with the
+/// table's monitor. Columns are stored by name; the engine resolves them
+/// against the table's schema at execution time. With SAMPLE, validation
+/// runs on a seeded reservoir sample of k rows instead of the full
+/// relation (fd::SampledSchemaMonitor) and drift events carry estimates
+/// with error intervals.
 struct DeclareFdStatement {
   std::string table;
   std::vector<std::string> lhs;
@@ -124,6 +127,11 @@ struct DeclareFdStatement {
   /// Monitor check interval (EVERY n); 0 = unspecified, the executor's
   /// default applies (the server checks after every INSERT statement).
   size_t check_interval = 0;
+  /// Reservoir capacity (SAMPLE k); 0 = exact monitoring, no sampling.
+  size_t sample_size = 0;
+  /// Sampler seed (SEED s); only meaningful with SAMPLE. ToString omits
+  /// a zero seed, which reparses to the same statement.
+  uint64_t sample_seed = 0;
 
   std::string ToString() const;
 };

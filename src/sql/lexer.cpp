@@ -13,7 +13,7 @@ const std::unordered_set<std::string>& Keywords() {
       "IS",      "NOT",     "NULL",       "AS",       "INSERT",    "INTO",
       "VALUES",  "CREATE",  "TABLE",      "DECLARE",  "FD",        "ON",
       "EVERY",   "CHECKPOINT", "SHUTDOWN", "SUBSCRIBE", "DRIFT",
-      "DELETE",  "UPDATE",  "SET"};
+      "DELETE",  "UPDATE",  "SET",        "SAMPLE",    "SEED"};
   return kw;
 }
 

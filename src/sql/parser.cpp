@@ -209,6 +209,36 @@ class Parser {
       declare.check_interval = static_cast<size_t>(*v);
       Advance();
     }
+    if (Peek().IsKeyword("SAMPLE")) {
+      Advance();
+      const Token& t = Peek();
+      if (t.type != TokenType::kNumber) {
+        throw SqlError("SAMPLE expects a positive integer", t.position);
+      }
+      auto v = util::ParseUint64(t.text);
+      if (!v || *v == 0) {
+        throw SqlError("SAMPLE expects a positive integer, got '" + t.text +
+                           "'",
+                       t.position);
+      }
+      declare.sample_size = static_cast<size_t>(*v);
+      Advance();
+      if (Peek().IsKeyword("SEED")) {
+        Advance();
+        const Token& s = Peek();
+        if (s.type != TokenType::kNumber) {
+          throw SqlError("SEED expects an unsigned integer", s.position);
+        }
+        auto sv = util::ParseUint64(s.text);
+        if (!sv) {
+          throw SqlError("SEED expects an unsigned integer, got '" + s.text +
+                             "'",
+                         s.position);
+        }
+        declare.sample_seed = *sv;
+        Advance();
+      }
+    }
     return declare;
   }
 

@@ -21,6 +21,7 @@ enum PayloadKind : uint32_t {
   kKindDatabase = 2,
   kKindMonitor = 3,
   kKindServer = 4,
+  kKindSampledMonitor = 5,
 };
 
 const char* KindName(uint32_t kind) {
@@ -33,6 +34,8 @@ const char* KindName(uint32_t kind) {
       return "monitor checkpoint";
     case kKindServer:
       return "server state";
+    case kKindSampledMonitor:
+      return "sampled monitor checkpoint";
   }
   return "unknown";
 }
@@ -151,6 +154,13 @@ void WriteRelationPayload(BinaryWriter& w, const relation::Relation& rel) {
   // v2 tombstone section: dead physical row ids in deletion order (empty
   // array for all-live relations — one u32 of overhead, no branch on read).
   w.U32Array(rel.deletion_log());
+  // v3 lifetime-counter section: the mutation history watermarks the
+  // monitor cadence (appends_ever + deletes_ever) and the reservoir
+  // samplers (compactions) are keyed to. mutation_epoch is derived on
+  // restore, not stored.
+  w.U64(rel.appends_ever());
+  w.U64(rel.deletes_ever());
+  w.U64(rel.compactions());
 }
 
 /// Replays a v2 deletion log through DeleteRow so the loaded relation's
@@ -189,6 +199,14 @@ relation::Relation ReadRelationPayload(BinaryReader& r, uint32_t version) {
     relation::Relation rel(std::move(name), std::move(schema));
     for (uint64_t t = 0; t < tuples; ++t) rel.AppendRow({});
     if (version >= 2) ReplayDeletionLog(r, &rel);
+    if (version >= 3) {
+      const uint64_t appends = r.U64();
+      const uint64_t deletes = r.U64();
+      const uint64_t compactions = r.U64();
+      rel.RestoreLifetimeCounters(static_cast<size_t>(appends),
+                                  static_cast<size_t>(deletes),
+                                  static_cast<size_t>(compactions));
+    }
     return rel;
   }
 
@@ -237,6 +255,16 @@ relation::Relation ReadRelationPayload(BinaryReader& r, uint32_t version) {
   relation::Relation rel = relation::Relation::FromEncoded(
       std::move(name), std::move(schema), std::move(columns));
   if (version >= 2) ReplayDeletionLog(r, &rel);
+  if (version >= 3) {
+    const uint64_t appends = r.U64();
+    const uint64_t deletes = r.U64();
+    const uint64_t compactions = r.U64();
+    // Throws std::invalid_argument on impossible counters — the same
+    // corrupt-payload path FromEncoded's structural checks take.
+    rel.RestoreLifetimeCounters(static_cast<size_t>(appends),
+                                static_cast<size_t>(deletes),
+                                static_cast<size_t>(compactions));
+  }
   return rel;
 }
 
@@ -261,6 +289,14 @@ void WriteFdsAndDrift(BinaryWriter& w, const std::vector<fd::MonitoredFd>& fds,
     // v2: the event's direction. v1 files predate recovery events, so the
     // reader's default (kViolated = 0) is exactly what they meant.
     w.U8(static_cast<uint8_t>(ev.kind));
+    // v3: sampled-estimate fields. Exact events write their defaults
+    // (approx=0, degenerate intervals) — which is also what v1/v2 files
+    // load as, since their writers only had exact monitors.
+    w.U8(ev.approx ? 1 : 0);
+    w.F64(ev.confidence_lo);
+    w.F64(ev.confidence_hi);
+    w.F64(ev.goodness_lo);
+    w.F64(ev.goodness_hi);
   }
 }
 
@@ -296,6 +332,18 @@ void ReadFdsAndDrift(BinaryReader& r, uint32_t version,
         throw util::BinaryIoError("bad drift kind " + std::to_string(kind));
       }
       ev.kind = static_cast<fd::DriftKind>(kind);
+    }
+    if (version >= 3) {
+      uint8_t approx = r.U8();
+      if (approx > 1) {
+        throw util::BinaryIoError("bad drift approx flag " +
+                                  std::to_string(approx));
+      }
+      ev.approx = approx != 0;
+      ev.confidence_lo = r.F64();
+      ev.confidence_hi = r.F64();
+      ev.goodness_lo = r.F64();
+      ev.goodness_hi = r.F64();
     }
     drift_log->push_back(std::move(ev));
   }
@@ -345,6 +393,67 @@ fd::MonitorState ReadMonitorStatePayload(BinaryReader& r, uint32_t version) {
   s.checks_run = static_cast<size_t>(r.U64());
   s.watermark = static_cast<size_t>(r.U64());
   ReadFdsAndDrift(r, version, &s.fds, &s.drift_log);
+  return s;
+}
+
+// Reservoir state (v3) — the sampler's full replay state. Structural
+// validation against the paired relation happens in ReservoirSampler's
+// restore constructor; here only self-consistency is checked.
+
+void WriteReservoirState(BinaryWriter& w, const query::ReservoirState& s) {
+  w.U64(s.capacity);
+  w.U64(s.seed);
+  w.U64(s.rng_state);
+  w.U64(s.seen);
+  w.U32Array(s.rows);
+  w.U64(s.observed_version);
+  w.U64(s.observed_compactions);
+}
+
+query::ReservoirState ReadReservoirState(BinaryReader& r) {
+  query::ReservoirState s;
+  s.capacity = r.U64();
+  s.seed = r.U64();
+  s.rng_state = r.U64();
+  s.seen = r.U64();
+  s.rows = r.U32Array();
+  s.observed_version = r.U64();
+  s.observed_compactions = r.U64();
+  if (s.capacity == 0) {
+    throw util::BinaryIoError("reservoir state with zero capacity");
+  }
+  if (s.rows.size() > s.capacity) {
+    throw util::BinaryIoError(
+        "reservoir state holds " + std::to_string(s.rows.size()) +
+        " slots for capacity " + std::to_string(s.capacity));
+  }
+  return s;
+}
+
+void WriteSampledCheckpointPayload(BinaryWriter& w,
+                                   const fd::SampledMonitorCheckpoint& ckpt) {
+  WriteCheckpointPayload(w, ckpt.base);
+  WriteReservoirState(w, ckpt.reservoir);
+}
+
+fd::SampledMonitorCheckpoint ReadSampledCheckpointPayload(BinaryReader& r,
+                                                          uint32_t version) {
+  fd::MonitorCheckpoint base = ReadCheckpointPayload(r, version);
+  query::ReservoirState reservoir = ReadReservoirState(r);
+  return fd::SampledMonitorCheckpoint{std::move(base), std::move(reservoir)};
+}
+
+void WriteSampledMonitorStatePayload(BinaryWriter& w,
+                                     const fd::SampledMonitorState& s) {
+  WriteMonitorStatePayload(w, s.base);
+  WriteReservoirState(w, s.reservoir);
+}
+
+fd::SampledMonitorState ReadSampledMonitorStatePayload(BinaryReader& r,
+                                                       uint32_t version) {
+  fd::SampledMonitorState s;
+  s.base = ReadMonitorStatePayload(r, version);
+  s.reservoir = ReadReservoirState(r);
   return s;
 }
 
@@ -540,7 +649,8 @@ bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
 }
 
 std::string SerializeServerState(
-    const sql::Database& db, const std::vector<ServerMonitorState>& monitors) {
+    const sql::Database& db, const std::vector<ServerMonitorState>& monitors,
+    const std::vector<ServerSampledMonitorState>& sampled) {
   BinaryWriter w = OpenWriter(kKindServer);
   WriteDatabasePayload(w, db);
   w.U32(static_cast<uint32_t>(monitors.size()));
@@ -548,12 +658,19 @@ std::string SerializeServerState(
     w.Str(m.table);
     WriteMonitorStatePayload(w, m.state);
   }
+  // v3 sampled-monitor section (one u32 of overhead when empty).
+  w.U32(static_cast<uint32_t>(sampled.size()));
+  for (const auto& m : sampled) {
+    w.Str(m.table);
+    WriteSampledMonitorStatePayload(w, m.state);
+  }
   return Seal(std::move(w));
 }
 
 bool DeserializeServerState(std::string_view bytes, sql::Database* db,
                             std::vector<ServerMonitorState>* monitors,
-                            std::string* error) {
+                            std::string* error,
+                            std::vector<ServerSampledMonitorState>* sampled) {
   uint32_t version = 0;
   auto payload = OpenEnvelope(bytes, kKindServer, &version, error);
   if (!payload) return false;
@@ -579,6 +696,33 @@ bool DeserializeServerState(std::string_view bytes, sql::Database* db,
       }
       monitors->push_back(std::move(m));
     }
+    if (version >= 3) {
+      uint32_t sampled_count = r.U32();
+      if (sampled_count > 0 && sampled == nullptr) {
+        throw util::BinaryIoError(
+            "snapshot carries sampled monitors but the caller cannot "
+            "restore them");
+      }
+      for (uint32_t i = 0; i < sampled_count; ++i) {
+        ServerSampledMonitorState m;
+        m.table = r.Str();
+        m.state = ReadSampledMonitorStatePayload(r, version);
+        if (!db->Has(m.table)) {
+          throw util::BinaryIoError(
+              "sampled monitor state references unknown table '" + m.table +
+              "'");
+        }
+        if (m.state.base.watermark != db->Get(m.table).version()) {
+          throw util::BinaryIoError(
+              "sampled monitor state for '" + m.table +
+              "' captured at watermark " +
+              std::to_string(m.state.base.watermark) +
+              " but the table holds " +
+              std::to_string(db->Get(m.table).version()) + " tuples");
+        }
+        sampled->push_back(std::move(m));
+      }
+    }
     if (!r.AtEnd()) {
       if (error) *error = "trailing bytes after server-state payload";
       return false;
@@ -596,6 +740,34 @@ std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt) {
   BinaryWriter w = OpenWriter(kKindMonitor);
   WriteCheckpointPayload(w, ckpt);
   return Seal(std::move(w));
+}
+
+std::string SerializeSampledCheckpoint(
+    const fd::SampledMonitorCheckpoint& ckpt) {
+  BinaryWriter w = OpenWriter(kKindSampledMonitor);
+  WriteSampledCheckpointPayload(w, ckpt);
+  return Seal(std::move(w));
+}
+
+SampledCheckpointResult DeserializeSampledCheckpoint(std::string_view bytes) {
+  SampledCheckpointResult result;
+  uint32_t version = 0;
+  auto payload =
+      OpenEnvelope(bytes, kKindSampledMonitor, &version, &result.error);
+  if (!payload) return result;
+  try {
+    BinaryReader r(*payload);
+    fd::SampledMonitorCheckpoint ckpt = ReadSampledCheckpointPayload(r, version);
+    if (!r.AtEnd()) {
+      result.error = "trailing bytes after sampled checkpoint payload";
+      return result;
+    }
+    result.checkpoint.emplace(std::move(ckpt));
+  } catch (const std::exception& e) {
+    result.error = std::string("corrupt sampled monitor checkpoint: ") +
+                   e.what();
+  }
+  return result;
 }
 
 CheckpointResult DeserializeCheckpoint(std::string_view bytes) {
@@ -659,18 +831,33 @@ CheckpointResult LoadMonitorCheckpoint(const std::string& path) {
   return DeserializeCheckpoint(*bytes);
 }
 
+bool SaveSampledCheckpoint(const fd::SampledMonitorCheckpoint& ckpt,
+                           const std::string& path, std::string* error) {
+  return WriteFileBytes(SerializeSampledCheckpoint(ckpt), path, error);
+}
+
+SampledCheckpointResult LoadSampledCheckpoint(const std::string& path) {
+  SampledCheckpointResult result;
+  auto bytes = ReadFileBytes(path, &result.error);
+  if (!bytes) return result;
+  return DeserializeSampledCheckpoint(*bytes);
+}
+
 bool SaveServerSnapshot(const sql::Database& db,
                         const std::vector<ServerMonitorState>& monitors,
-                        const std::string& path, std::string* error) {
-  return WriteFileBytes(SerializeServerState(db, monitors), path, error);
+                        const std::string& path, std::string* error,
+                        const std::vector<ServerSampledMonitorState>& sampled) {
+  return WriteFileBytes(SerializeServerState(db, monitors, sampled), path,
+                        error);
 }
 
 bool LoadServerSnapshot(const std::string& path, sql::Database* db,
                         std::vector<ServerMonitorState>* monitors,
-                        std::string* error) {
+                        std::string* error,
+                        std::vector<ServerSampledMonitorState>* sampled) {
   auto bytes = ReadFileBytes(path, error);
   if (!bytes) return false;
-  return DeserializeServerState(*bytes, db, monitors, error);
+  return DeserializeServerState(*bytes, db, monitors, error, sampled);
 }
 
 }  // namespace fdevolve::storage

@@ -15,15 +15,20 @@
 //   * Server state      — a server::Service's durable state: the whole
 //     catalog plus one relation-free MonitorState per monitored table
 //     (the relations live in the catalog section; embedding a copy per
-//     monitor would double the file).
+//     monitor would double the file);
+//   * Sampled monitor checkpoint — a SampledSchemaMonitor's resumable
+//     state: the monitor-checkpoint payload plus its reservoir (slots and
+//     raw generator state), so a resumed sampled monitor replays the
+//     identical remaining estimate sequence.
 //
 // File layout (all integers little-endian, see util/binary_io.h):
 //
 //   offset 0: magic "FDEV"            (4 bytes)
-//             format version u32     (currently 2; v1 files still load)
+//             format version u32     (currently 3; v1/v2 files still load)
 //             payload kind u32       (1 = relation, 2 = database,
 //                                     3 = monitor checkpoint,
-//                                     4 = server state)
+//                                     4 = server state,
+//                                     5 = sampled monitor checkpoint)
 //             payload bytes
 //   trailer:  FNV-1a u64 over everything before the trailer
 //
@@ -36,6 +41,15 @@
 //        byte (0 = violated, 1 = recovered). A v1 file therefore loads
 //        as an all-live relation whose drift events default to violated
 //        — exactly what v1 writers could express.
+//   v3 — each drift-log entry additionally carries an approx byte and
+//        four interval doubles (confidence lo/hi, goodness lo/hi; see
+//        fd::DriftEvent — all-default for exact events), the server-state
+//        payload ends with a sampled-monitor section (count + per-entry
+//        table name, monitor state, reservoir state; empty when no
+//        sampled monitors exist), and the new kind 5 serializes a
+//        standalone sampled monitor checkpoint. v1/v2 files load with
+//        exact-event defaults and an empty sampled section — exactly what
+//        their writers could express.
 //
 // Integrity policy: loads verify size, magic, version, kind, and checksum
 // before parsing, then parse with bounds-checked reads and validate every
@@ -61,6 +75,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fd/sampled_monitor.h"
 #include "fd/schema_monitor.h"
 #include "relation/relation.h"
 #include "sql/database.h"
@@ -69,7 +84,7 @@ namespace fdevolve::storage {
 
 /// Format version written by this build. Readers accept every version in
 /// [kMinFormatVersion, kFormatVersion] (see the version history above).
-inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kFormatVersion = 3;
 inline constexpr uint32_t kMinFormatVersion = 1;
 
 /// Result of loading a relation snapshot (mirrors relation::CsvResult).
@@ -94,11 +109,26 @@ struct CheckpointResult {
   bool ok() const { return checkpoint.has_value(); }
 };
 
+/// Result of loading a sampled monitor checkpoint (kind 5).
+struct SampledCheckpointResult {
+  std::optional<fd::SampledMonitorCheckpoint> checkpoint;
+  std::string error;
+
+  bool ok() const { return checkpoint.has_value(); }
+};
+
 /// One monitored table's relation-free monitor state, keyed by table name
 /// into the catalog persisted alongside it (see the server-state kind).
 struct ServerMonitorState {
   std::string table;
   fd::MonitorState state;
+};
+
+/// Sampled counterpart: one table's sampled monitor state (monitor state
+/// + reservoir), persisted in the server payload's v3 sampled section.
+struct ServerSampledMonitorState {
+  std::string table;
+  fd::SampledMonitorState state;
 };
 
 // --- Buffer-level API (the file functions are thin wrappers; tests use
@@ -108,25 +138,33 @@ struct ServerMonitorState {
 std::string SerializeRelation(const relation::Relation& rel);
 std::string SerializeDatabase(const sql::Database& db);
 std::string SerializeCheckpoint(const fd::MonitorCheckpoint& ckpt);
+std::string SerializeSampledCheckpoint(const fd::SampledMonitorCheckpoint& ckpt);
 
 std::string SerializeServerState(
-    const sql::Database& db, const std::vector<ServerMonitorState>& monitors);
+    const sql::Database& db, const std::vector<ServerMonitorState>& monitors,
+    const std::vector<ServerSampledMonitorState>& sampled = {});
 
 /// Parses a complete snapshot byte string of the matching kind.
 RelationSnapshotResult DeserializeRelation(std::string_view bytes);
 bool DeserializeDatabase(std::string_view bytes, sql::Database* db,
                          std::string* error);
 CheckpointResult DeserializeCheckpoint(std::string_view bytes);
+SampledCheckpointResult DeserializeSampledCheckpoint(std::string_view bytes);
 
 /// Adds the snapshot's catalog into `db` (normally empty) and fills
-/// `monitors` with the per-table monitor states. Structural validation:
-/// every monitor state must reference a table present in the snapshot and
-/// its watermark must equal that table's tuple count (the pairing
-/// guarantee SchemaMonitor's restore constructor relies on). On failure
-/// `*db` may hold a partial load.
+/// `monitors` (and, when non-null, `sampled`) with the per-table monitor
+/// states. Structural validation: every monitor state must reference a
+/// table present in the snapshot and its watermark must equal that
+/// table's tuple count (the pairing guarantee SchemaMonitor's restore
+/// constructor relies on); sampled states additionally carry their
+/// reservoir, validated on restore by ReservoirSampler. A v3 file with a
+/// sampled section fails the load when `sampled` is null rather than
+/// silently dropping monitors. On failure `*db` may hold a partial load.
 bool DeserializeServerState(std::string_view bytes, sql::Database* db,
                             std::vector<ServerMonitorState>* monitors,
-                            std::string* error);
+                            std::string* error,
+                            std::vector<ServerSampledMonitorState>* sampled =
+                                nullptr);
 
 // --- File-level API. Writers flush before reporting success so
 // --- flush-time I/O errors (e.g. disk full) are not swallowed.
@@ -152,11 +190,20 @@ bool SaveMonitorCheckpoint(const fd::MonitorCheckpoint& ckpt,
                            const std::string& path, std::string* error);
 CheckpointResult LoadMonitorCheckpoint(const std::string& path);
 
+/// Sampled-monitor counterparts (kind 5).
+bool SaveSampledCheckpoint(const fd::SampledMonitorCheckpoint& ckpt,
+                           const std::string& path, std::string* error);
+SampledCheckpointResult LoadSampledCheckpoint(const std::string& path);
+
 bool SaveServerSnapshot(const sql::Database& db,
                         const std::vector<ServerMonitorState>& monitors,
-                        const std::string& path, std::string* error);
+                        const std::string& path, std::string* error,
+                        const std::vector<ServerSampledMonitorState>& sampled =
+                            {});
 bool LoadServerSnapshot(const std::string& path, sql::Database* db,
                         std::vector<ServerMonitorState>* monitors,
-                        std::string* error);
+                        std::string* error,
+                        std::vector<ServerSampledMonitorState>* sampled =
+                            nullptr);
 
 }  // namespace fdevolve::storage

@@ -51,6 +51,20 @@ class Rng {
     return s;
   }
 
+  /// Raw generator state — what a checkpoint persists so a resumed
+  /// consumer (e.g. query::ReservoirSampler) continues the exact draw
+  /// sequence. Never 0 for a generator constructed through this class.
+  uint64_t state() const { return state_; }
+
+  /// Rebuilds a generator mid-sequence from a persisted state() value.
+  /// A zero state (impossible from a healthy generator, so only a corrupt
+  /// checkpoint) is remapped the same way the seed constructor remaps it.
+  static Rng FromState(uint64_t state) {
+    Rng r(1);
+    r.state_ = state == 0 ? 0x9e3779b97f4a7c15ULL : state;
+    return r;
+  }
+
  private:
   uint64_t state_;
 };

@@ -1,0 +1,169 @@
+#include "datagen/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "fd/measures.h"
+#include "relation/relation.h"
+
+namespace fdevolve::datagen {
+namespace {
+
+using relation::Relation;
+using relation::Value;
+
+ChurnSpec BaseSpec(ChurnScenario scenario, uint64_t seed = 42) {
+  ChurnSpec spec;
+  spec.scenario = scenario;
+  spec.seed_rows = 50;
+  spec.n_ops = 400;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Applies the whole stream to a fresh copy of the seed relation.
+Relation ApplyAll(const ChurnStream& stream) {
+  Relation rel = stream.initial;
+  for (const ChurnOp& op : stream.ops) ApplyChurnOp(&rel, op);
+  return rel;
+}
+
+TEST(ChurnTest, DeterministicInSpec) {
+  const ChurnStream a = MakeChurn(BaseSpec(ChurnScenario::kDeleteHeavy));
+  const ChurnStream b = MakeChurn(BaseSpec(ChurnScenario::kDeleteHeavy));
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(a.initial.tuple_count(), b.initial.tuple_count());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind) << i;
+    EXPECT_EQ(a.ops[i].live_ordinal, b.ops[i].live_ordinal) << i;
+    EXPECT_EQ(a.ops[i].row, b.ops[i].row) << i;
+  }
+  const ChurnStream c = MakeChurn(BaseSpec(ChurnScenario::kDeleteHeavy, 43));
+  bool differs = c.ops.size() != a.ops.size();
+  for (size_t i = 0; !differs && i < a.ops.size(); ++i) {
+    differs = a.ops[i].kind != c.ops[i].kind || a.ops[i].row != c.ops[i].row;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical streams";
+}
+
+TEST(ChurnTest, StreamAppliesCleanly) {
+  for (ChurnScenario s : {ChurnScenario::kDeleteHeavy,
+                          ChurnScenario::kReinsertHeavy,
+                          ChurnScenario::kDomainGrowth}) {
+    const ChurnStream stream = MakeChurn(BaseSpec(s));
+    Relation rel = ApplyAll(stream);  // no ordinal ever out of range
+    EXPECT_GT(rel.live_count(), 0u) << ChurnScenarioName(s);
+  }
+}
+
+TEST(ChurnTest, DeleteHeavyActuallyDeletes) {
+  const ChurnStream stream = MakeChurn(BaseSpec(ChurnScenario::kDeleteHeavy));
+  size_t deletes = 0;
+  for (const ChurnOp& op : stream.ops) {
+    if (op.kind == ChurnOp::Kind::kDelete) ++deletes;
+  }
+  // ~Half the ops are deletes (minus the ones skipped on an empty live
+  // set); anything above a third proves the hazard is exercised.
+  EXPECT_GT(deletes, stream.ops.size() / 3);
+}
+
+TEST(ChurnTest, ReinsertHeavyReplaysDeletedTuples) {
+  const ChurnStream stream =
+      MakeChurn(BaseSpec(ChurnScenario::kReinsertHeavy));
+  // Every X value carries one canonical Y (violation_rate aside), so a
+  // reinserted row is recognizable as an insert whose exact row appeared
+  // in a previous delete's position. Track the multiset of deleted rows
+  // and count verbatim replays.
+  Relation rel = stream.initial;
+  std::multiset<std::pair<int64_t, int64_t>> deleted;
+  size_t replays = 0;
+  for (const ChurnOp& op : stream.ops) {
+    if (op.kind == ChurnOp::Kind::kDelete) {
+      size_t seen = 0;
+      for (size_t t = 0; t < rel.tuple_count(); ++t) {
+        if (!rel.is_live(t)) continue;
+        if (seen++ == op.live_ordinal) {
+          deleted.insert({rel.Get(t, 0).as_int(), rel.Get(t, 1).as_int()});
+          break;
+        }
+      }
+    } else {
+      auto key = std::make_pair(op.row[0].as_int(), op.row[1].as_int());
+      auto it = deleted.find(key);
+      if (it != deleted.end()) {
+        deleted.erase(it);
+        ++replays;
+      }
+    }
+    ApplyChurnOp(&rel, op);
+  }
+  EXPECT_GT(replays, stream.ops.size() / 10)
+      << "reinsert-heavy stream barely reinserts";
+}
+
+TEST(ChurnTest, DomainGrowthWidensTheAntecedent) {
+  ChurnSpec spec = BaseSpec(ChurnScenario::kDomainGrowth);
+  spec.n_ops = 1000;
+  const ChurnStream stream = MakeChurn(spec);
+  int64_t max_early = 0, max_late = 0;
+  for (size_t i = 0; i < stream.ops.size(); ++i) {
+    const ChurnOp& op = stream.ops[i];
+    if (op.kind != ChurnOp::Kind::kInsert) continue;
+    int64_t x = op.row[0].as_int();
+    if (i < stream.ops.size() / 4) {
+      max_early = std::max(max_early, x);
+    } else if (i >= 3 * stream.ops.size() / 4) {
+      max_late = std::max(max_late, x);
+    }
+  }
+  EXPECT_GT(max_late, max_early) << "antecedent domain did not grow";
+  EXPECT_GT(max_late, static_cast<int64_t>(spec.x_domain))
+      << "late inserts never left the starting domain";
+}
+
+TEST(ChurnTest, ZeroViolationRateKeepsFdExact) {
+  ChurnSpec spec = BaseSpec(ChurnScenario::kDeleteHeavy);
+  spec.violation_rate = 0.0;
+  const ChurnStream stream = MakeChurn(spec);
+  Relation rel = ApplyAll(stream);
+  rel.Compact();
+  const fd::FdMeasures m =
+      fd::ComputeMeasures(rel, ChurnFd(rel.schema()));
+  EXPECT_TRUE(m.exact);
+}
+
+TEST(ChurnTest, ViolationRatePlantsWitnesses) {
+  ChurnSpec spec = BaseSpec(ChurnScenario::kDomainGrowth);
+  spec.violation_rate = 0.3;
+  spec.n_ops = 600;
+  const ChurnStream stream = MakeChurn(spec);
+  Relation rel = ApplyAll(stream);
+  rel.Compact();
+  const fd::FdMeasures m =
+      fd::ComputeMeasures(rel, ChurnFd(rel.schema()));
+  EXPECT_FALSE(m.exact);
+}
+
+TEST(ChurnTest, OutOfRangeOrdinalThrows) {
+  Relation rel = MakeChurn(BaseSpec(ChurnScenario::kDeleteHeavy)).initial;
+  ChurnOp op;
+  op.kind = ChurnOp::Kind::kDelete;
+  op.live_ordinal = rel.live_count();  // one past the end
+  EXPECT_THROW(ApplyChurnOp(&rel, op), std::invalid_argument);
+}
+
+TEST(ChurnTest, RejectsDegenerateSpecs) {
+  ChurnSpec spec = BaseSpec(ChurnScenario::kDeleteHeavy);
+  spec.x_domain = 0;
+  EXPECT_THROW(MakeChurn(spec), std::invalid_argument);
+  spec = BaseSpec(ChurnScenario::kDeleteHeavy);
+  spec.y_domain = 1;
+  spec.violation_rate = 0.1;
+  EXPECT_THROW(MakeChurn(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdevolve::datagen

@@ -482,5 +482,93 @@ TEST(SchemaMonitorTest, MonitorStateRestoreRejectsWatermarkMismatch) {
                std::invalid_argument);
 }
 
+TEST(SchemaMonitorTest, DeleteThenReinsertIdenticalTupleReViolates) {
+  // The reinserted tuple is byte-identical to the deleted witness, but it
+  // is a NEW physical row: recovery and re-violation are two distinct
+  // boundary crossings and the log must record both.
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  shared.AppendRow({"Hoboken", "10001", "NJ"});  // witness: 10001 -> NY, NJ
+  mon.Poll();
+  ASSERT_TRUE(mon.fds()[0].violated);
+  shared.DeleteRow(2);
+  mon.Poll();
+  ASSERT_FALSE(mon.fds()[0].violated);
+  shared.AppendRow({"Hoboken", "10001", "NJ"});  // same values, new row
+  mon.Poll();
+  EXPECT_TRUE(mon.fds()[0].violated);
+  ASSERT_EQ(mon.drift_log().size(), 3u);
+  EXPECT_EQ(mon.drift_log()[0].kind, DriftKind::kViolated);
+  EXPECT_EQ(mon.drift_log()[1].kind, DriftKind::kRecovered);
+  EXPECT_EQ(mon.drift_log()[2].kind, DriftKind::kViolated);
+  // Measures after the round trip equal the pre-delete instance's.
+  FdMeasures expect = ComputeMeasures(
+      RelationBuilder("addr", MonitorSchema())
+          .Row({"NY", "10001", "NY"})
+          .Row({"Boston", "02101", "MA"})
+          .Row({"Hoboken", "10001", "NJ"})
+          .Build(),
+      mon.fds()[0].fd);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, expect.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
+  EXPECT_EQ(mon.fds()[0].measures.confidence, expect.confidence);
+}
+
+TEST(SchemaMonitorTest, SelfUpdateIsDriftNeutral) {
+  // The SQL engine decomposes UPDATE into delete + append; rewriting a
+  // row to its own values must not move any measure or emit any event,
+  // whether the FD is currently exact or violated.
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())});
+  auto self_update = [&](size_t t) {
+    std::vector<Value> row;
+    for (int a = 0; a < shared.attr_count(); ++a) {
+      row.push_back(shared.Get(t, a));
+    }
+    shared.DeleteRow(t);
+    shared.AppendRow(row);
+    mon.Poll();
+  };
+  const FdMeasures clean = mon.fds()[0].measures;
+  self_update(0);  // exact regime
+  EXPECT_FALSE(mon.fds()[0].violated);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, clean.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.confidence, clean.confidence);
+  EXPECT_TRUE(mon.drift_log().empty());
+
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();
+  ASSERT_TRUE(mon.fds()[0].violated);
+  const FdMeasures dirty = mon.fds()[0].measures;
+  self_update(shared.tuple_count() - 1);  // violated regime
+  EXPECT_TRUE(mon.fds()[0].violated);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, dirty.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, dirty.distinct_xy);
+  EXPECT_EQ(mon.drift_log().size(), 1u);  // only the original violation
+}
+
+TEST(SchemaMonitorTest, CompactionExactlyOnCheckBoundaryStaysConsistent) {
+  // Interval 3: the compaction lands on the same Poll() that triggers the
+  // periodic check, so the monitor must resync its caches and validate in
+  // one observation — the historical failure mode is a check against the
+  // pre-compaction row ids.
+  Relation shared = CleanInstance();
+  SchemaMonitor mon(&shared, {Fd::Parse("zip -> state", MonitorSchema())},
+                    /*check_interval=*/3);
+  shared.AppendRow({"Hoboken", "10001", "NJ"});
+  mon.Poll();  // 1 mutation since last check
+  shared.DeleteRow(0);
+  mon.Poll();  // 2
+  shared.AppendRow({"Albany", "12201", "NY"});
+  shared.Compact();  // row ids reassigned...
+  mon.Poll();        // ...on the exact Poll that fires the check (3rd)
+  ASSERT_EQ(mon.checks_run(), 1u);
+  FdMeasures expect = ComputeMeasures(shared, mon.fds()[0].fd);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_x, expect.distinct_x);
+  EXPECT_EQ(mon.fds()[0].measures.distinct_xy, expect.distinct_xy);
+  EXPECT_EQ(mon.fds()[0].measures.confidence, expect.confidence);
+  EXPECT_EQ(mon.fds()[0].violated, !expect.exact);
+}
+
 }  // namespace
 }  // namespace fdevolve::fd

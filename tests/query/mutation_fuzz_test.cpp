@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fd/measures.h"
+#include "fd/sampled_monitor.h"
 #include "fd/schema_monitor.h"
 #include "query/distinct.h"
 #include "query/group_ids.h"
@@ -257,6 +258,117 @@ TEST_P(MutationFuzz, SnapshotRoundTripPreservesMutatedState) {
   for (int trial = 0; trial < 8; ++trial) {
     AttrSet s = RandomSubset(rng, n_attrs, 0.5);
     EXPECT_EQ(ea.Count(s), eb.Count(s)) << "trial=" << trial;
+  }
+}
+
+TEST_P(MutationFuzz, SampledFullCoverageIsBitIdenticalToExactMonitor) {
+  // The sampled monitor's differential gate: with capacity at least the
+  // number of rows ever appended, Algorithm R never evicts, the sample IS
+  // the live set at every check, and the monitor must be observationally
+  // indistinguishable from the exact one — same measures (bit-identical
+  // doubles), same drift log, and a base checkpoint whose serialized
+  // bytes match the exact monitor's checkpoint byte for byte.
+  util::Rng rng(seed() + 97);
+  const int n_attrs = 3;
+  const size_t interval = 1 + rng.Below(4);
+  Relation rel("mut", IntSchema(n_attrs));
+  const std::vector<fd::Fd> fds = {fd::Fd(AttrSet::Of({0}), AttrSet::Of({1})),
+                                   fd::Fd(AttrSet::Of({1, 2}),
+                                          AttrSet::Of({0}))};
+  fd::SchemaMonitor exact(&rel, fds, interval);
+  fd::SampledSchemaMonitor sampled(&rel, fds, interval,
+                                   /*capacity=*/100000,
+                                   /*seed=*/rng.Below(1u << 20) + 1);
+  for (int step = 0; step < 140; ++step) {
+    RandomMutation(rng, &rel, n_attrs, /*domain=*/3, /*null_rate=*/0.0);
+    if (step % 35 == 34) rel.Compact();  // rebuild path must stay covered
+    exact.Poll();
+    sampled.Poll();
+  }
+  ASSERT_EQ(exact.fds().size(), sampled.fds().size());
+  for (size_t i = 0; i < exact.fds().size(); ++i) {
+    EXPECT_EQ(exact.fds()[i].measures.distinct_x,
+              sampled.fds()[i].measures.distinct_x);
+    EXPECT_EQ(exact.fds()[i].measures.distinct_xy,
+              sampled.fds()[i].measures.distinct_xy);
+    EXPECT_EQ(exact.fds()[i].measures.confidence,
+              sampled.fds()[i].measures.confidence);
+    EXPECT_EQ(exact.fds()[i].measures.goodness,
+              sampled.fds()[i].measures.goodness);
+    EXPECT_EQ(exact.fds()[i].violated, sampled.fds()[i].violated);
+  }
+  ASSERT_EQ(exact.drift_log().size(), sampled.drift_log().size());
+  for (size_t e = 0; e < exact.drift_log().size(); ++e) {
+    EXPECT_EQ(exact.drift_log()[e].kind, sampled.drift_log()[e].kind);
+    EXPECT_EQ(exact.drift_log()[e].tuple_count,
+              sampled.drift_log()[e].tuple_count);
+    EXPECT_FALSE(sampled.drift_log()[e].approx);
+  }
+  // Full coverage keeps every estimate in the exact regime.
+  for (const fd::SampledMeasures& est : sampled.estimates()) {
+    EXPECT_FALSE(est.approx);
+    EXPECT_EQ(est.sample_rows, est.live_rows);
+  }
+  // Checkpoint bytes: the sampled monitor's base checkpoint serializes
+  // to exactly the file an exact monitor would write.
+  const fd::SampledMonitorCheckpoint sckpt = sampled.Checkpoint();
+  EXPECT_EQ(storage::SerializeCheckpoint(exact.Checkpoint()),
+            storage::SerializeCheckpoint(sckpt.base));
+  // And the kind-5 envelope round-trips losslessly.
+  const std::string bytes = storage::SerializeSampledCheckpoint(sckpt);
+  auto loaded = storage::DeserializeSampledCheckpoint(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(storage::SerializeSampledCheckpoint(*loaded.checkpoint), bytes);
+}
+
+TEST_P(MutationFuzz, SampledCheckpointResumeReplaysIdenticalEstimates) {
+  // Partial coverage (tiny reservoir), random mutations, checkpoint at a
+  // random boundary: the resumed monitor must replay the identical
+  // remaining estimate sequence — bitwise, intervals included.
+  util::Rng rng(seed() + 113);
+  const int n_attrs = 3;
+  Relation rel("mut", IntSchema(n_attrs));
+  fd::SampledSchemaMonitor live(&rel,
+                                {fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))},
+                                /*check_interval=*/2, /*capacity=*/7,
+                                /*seed=*/rng.Below(1u << 20) + 1);
+  const int cut = 30 + static_cast<int>(rng.Below(30));
+  for (int step = 0; step < cut; ++step) {
+    RandomMutation(rng, &rel, n_attrs, /*domain=*/4, /*null_rate=*/0.0);
+    live.Poll();
+  }
+  // Clone the world: relation via snapshot round-trip, monitor via the
+  // kind-5 checkpoint (owning mode — it carries its own relation copy).
+  auto ckpt = storage::DeserializeSampledCheckpoint(
+      storage::SerializeSampledCheckpoint(live.Checkpoint()));
+  ASSERT_TRUE(ckpt.ok()) << ckpt.error;
+  fd::SampledSchemaMonitor resumed(std::move(*ckpt.checkpoint));
+
+  std::vector<double> live_seq, resumed_seq;
+  live.OnEstimate([&](size_t, const fd::SampledMeasures& est) {
+    live_seq.push_back(est.measures.confidence);
+    live_seq.push_back(est.confidence_lo);
+    live_seq.push_back(est.confidence_hi);
+  });
+  resumed.OnEstimate([&](size_t, const fd::SampledMeasures& est) {
+    resumed_seq.push_back(est.measures.confidence);
+    resumed_seq.push_back(est.confidence_lo);
+    resumed_seq.push_back(est.confidence_hi);
+  });
+  // Identical suffix fed to both. The resumed monitor owns its relation,
+  // so drive it through Insert; the live one stays external via Poll.
+  for (int step = 0; step < 40; ++step) {
+    std::vector<Value> row = RandomRow(rng, n_attrs, 4, 0.0);
+    rel.AppendRow(row);
+    live.Poll();
+    resumed.Insert(row);
+  }
+  live.CheckNow();
+  resumed.CheckNow();
+  ASSERT_FALSE(live_seq.empty());
+  ASSERT_EQ(live_seq.size(), resumed_seq.size());
+  for (size_t i = 0; i < live_seq.size(); ++i) {
+    EXPECT_EQ(live_seq[i], resumed_seq[i]) << "estimate " << i;
   }
 }
 

@@ -258,6 +258,160 @@ TEST_P(ServerConcurrency, CheckpointDuringConcurrentWritesIsAConsistentCut) {
   EXPECT_EQ(resumed.TableNames(), svc.TableNames());
 }
 
+/// Bitwise comparison of two sampled-estimate vectors — the resume and
+/// replay gates promise the full estimate, intervals included.
+void ExpectSameEstimates(const std::vector<fd::SampledMeasures>& a,
+                         const std::vector<fd::SampledMeasures>& b,
+                         const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].measures.confidence, b[i].measures.confidence) << where;
+    EXPECT_EQ(a[i].measures.goodness, b[i].measures.goodness) << where;
+    EXPECT_EQ(a[i].approx, b[i].approx) << where;
+    EXPECT_EQ(a[i].confidence_lo, b[i].confidence_lo) << where;
+    EXPECT_EQ(a[i].confidence_hi, b[i].confidence_hi) << where;
+    EXPECT_EQ(a[i].goodness_lo, b[i].goodness_lo) << where;
+    EXPECT_EQ(a[i].goodness_hi, b[i].goodness_hi) << where;
+    EXPECT_EQ(a[i].sample_rows, b[i].sample_rows) << where;
+    EXPECT_EQ(a[i].live_rows, b[i].live_rows) << where;
+    EXPECT_EQ(a[i].witnessed_violation, b[i].witnessed_violation) << where;
+  }
+}
+
+TEST_P(ServerConcurrency, SampledMonitorsMatchSerialReplayAndResume) {
+  // The sampled extension of the MVCC-lite contract: reservoir draws
+  // happen under the same per-table write lock as the commit, so commit
+  // order (the journal) fully determines the reservoir contents, every
+  // estimate, and the kind-5 checkpoint section — concurrently, serially
+  // replayed, or resumed from a checkpoint taken mid-storm.
+  const std::string path = testing::TempDir() +
+                           "/fdevolve_sampled_concurrent_" +
+                           std::to_string(GetParam()) + ".fdev";
+  Service::Options opts;
+  opts.checkpoint_path = path;
+  Service svc(opts);
+  {
+    // Like SetUpTables, plus a sampled FD per table right after the exact
+    // one (tiny reservoirs so eviction — the RNG-consuming path —
+    // definitely happens mid-storm). Declared per table in journal order:
+    // the database's FD registry preserves global declaration order, and
+    // a per-table serial replay can only reproduce it when declarations
+    // do not interleave across tables.
+    auto s = svc.OpenSession(nullptr);
+    for (int t = 0; t < kTables; ++t) {
+      auto create = svc.ExecuteLine(
+          s, "CREATE TABLE " + TableName(t) +
+                 " (a INT64, b INT64, c STRING)");
+      ASSERT_EQ(create.reply.rfind("OK", 0), 0u) << create.reply;
+      auto exact = svc.ExecuteLine(
+          s, "DECLARE FD a -> b ON " + TableName(t) + " EVERY " +
+                 std::to_string(1 + t));
+      ASSERT_EQ(exact.reply.rfind("OK", 0), 0u) << exact.reply;
+      auto declare = svc.ExecuteLine(
+          s, "DECLARE FD b -> c ON " + TableName(t) + " EVERY " +
+                 std::to_string(1 + t) + " SAMPLE 16 SEED " +
+                 std::to_string(7 + t));
+      ASSERT_EQ(declare.reply.rfind("OK", 0), 0u) << declare.reply;
+    }
+    svc.CloseSession(s);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    uint64_t thread_seed = seed() ^ (0xd6e8feb86659fd93ULL * (i + 1));
+    threads.emplace_back([&svc, &failures, thread_seed, i] {
+      util::Rng rng(thread_seed);
+      auto session = svc.OpenSession(nullptr);
+      for (int n = 0; n < kStatementsPerThread / 2; ++n) {
+        std::string stmt;
+        if (i == 0 && n % 10 == 5) {
+          stmt = "CHECKPOINT";  // mid-storm cut with reservoirs in flight
+        } else if (rng.Chance(0.3)) {
+          stmt = RandomMutation(rng, static_cast<int>(rng.Below(kTables)));
+        } else {
+          stmt = RandomInsert(rng, static_cast<int>(rng.Below(kTables)));
+        }
+        auto reply = ParseReply(svc.ExecuteLine(session, stmt).reply);
+        if (!reply || reply->kind != ParsedReply::Kind::kOk) ++failures;
+      }
+      svc.CloseSession(session);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The mid-storm checkpoint is loadable with its sampled section intact.
+  {
+    Service midway(opts);
+    std::string error;
+    ASSERT_TRUE(midway.Resume(&error)) << error;
+    EXPECT_EQ(midway.TableNames(), svc.TableNames());
+  }
+
+  // Serial journal replay reproduces the concurrent snapshot — including
+  // the sampled monitors, since their DECLARE lines (SAMPLE/SEED and all)
+  // are journaled and draws follow commit order.
+  Service replay;
+  auto r = replay.OpenSession(nullptr);
+  for (int t = 0; t < kTables; ++t) {
+    for (const auto& line : svc.Journal(TableName(t))) {
+      auto reply = ParseReply(replay.ExecuteLine(r, line).reply);
+      ASSERT_TRUE(reply && reply->kind == ParsedReply::Kind::kOk) << line;
+    }
+  }
+  EXPECT_EQ(svc.SerializeState(), replay.SerializeState())
+      << "sampled concurrent state differs from serial replay";
+  for (int t = 0; t < kTables; ++t) {
+    ExpectSameEstimates(svc.SampledEstimates(TableName(t)),
+                        replay.SampledEstimates(TableName(t)),
+                        TableName(t) + " replay estimates");
+    auto a = svc.SampledDriftLog(TableName(t));
+    auto b = replay.SampledDriftLog(TableName(t));
+    ASSERT_EQ(a.size(), b.size()) << TableName(t);
+    for (size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e].kind, b[e].kind);
+      EXPECT_EQ(a[e].approx, b[e].approx);
+      EXPECT_EQ(a[e].confidence_lo, b[e].confidence_lo);
+      EXPECT_EQ(a[e].confidence_hi, b[e].confidence_hi);
+    }
+  }
+
+  // Checkpoint/resume replays the identical remaining estimate sequence:
+  // a service resumed from the post-storm checkpoint, fed the same
+  // suffix as the live one, produces bitwise-equal estimates and state.
+  {
+    std::string error;
+    ASSERT_TRUE(svc.SaveCheckpoint(&error)) << error;
+    Service resumed(opts);
+    ASSERT_TRUE(resumed.Resume(&error)) << error;
+    EXPECT_EQ(resumed.SerializeState(), svc.SerializeState());
+
+    util::Rng suffix_rng(seed() + 999);
+    auto live_s = svc.OpenSession(nullptr);
+    auto res_s = resumed.OpenSession(nullptr);
+    for (int n = 0; n < 40; ++n) {
+      const int table = static_cast<int>(suffix_rng.Below(kTables));
+      const std::string stmt = suffix_rng.Chance(0.25)
+                                   ? RandomMutation(suffix_rng, table)
+                                   : RandomInsert(suffix_rng, table);
+      auto la = ParseReply(svc.ExecuteLine(live_s, stmt).reply);
+      auto lb = ParseReply(resumed.ExecuteLine(res_s, stmt).reply);
+      ASSERT_TRUE(la && la->kind == ParsedReply::Kind::kOk) << stmt;
+      ASSERT_TRUE(lb && lb->kind == ParsedReply::Kind::kOk) << stmt;
+    }
+    svc.CloseSession(live_s);
+    resumed.CloseSession(res_s);
+    for (int t = 0; t < kTables; ++t) {
+      ExpectSameEstimates(svc.SampledEstimates(TableName(t)),
+                          resumed.SampledEstimates(TableName(t)),
+                          TableName(t) + " resumed estimates");
+    }
+    EXPECT_EQ(resumed.SerializeState(), svc.SerializeState())
+        << "resumed service diverged on the identical suffix";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ServerConcurrency, ::testing::Range(0, 4));
 
 }  // namespace

@@ -4,9 +4,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "fd/measures.h"
+#include "fd/sampled_monitor.h"
 #include "query/distinct.h"
 #include "relation/relation.h"
 #include "util/binary_io.h"
@@ -330,9 +332,10 @@ TEST(SnapshotTest, CorruptDeletionLogIsRejected) {
   Relation rel = Mixed();
   rel.DeleteRow(0);
   std::string bytes = SerializeRelation(rel);
-  // The log's single entry (row id 0) is the last u32 before the trailer.
-  // Point it past the watermark and re-seal: DeleteRow must refuse it.
-  const size_t id_at = bytes.size() - 8 - 4;
+  // The log's single entry (row id 0) sits just before the v3
+  // lifetime-counter section (3 u64) and the checksum trailer. Point it
+  // past the watermark and re-seal: DeleteRow must refuse it.
+  const size_t id_at = bytes.size() - 8 - 24 - 4;
   bytes[id_at] = 9;
   const uint64_t sum = util::Checksum64(bytes.data(), bytes.size() - 8);
   for (int i = 0; i < 8; ++i) {
@@ -442,6 +445,125 @@ TEST(SnapshotTest, CheckpointRoundTripRestoresMonitorState) {
   EXPECT_EQ(back.fds()[0].measures.confidence, mon.fds()[0].measures.confidence);
   ASSERT_EQ(back.drift_log().size(), 1u);
   EXPECT_EQ(back.drift_log()[0].tuple_count, mon.drift_log()[0].tuple_count);
+}
+
+/// Emplaces a sampled monitor with non-trivial state: partial coverage
+/// (reservoir smaller than the stream) and a witnessed violation. The
+/// monitor is neither copyable nor movable, hence the optional out-param.
+void EmplaceSampledFixture(std::optional<fd::SampledSchemaMonitor>& mon) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  mon.emplace(Relation("t", schema),
+              std::vector<fd::Fd>{fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))},
+              /*check_interval=*/2, /*capacity=*/4, /*seed=*/17);
+  // Exact prefix well past the capacity, so the violating flood below is
+  // first witnessed at partial coverage (an approx drift event).
+  for (int64_t i = 0; i < 20; ++i) mon->Insert({100 + i, i * 2});
+  for (int64_t i = 0; i < 40; ++i) mon->Insert({int64_t{1}, i});
+}
+
+TEST(SnapshotTest, SampledCheckpointRoundTripIsByteStable) {
+  std::optional<fd::SampledSchemaMonitor> mon_opt;
+  EmplaceSampledFixture(mon_opt);
+  fd::SampledSchemaMonitor& mon = *mon_opt;
+  const std::string bytes = SerializeSampledCheckpoint(mon.Checkpoint());
+  auto loaded = DeserializeSampledCheckpoint(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(SerializeSampledCheckpoint(*loaded.checkpoint), bytes);
+
+  fd::SampledSchemaMonitor back(std::move(*loaded.checkpoint));
+  EXPECT_EQ(back.checks_run(), mon.checks_run());
+  EXPECT_EQ(back.sample_capacity(), mon.sample_capacity());
+  EXPECT_EQ(back.sample_seed(), mon.sample_seed());
+  ASSERT_EQ(back.estimates().size(), mon.estimates().size());
+  EXPECT_EQ(back.estimates()[0].confidence_lo,
+            mon.estimates()[0].confidence_lo);
+  EXPECT_EQ(back.estimates()[0].confidence_hi,
+            mon.estimates()[0].confidence_hi);
+  EXPECT_EQ(back.fds()[0].violated, mon.fds()[0].violated);
+}
+
+TEST(SnapshotTest, SampledCheckpointRejectsExactKindAndViceVersa) {
+  std::optional<fd::SampledSchemaMonitor> mon_opt;
+  EmplaceSampledFixture(mon_opt);
+  const std::string sampled_bytes =
+      SerializeSampledCheckpoint(mon_opt->Checkpoint());
+  // An exact checkpoint is not a sampled one (kind 4 vs kind 5)…
+  fd::SchemaMonitor exact(Relation("t", Schema({{"a", DataType::kInt64}})),
+                          {}, 1);
+  EXPECT_FALSE(
+      DeserializeSampledCheckpoint(SerializeCheckpoint(exact.Checkpoint()))
+          .ok());
+  // …and a sampled one is not an exact one.
+  EXPECT_FALSE(DeserializeCheckpoint(sampled_bytes).ok());
+}
+
+TEST(SnapshotTest, SampledCheckpointTruncationFailsCleanly) {
+  std::optional<fd::SampledSchemaMonitor> mon_opt;
+  EmplaceSampledFixture(mon_opt);
+  const std::string bytes = SerializeSampledCheckpoint(mon_opt->Checkpoint());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto r = DeserializeSampledCheckpoint(bytes.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(SnapshotTest, ApproxDriftEventSurvivesSampledCheckpoint) {
+  std::optional<fd::SampledSchemaMonitor> mon_opt;
+  EmplaceSampledFixture(mon_opt);
+  fd::SampledSchemaMonitor& mon = *mon_opt;
+  ASSERT_FALSE(mon.drift_log().empty());
+  const fd::DriftEvent& ev = mon.drift_log()[0];
+  ASSERT_TRUE(ev.approx);  // partial coverage, witnessed violation
+
+  auto loaded =
+      DeserializeSampledCheckpoint(SerializeSampledCheckpoint(mon.Checkpoint()));
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const fd::DriftEvent& back = loaded.checkpoint->base.drift_log[0];
+  EXPECT_TRUE(back.approx);
+  EXPECT_EQ(back.confidence_lo, ev.confidence_lo);
+  EXPECT_EQ(back.confidence_hi, ev.confidence_hi);
+  EXPECT_EQ(back.goodness_lo, ev.goodness_lo);
+  EXPECT_EQ(back.goodness_hi, ev.goodness_hi);
+}
+
+TEST(SnapshotTest, ServerStateCarriesSampledSection) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation shared = RelationBuilder("t", schema)
+                        .Row({int64_t{1}, int64_t{10}})
+                        .Build();
+  fd::SampledSchemaMonitor mon(&shared,
+                               {fd::Fd(AttrSet::Of({0}), AttrSet::Of({1}))},
+                               /*check_interval=*/1, /*capacity=*/8,
+                               /*seed=*/5);
+  shared.AppendRow({int64_t{2}, int64_t{20}});
+  mon.Poll();
+
+  sql::Database db;
+  relation::Relation copy = shared;
+  db.AddRelation(std::move(copy));
+  const std::string bytes =
+      SerializeServerState(db, {}, {{"t", mon.State()}});
+
+  sql::Database back;
+  std::vector<ServerMonitorState> monitors;
+  std::vector<ServerSampledMonitorState> sampled;
+  std::string err;
+  ASSERT_TRUE(
+      DeserializeServerState(bytes, &back, &monitors, &err, &sampled))
+      << err;
+  EXPECT_TRUE(monitors.empty());
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_EQ(sampled[0].table, "t");
+  EXPECT_EQ(sampled[0].state.reservoir.seen, mon.State().reservoir.seen);
+  EXPECT_EQ(sampled[0].state.reservoir.rng_state,
+            mon.State().reservoir.rng_state);
+
+  // A caller that cannot receive the section must get a clean error, not
+  // silently dropped monitors.
+  sql::Database ignored;
+  std::vector<ServerMonitorState> m2;
+  EXPECT_FALSE(DeserializeServerState(bytes, &ignored, &m2, &err, nullptr));
+  EXPECT_NE(err.find("sampled"), std::string::npos) << err;
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Property tests for the checked numeric parsers and the shortest
+// round-trip double formatter: for randomized values, format -> parse
+// must reproduce the input bitwise, and near-miss tokens (trailing
+// garbage, leading space, sign abuse, overflow) must be rejected rather
+// than truncated. Reproducible via --seed=N / FDEVOLVE_SEED.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "support/fuzz_seed.h"
+#include "util/parse.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace fdevolve::util {
+namespace {
+
+using testsupport::DeriveSeed;
+
+class ParseFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return DeriveSeed(GetParam()); }
+};
+
+TEST_P(ParseFuzz, Int64RoundTripsThroughToString) {
+  util::Rng rng(seed() + 7);
+  for (int i = 0; i < 2000; ++i) {
+    // Bias toward small magnitudes and boundary-adjacent values: shift
+    // a raw draw right by a random amount so every width is exercised.
+    // Shift >= 1 keeps the draw non-negative, so negating it is safe.
+    const int shift = 1 + static_cast<int>(rng.Below(63));
+    const int64_t v = static_cast<int64_t>(rng.Next() >> shift);
+    const int64_t signed_v = rng.Chance(0.5) ? v : -v;
+    const auto parsed = ParseInt64(std::to_string(signed_v));
+    ASSERT_TRUE(parsed.has_value()) << signed_v;
+    EXPECT_EQ(*parsed, signed_v);
+  }
+  // Exact boundaries, every run.
+  const int64_t lo = std::numeric_limits<int64_t>::min();
+  const int64_t hi = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(ParseInt64(std::to_string(lo)), lo);
+  EXPECT_EQ(ParseInt64(std::to_string(hi)), hi);
+  EXPECT_FALSE(ParseInt64("9223372036854775808").has_value());   // hi + 1
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").has_value());  // lo - 1
+}
+
+TEST_P(ParseFuzz, Uint64RoundTripsThroughToString) {
+  util::Rng rng(seed() + 11);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Next() >> rng.Below(64);
+    const auto parsed = ParseUint64(std::to_string(v));
+    ASSERT_TRUE(parsed.has_value()) << v;
+    EXPECT_EQ(*parsed, v);
+  }
+  const uint64_t hi = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(ParseUint64(std::to_string(hi)), hi);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // hi + 1
+  EXPECT_FALSE(ParseUint64("-1").has_value());  // no modular wrap
+  EXPECT_FALSE(ParseUint64("-0").has_value());
+}
+
+TEST_P(ParseFuzz, DoubleShortestRoundTripIsBitwiseLossless) {
+  // The formatter's contract: the shortest decimal string that parses
+  // back to the identical bit pattern. Draw raw 64-bit patterns so
+  // subnormals, huge exponents, and negative zero all show up.
+  util::Rng rng(seed() + 13);
+  int checked = 0;
+  while (checked < 2000) {
+    const uint64_t bits = rng.Next();
+    double v;
+    static_assert(sizeof(v) == sizeof(bits), "double is 64-bit");
+    std::memcpy(&v, &bits, sizeof(v));
+    if (std::isnan(v) || std::isinf(v)) continue;  // ParseDouble rejects
+    ++checked;
+    const std::string text = DoubleShortestRoundTrip(v);
+    const auto parsed = ParseDouble(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    double back = *parsed;
+    uint64_t back_bits;
+    std::memcpy(&back_bits, &back, sizeof(back));
+    EXPECT_EQ(back_bits, bits) << text;
+  }
+  // And the values FD measures actually produce: ratios of small counts.
+  for (int i = 0; i < 500; ++i) {
+    const double num = static_cast<double>(1 + rng.Below(100000));
+    const double den = static_cast<double>(1 + rng.Below(100000));
+    const double v = num / den;
+    const auto parsed = ParseDouble(DoubleShortestRoundTrip(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST_P(ParseFuzz, TrailingGarbageIsNeverTruncated) {
+  // atoi-style prefix acceptance is the bug class these parsers exist to
+  // kill: any valid number with a junk suffix must fail as a whole.
+  util::Rng rng(seed() + 17);
+  const char junk[] = {'x', ' ', '.', '-', '+', 'e', '_', ','};
+  for (int i = 0; i < 500; ++i) {
+    const std::string num = std::to_string(static_cast<int64_t>(
+        rng.Next() >> rng.Below(64)));
+    const std::string bad = num + junk[rng.Below(sizeof(junk))];
+    EXPECT_FALSE(ParseInt64(bad).has_value()) << bad;
+    EXPECT_FALSE(ParseDouble(bad + "z").has_value()) << bad;
+    EXPECT_FALSE(ParseInt64(" " + num).has_value()) << num;
+  }
+}
+
+TEST(ParseRejectionTest, FixedRejectionCases) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64(" 1").has_value());
+  EXPECT_FALSE(ParseInt64("1 ").has_value());
+  EXPECT_FALSE(ParseInt64("+-1").has_value());
+  EXPECT_FALSE(ParseUint64("").has_value());
+  EXPECT_FALSE(ParseUint64("0x10").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("-inf").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());  // overflows to inf
+  EXPECT_FALSE(ParseInt("99999999999999999999").has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace fdevolve::util
