@@ -6,10 +6,14 @@
 // run is compared against the threads=1 output and the process exits
 // non-zero on any mismatch, so CI can run it as a smoke step that guards
 // the "parallelism never changes results" contract (speed is only
-// meaningful on multi-core hardware; the printed `cores` line records what
-// the numbers were measured on).
+// meaningful on multi-core hardware; the `cores` field records what the
+// numbers were measured on).
+//
+// Results land in BENCH_parallel.json in the working directory; validate
+// with scripts/check_bench_json.py.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -42,16 +46,34 @@ std::string Speedup(double base_ms, double ms) {
   return buf;
 }
 
+/// Best wall ms per thread count, in kThreadCounts order — the JSON
+/// artifact's raw material.
+struct ScalingCurve {
+  double ms[std::size(kThreadCounts)] = {};
+  double MsAt(int threads) const {
+    for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+      if (kThreadCounts[i] == threads) return ms[i];
+    }
+    return 0.0;
+  }
+  double SpeedupAt(int threads) const {
+    const double t = MsAt(threads);
+    return t > 0 ? MsAt(1) / t : 0.0;
+  }
+};
+
 /// Times `run(threads)` best-of-kRepeats and checks its result against the
-/// threads=1 baseline via `same`. Prints one table; returns false on any
-/// determinism mismatch.
+/// threads=1 baseline via `same`. Prints one table; fills `curve`; returns
+/// false on any determinism mismatch.
 template <typename Result, typename Run, typename Same>
-bool Measure(const std::string& title, Run run, Same same) {
+bool Measure(const std::string& title, Run run, Same same,
+             ScalingCurve* curve) {
   util::TablePrinter t(title);
   t.SetHeader({"threads", "best ms", "speedup", "identical to threads=1"});
   Result baseline{};
   double base_ms = 0.0;
   bool all_identical = true;
+  size_t ki = 0;
   for (int k : kThreadCounts) {
     double best = 0.0;
     bool identical = true;
@@ -73,6 +95,7 @@ bool Measure(const std::string& title, Run run, Same same) {
     if (k == 1) {
       base_ms = best;
     }
+    curve->ms[ki++] = best;
     all_identical &= identical;
     t.AddRow({std::to_string(k), Ms(best), Speedup(base_ms, best),
               identical ? "yes" : "NO"});
@@ -116,6 +139,7 @@ int main() {
   macro_spec.seed = 4242;
   const auto macro_rel = datagen::MakeSynthetic(macro_spec);
   const auto macro_fd = datagen::SyntheticFd(macro_rel.schema());
+  ScalingCurve repair_curve, eb_curve, distinct_curve;
   bool ok = Measure<fd::RepairResult>(
       "repair search (" + std::to_string(macro_tuples) +
           " tuples, 16 attrs, all repairs, depth 2)",
@@ -126,7 +150,7 @@ int main() {
         o.threads = threads;
         return fd::Extend(macro_rel, macro_fd, o);
       },
-      SameRepairResult);
+      SameRepairResult, &repair_curve);
 
   // (b) ε_EB ranking: one candidate slice per worker.
   ok &= Measure<std::vector<clustering::EbCandidate>>(
@@ -146,7 +170,8 @@ int main() {
           }
         }
         return true;
-      });
+      },
+      &eb_curve);
 
   // (c) Raw range-partitioned distinct count on a larger relation.
   datagen::SyntheticSpec big_spec;
@@ -163,7 +188,27 @@ int main() {
         return query::DistinctCount(big_rel, attrs,
                                     query::DistinctStrategy::kHash, threads);
       },
-      [](size_t a, size_t b) { return a == b; });
+      [](size_t a, size_t b) { return a == b; }, &distinct_curve);
+
+  const auto emit = [](std::ofstream& json, const char* name,
+                       const ScalingCurve& c) {
+    json << "  \"" << name << "\": {\n"
+         << "    \"ms_t1\": " << c.MsAt(1) << ",\n"
+         << "    \"ms_t2\": " << c.MsAt(2) << ",\n"
+         << "    \"ms_t4\": " << c.MsAt(4) << ",\n"
+         << "    \"ms_t8\": " << c.MsAt(8) << ",\n"
+         << "    \"speedup_t4\": " << c.SpeedupAt(4) << "\n"
+         << "  },\n";
+  };
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n"
+       << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n";
+  emit(json, "repair_search", repair_curve);
+  emit(json, "eb_ranking", eb_curve);
+  emit(json, "distinct_count", distinct_curve);
+  json << "  \"determinism_failures\": " << (ok ? 0 : 1) << ",\n"
+       << "  \"fast\": " << (fast ? "true" : "false") << "\n"
+       << "}\n";
 
   if (!ok) {
     std::cerr << "FAIL: some multi-thread run diverged from threads=1\n";

@@ -11,6 +11,11 @@
 //       --threads=N               (execution width; 0 = all cores, 1 =
 //                                  sequential; results are identical for
 //                                  every value, only wall time changes)
+//       --cpu-features=T          (pin the SIMD kernel tier: baseline,
+//                                  sse42, avx2, or avx512; clamped to what
+//                                  the host supports. Results are
+//                                  bit-identical across tiers, only speed
+//                                  changes. Env: FDEVOLVE_CPU_FEATURES)
 //
 // Snapshot mode — convert between CSV and the FDEV1 binary snapshot
 // format (persists the encoded columns, so loading skips the parse and
@@ -60,8 +65,10 @@
 #include "fd/repair_search.h"
 #include "fd/sampled_monitor.h"
 #include "fd/schema_monitor.h"
+#include "query/kernels.h"
 #include "relation/csv.h"
 #include "storage/snapshot.h"
+#include "util/cpu_features.h"
 #include "util/parse.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -75,6 +82,7 @@ int Usage(const char* argv0) {
             << " <data.csv|snap.fdsnap> \"A, B -> C\" [--mode=first|all|topk]\n"
                "       [--k=N] [--max-attrs=N] [--target=X]\n"
                "       [--goodness-threshold=N] [--exclude-unique] [--threads=N]\n"
+               "       [--cpu-features=baseline|sse42|avx2|avx512]\n"
                "   or: " << argv0 << " save <data.csv> <out.fdsnap>\n"
                "   or: " << argv0 << " load <snap.fdsnap> [--csv=<out.csv>]\n"
                "   or: " << argv0
@@ -82,6 +90,7 @@ int Usage(const char* argv0) {
                "       [--check-interval=N] [--initial=N] [--batch=N]\n"
                "       [--threads=N] [--suggest] [--snapshot=FILE]\n"
                "       [--stop-after=N] [--sample=K] [--seed=S]\n"
+               "       [--cpu-features=baseline|sse42|avx2|avx512]\n"
                "   or: " << argv0
             << " monitor <data.csv> --resume=FILE\n"
                "       [--batch=N] [--threads=N] [--suggest]\n"
@@ -95,6 +104,29 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   if (!util::StartsWith(arg, prefix)) return false;
   *value = arg.substr(prefix.size());
   return true;
+}
+
+// --cpu-features=baseline|sse42|avx2|avx512: pin the SIMD kernel tier for
+// this process. Names above what the host supports are clamped down (so a
+// script can say avx512 everywhere); unknown names fail loudly. The
+// FDEVOLVE_CPU_FEATURES environment variable is the equivalent knob for
+// binaries without flag plumbing.
+bool ApplyCpuFeatures(const std::string& value) {
+  try {
+    query::kernels::ForceTierByName(value);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "--cpu-features: " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+// One startup line so every run records which kernels produced it —
+// detected host tier and the (possibly clamped or forced) selected tier.
+void LogKernelTier() {
+  std::cout << "cpu: detected " << util::CpuTierName(query::kernels::DetectedTier())
+            << ", kernels " << util::CpuTierName(query::kernels::SelectedTier())
+            << "\n";
 }
 
 // Checked numeric flag parsing: every numeric flag goes through one of
@@ -444,6 +476,8 @@ int RunMonitor(int argc, char** argv) {
       seed_set = true;
     } else if (ParseFlag(arg, "threads", &value)) {
       if (!CheckedInt("threads", value, 0, &threads)) return 2;
+    } else if (ParseFlag(arg, "cpu-features", &value)) {
+      if (!ApplyCpuFeatures(value)) return 2;
     } else if (ParseFlag(arg, "snapshot", &value)) {
       snapshot_path = value;
     } else if (ParseFlag(arg, "resume", &value)) {
@@ -601,6 +635,7 @@ int RunMonitor(int argc, char** argv) {
               << "  goodness=" << ev.measures.goodness << "\n";
   });
 
+  LogKernelTier();
   std::cout << "Monitoring " << csv_path << ": " << n << " rows ("
             << start << (resuming ? " from checkpoint" : " seed") << " + "
             << (stop - start) << " streamed), check every " << check_interval
@@ -802,6 +837,8 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "threads", &value)) {
       if (!CheckedInt("threads", value, 0, &opts.threads)) return 2;
+    } else if (ParseFlag(arg, "cpu-features", &value)) {
+      if (!ApplyCpuFeatures(value)) return 2;
     } else if (arg == "--exclude-unique") {
       opts.pool.exclude_unique = true;
     } else {
@@ -822,6 +859,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  LogKernelTier();
   std::cout << "Relation: " << csv_path << " (" << rel.tuple_count()
             << " tuples, " << rel.attr_count() << " attributes)\n";
   auto res = fd::Extend(rel, fd, opts);

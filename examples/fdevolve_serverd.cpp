@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
+#include "query/kernels.h"
 #include "server/server.h"
+#include "util/cpu_features.h"
 
 namespace {
 
@@ -28,11 +31,16 @@ void HandleSignal(int) {
 
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--port N] [--checkpoint FILE] [--resume]\n"
+            << " [--port N] [--checkpoint FILE] [--resume]"
+               " [--cpu-features T]\n"
             << "  --port N          listen port (default: kernel-assigned)\n"
             << "  --checkpoint FILE persist state here on CHECKPOINT and "
                "shutdown\n"
-            << "  --resume          load FILE before serving\n";
+            << "  --resume          load FILE before serving\n"
+            << "  --cpu-features T  pin the SIMD kernel tier (baseline, "
+               "sse42, avx2, avx512;\n"
+               "                    clamped to host support; env: "
+               "FDEVOLVE_CPU_FEATURES)\n";
 }
 
 }  // namespace
@@ -47,6 +55,13 @@ int main(int argc, char** argv) {
       opts.service.checkpoint_path = argv[++i];
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--cpu-features" && i + 1 < argc) {
+      try {
+        fdevolve::query::kernels::ForceTierByName(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "--cpu-features: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return 2;
@@ -67,6 +82,13 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  std::cout << "cpu: detected "
+            << fdevolve::util::CpuTierName(
+                   fdevolve::query::kernels::DetectedTier())
+            << ", kernels "
+            << fdevolve::util::CpuTierName(
+                   fdevolve::query::kernels::SelectedTier())
+            << "\n";
   std::cout << "listening on port " << server.port() << std::endl;
   if (!server.Wait(&error)) {
     std::cerr << "shutdown checkpoint failed: " << error << "\n";

@@ -39,6 +39,10 @@ def boolean(v):
     return isinstance(v, bool)
 
 
+def non_empty_string(v):
+    return isinstance(v, str) and len(v) > 0
+
+
 # filename -> {dotted key path -> predicate}. Every listed key must be
 # present and satisfy its predicate.
 SCHEMAS = {
@@ -63,6 +67,38 @@ SCHEMAS = {
         "sql_updates_per_sec": positive,
         "compaction_ms": non_negative,
         "identity_gate_failures": zero,
+    },
+    "BENCH_kernels.json": {
+        "tuples": positive,
+        "tiers_tested": positive,
+        "baseline.dense_ns_per_tuple": positive,
+        "baseline.flat_ns_per_tuple": positive,
+        "baseline.remap_ns_per_tuple": positive,
+        "best_tier.name": non_empty_string,
+        "best_tier.dense_ns_per_tuple": positive,
+        "best_tier.flat_ns_per_tuple": positive,
+        "best_tier.remap_ns_per_tuple": positive,
+        "best_tier.dense_speedup": positive,
+        "best_tier.flat_speedup": positive,
+        "fused_chain_ms": positive,
+        "per_level_chain_ms": positive,
+        "fused_speedup": positive,
+        "identity_gate_failures": zero,
+        "fast": boolean,
+    },
+    "BENCH_parallel.json": {
+        "cores": positive,
+        "repair_search.ms_t1": positive,
+        "repair_search.ms_t4": positive,
+        "repair_search.speedup_t4": positive,
+        "eb_ranking.ms_t1": positive,
+        "eb_ranking.ms_t4": positive,
+        "eb_ranking.speedup_t4": positive,
+        "distinct_count.ms_t1": positive,
+        "distinct_count.ms_t4": positive,
+        "distinct_count.speedup_t4": positive,
+        "determinism_failures": zero,
+        "fast": boolean,
     },
     "BENCH_sampled.json": {
         "rows_small": positive,

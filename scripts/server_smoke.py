@@ -70,13 +70,16 @@ def start_server(binary, checkpoint, resume=False):
     if resume:
         cmd.append("--resume")
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
-    line = proc.stdout.readline()
-    match = re.match(r"listening on port (\d+)", line)
-    if not match:
-        proc.kill()
-        print("FAIL: no listen line, got:", repr(line), file=sys.stderr)
-        sys.exit(1)
-    return proc, int(match.group(1))
+    # Startup prints a couple of informational lines (e.g. the detected
+    # SIMD tier) before the listen line; scan past them.
+    for _ in range(5):
+        line = proc.stdout.readline()
+        match = re.match(r"listening on port (\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    print("FAIL: no listen line, got:", repr(line), file=sys.stderr)
+    sys.exit(1)
 
 
 def main():

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "query/kernels.h"
 #include "util/thread_pool.h"
 
 namespace fdevolve::query {
@@ -12,108 +13,127 @@ namespace {
 
 constexpr uint32_t kNoId = util::FlatIdTable::kVacant;
 
-/// Dense-path admission test: the direct-indexed array costs one O(cells)
-/// clear per pass, so it must stay within a small multiple of the per-tuple
-/// work. Small absolute sizes are always allowed (the clear is free next to
-/// the scan), larger ones only while cells stay O(n).
-bool UseDense(size_t groups, size_t stride, size_t n) {
-  if (stride == 0) return false;
-  if (groups > (std::numeric_limits<size_t>::max)() / stride) return false;
-  size_t cells = groups * stride;
-  return cells <= std::max<size_t>(size_t{1} << 16, 4 * n);
+/// Dense-path admission limit for a pass of `n` tuples: the direct-indexed
+/// array costs one O(cells) clear per pass, so cells must stay within a
+/// small multiple of the per-tuple work (small absolute sizes are always
+/// allowed — the clear is free next to the scan). Clamped to the kernel
+/// layer's signed-gather bound.
+size_t DenseLimit(size_t n) {
+  const size_t lim = std::max<size_t>(size_t{1} << 16, 4 * n);
+  return std::min(lim, kernels::kDenseCellLimit);
 }
 
-/// One refinement pass: combines `base_ids` (nullptr = the trivial one-group
-/// partition) with `col`'s dictionary codes. Writes the refined ids to `out`
-/// unless it is nullptr (count-only), and returns the refined group count.
-/// `out` may alias `base_ids`: each slot is read before it is written.
+/// Fills `levels` with the kernel descriptors for a column chain.
+void BuildLevels(const relation::Relation& rel, const int* cols, size_t k,
+                 std::vector<kernels::Level>& levels) {
+  levels.clear();
+  levels.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    const relation::Column& col = rel.column(cols[j]);
+    kernels::Level lv;
+    lv.codes = col.codes().data();
+    lv.has_nulls = col.has_nulls();
+    lv.null_slot = static_cast<uint32_t>(col.dict_size());
+    lv.stride = static_cast<uint64_t>(col.dict_size()) +
+                (col.has_nulls() ? 1 : 0);
+    levels.push_back(lv);
+  }
+}
+
+/// Fused-segment planner: how many of the remaining `nlevels` levels one
+/// pass can take. Prefers the longest *dense-admitted* prefix (packed
+/// radix <= DenseLimit(n)); when even the first level does not fit the
+/// dense array, takes the longest prefix whose packed key fits u64 for
+/// the flat path. Returns the level count and reports the segment radix
+/// (`*cells_out`) and which path was planned.
 ///
-/// `live` (optional, count-only passes only): tombstone bitmap — rows with
-/// live[t] == 0 are skipped, so the returned count is the number of groups
-/// with at least one live row. Materializing passes must cover every
-/// physical row (group ids are append-stable over physical order), so
-/// callers pass live == nullptr whenever out != nullptr.
-size_t RefinePass(const uint32_t* base_ids, size_t base_groups,
-                  const relation::Column& col, size_t n, RefineScratch& s,
-                  uint32_t* out, const uint8_t* live = nullptr) {
-  if (n == 0) return 0;
-  const uint32_t* codes = col.codes().data();
-  const size_t dict = col.dict_size();
-  const size_t stride = dict + (col.has_nulls() ? 1 : 0);
-  uint32_t fresh = 0;
-  if (UseDense(base_groups, stride, n)) {
-    const size_t cells = base_groups * stride;
+/// Segment boundaries never affect results — each segment assigns
+/// first-appearance ids over the prefix packing, which composes to the
+/// same final ids for any split — so this is purely a cost decision.
+size_t PlanSegment(uint64_t groups, const kernels::Level* levels,
+                   size_t nlevels, size_t n, uint64_t* cells_out,
+                   bool* dense_out) {
+  const uint64_t dense_limit = DenseLimit(n);
+  uint64_t prod = groups;
+  size_t take = 0;
+  for (size_t j = 0; j < nlevels; ++j) {
+    const uint64_t stride = levels[j].stride;
+    if (stride == 0 || prod > dense_limit / stride) break;
+    prod *= stride;
+    take = j + 1;
+  }
+  if (take > 0) {
+    *cells_out = prod;
+    *dense_out = true;
+    return take;
+  }
+  // Flat segment. Real ids are u32 regardless of what a (possibly
+  // hand-built, possibly lying) base claims as group_count, so cap the
+  // radix base at 2^32 when checking u64 fit — the packed keys built from
+  // actual ids cannot overflow under that bound.
+  const uint64_t eff_groups =
+      std::min<uint64_t>(groups, uint64_t{1} << 32);
+  prod = eff_groups;
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  for (size_t j = 0; j < nlevels; ++j) {
+    const uint64_t stride = levels[j].stride;
+    if (stride == 0 || prod > kMax / stride) break;
+    prod *= stride;
+    take = j + 1;
+  }
+  if (take == 0) take = 1;  // stride 0 <=> empty relation; callers gate n > 0
+  *cells_out = prod;
+  *dense_out = false;
+  return take;
+}
+
+/// Sequential fused pass over one segment.
+size_t SequentialSegment(const uint32_t* base_ids, uint64_t base_groups,
+                         const kernels::Level* levels, size_t nlevels,
+                         size_t n, RefineScratch& s, uint32_t* out,
+                         const uint8_t* live, uint64_t cells, bool dense) {
+  const kernels::KernelSet& ks = kernels::Active();
+  kernels::RefineArgs a;
+  a.base_ids = base_ids;
+  a.base_groups = base_groups;
+  a.levels = levels;
+  a.level_count = nlevels;
+  a.lo = 0;
+  a.hi = n;
+  a.out = out;
+  a.live = live;
+  if (dense) {
     if (s.dense.size() < cells) s.dense.resize(cells);
     std::fill(s.dense.begin(), s.dense.begin() + static_cast<ptrdiff_t>(cells),
               kNoId);
-    for (size_t t = 0; t < n; ++t) {
-      if (live != nullptr && live[t] == 0) continue;
-      const uint32_t code = codes[t];
-      const size_t c = code == relation::kNullCode ? dict : code;
-      const size_t id_in = base_ids ? base_ids[t] : 0u;
-      // Grouping is an open struct, so a hand-built base can lie about its
-      // group_count; the direct-indexed path must not turn that into an
-      // out-of-bounds write. One predictable branch per tuple.
-      if (id_in >= base_groups) {
-        throw std::invalid_argument("RefinePass: group id out of range");
-      }
-      const size_t cell = id_in * stride + c;
-      uint32_t id = s.dense[cell];
-      if (id == kNoId) {
-        id = fresh++;
-        s.dense[cell] = id;
-      }
-      if (out != nullptr) out[t] = id;
-    }
-  } else {
-    s.table.Reset(n);  // a pass introduces at most n distinct (id, code) pairs
-    for (size_t t = 0; t < n; ++t) {
-      if (live != nullptr && live[t] == 0) continue;
-      const size_t id_in = base_ids ? base_ids[t] : 0u;
-      // Same contract as the dense branch: reject ids >= group_count, so a
-      // malformed base fails identically regardless of which path runs.
-      if (id_in >= base_groups) {
-        throw std::invalid_argument("RefinePass: group id out of range");
-      }
-      const uint64_t key = (static_cast<uint64_t>(id_in) << 32) | codes[t];
-      bool inserted = false;
-      const uint32_t id = s.table.FindOrInsert(key, fresh, &inserted);
-      if (inserted) ++fresh;
-      if (out != nullptr) out[t] = id;
-    }
+    return ks.dense_refine(a, s.dense.data(), 0);
   }
-  return fresh;
+  s.table.Reset(n);  // a pass introduces at most n distinct packed keys
+  return ks.flat_refine(a, s.table, 0);
 }
 
-/// Range-partitioned refinement pass (the `scratch.threads > 1` path).
+/// Range-partitioned fused pass (the `scratch.threads > 1` path).
 ///
 /// Phase 1 (parallel)   — each chunk scans its tuple range and assigns
-///   *local* first-appearance ids through its own FlatIdTable partial,
-///   recording the (id, code) key of every local id in assignment order.
-///   When materializing, local ids are written to `out` in place.
+///   *local* first-appearance ids, recording the packed key of every local
+///   id in assignment order. When materializing, local ids land in `out`.
 /// Phase 2 (sequential) — chunk key lists are merged in chunk (= range)
-///   order through one global table. A chunk's key list is in local
-///   first-appearance order and chunks cover ascending tuple ranges, so
-///   the global ids this assigns are exactly the sequential scan's
-///   first-appearance ids — the parallel path is bit-identical, not just
+///   order through one global table; since each list is in local
+///   first-appearance order and chunks cover ascending ranges, the global
+///   ids are exactly the sequential scan's — bit-identical, not just
 ///   partition-equivalent.
-/// Phase 3 (parallel)   — local ids in `out` are rewritten via each chunk's
-///   local->global remap (skipped when count-only).
+/// Phase 3 (parallel)   — local ids in `out` are rewritten through each
+///   chunk's local->global remap (skipped when count-only).
 ///
-/// Each chunk picks dense or flat on its own, with the admission test
-/// scaled to the *chunk* length: a chunk-local dense array costs its own
-/// O(cells) clear, so per-chunk memory and clear time stay bounded the
-/// same way the sequential pass bounds them (total extra memory across
-/// chunks is O(n) cells). Dense or flat, the key recorded per fresh local
-/// id is the same (id << 32 | raw code), so the merge cannot tell the
-/// paths apart.
-size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
-                          const relation::Column& col, size_t n,
-                          RefineScratch& s, int width, uint32_t* out,
-                          const uint8_t* live = nullptr) {
-  const uint32_t* codes = col.codes().data();
-  const size_t dict = col.dict_size();
-  const size_t stride = dict + (col.has_nulls() ? 1 : 0);
+/// Each chunk picks dense or flat on its own with the admission test
+/// scaled to the *chunk* length (total extra memory stays O(n) cells, as
+/// in the sequential bound). Dense or flat, the recorded key is the same
+/// packed value, so the merge cannot tell the paths apart — nor can it
+/// tell SIMD tiers apart, since every tier records identical key lists.
+size_t ParallelSegment(const uint32_t* base_ids, uint64_t base_groups,
+                       const kernels::Level* levels, size_t nlevels, size_t n,
+                       RefineScratch& s, int width, uint32_t* out,
+                       const uint8_t* live, uint64_t cells) {
   const size_t chunk_rows =
       (n + static_cast<size_t>(width) - 1) / static_cast<size_t>(width);
   // Shrink to the number of non-empty chunks: with width near n/grain a
@@ -123,64 +143,36 @@ size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
   if (s.chunks.size() < static_cast<size_t>(width)) {
     s.chunks.resize(static_cast<size_t>(width));
   }
+  const kernels::KernelSet& ks = kernels::Active();
   util::ThreadPool& pool = util::ThreadPool::Global();
 
   // The parallel-for iterates chunk indices, not tuples: the tuple
   // partition is fixed here (chunk_rows) so phases 1 and 3 agree on it.
   pool.ParallelFor(
-      static_cast<size_t>(width), 1, width,
-      [&](int, size_t cb, size_t ce) {
+      static_cast<size_t>(width), 1, width, [&](int, size_t cb, size_t ce) {
         for (size_t c = cb; c < ce; ++c) {
           RefineScratch::ChunkState& cs = s.chunks[c];
           const size_t lo = c * chunk_rows;
           const size_t hi = std::min(n, lo + chunk_rows);
           cs.keys.clear();
-          uint32_t fresh = 0;
-          if (UseDense(base_groups, stride, hi - lo)) {
-            const size_t cells = base_groups * stride;
+          kernels::RefineArgs a;
+          a.base_ids = base_ids;
+          a.base_groups = base_groups;
+          a.levels = levels;
+          a.level_count = nlevels;
+          a.lo = lo;
+          a.hi = hi;
+          a.out = out;
+          a.live = live;
+          a.keys_out = &cs.keys;
+          if (cells <= DenseLimit(hi - lo)) {
             if (cs.dense.size() < cells) cs.dense.resize(cells);
             std::fill(cs.dense.begin(),
                       cs.dense.begin() + static_cast<ptrdiff_t>(cells), kNoId);
-            for (size_t t = lo; t < hi; ++t) {
-              if (live != nullptr && live[t] == 0) continue;
-              const uint32_t code = codes[t];
-              const size_t cc = code == relation::kNullCode ? dict : code;
-              const size_t id_in = base_ids ? base_ids[t] : 0u;
-              // Same contract as the sequential paths: a hand-built base
-              // lying about group_count must fail, not corrupt memory.
-              if (id_in >= base_groups) {
-                throw std::invalid_argument(
-                    "RefinePass: group id out of range");
-              }
-              const size_t cell = id_in * stride + cc;
-              uint32_t id = cs.dense[cell];
-              if (id == kNoId) {
-                id = fresh++;
-                cs.dense[cell] = id;
-                cs.keys.push_back((static_cast<uint64_t>(id_in) << 32) |
-                                  code);
-              }
-              if (out != nullptr) out[t] = id;
-            }
+            ks.dense_refine(a, cs.dense.data(), 0);
           } else {
             cs.table.Reset(hi - lo);
-            for (size_t t = lo; t < hi; ++t) {
-              if (live != nullptr && live[t] == 0) continue;
-              const size_t id_in = base_ids ? base_ids[t] : 0u;
-              if (id_in >= base_groups) {
-                throw std::invalid_argument(
-                    "RefinePass: group id out of range");
-              }
-              const uint64_t key =
-                  (static_cast<uint64_t>(id_in) << 32) | codes[t];
-              bool inserted = false;
-              const uint32_t id = cs.table.FindOrInsert(key, fresh, &inserted);
-              if (inserted) {
-                cs.keys.push_back(key);
-                ++fresh;
-              }
-              if (out != nullptr) out[t] = id;
-            }
+            ks.flat_refine(a, cs.table, 0);
           }
         }
       });
@@ -204,37 +196,81 @@ size_t ParallelRefinePass(const uint32_t* base_ids, size_t base_groups,
 
   if (out != nullptr) {
     pool.ParallelFor(
-        static_cast<size_t>(width), 1, width,
-        [&](int, size_t cb, size_t ce) {
+        static_cast<size_t>(width), 1, width, [&](int, size_t cb, size_t ce) {
           for (size_t c = cb; c < ce; ++c) {
-            const std::vector<uint32_t>& remap = s.chunks[c].remap;
             const size_t lo = c * chunk_rows;
             const size_t hi = std::min(n, lo + chunk_rows);
-            for (size_t t = lo; t < hi; ++t) out[t] = remap[out[t]];
+            ks.remap(out, lo, hi, s.chunks[c].remap.data());
           }
         });
   }
   return fresh;
 }
 
-/// Pass dispatcher: picks the parallel path when the scratch's `threads`
-/// knob and the pass size justify it, the sequential dense/flat paths
-/// otherwise. `threads == 1` never reaches the pool — the exact sequential
-/// code path.
-size_t RunRefinePass(const uint32_t* base_ids, size_t base_groups,
-                     const relation::Column& col, size_t n, RefineScratch& s,
-                     uint32_t* out, const uint8_t* live = nullptr) {
+/// Segment dispatcher: parallel when the scratch's `threads` knob and the
+/// pass size justify it, sequential otherwise. `threads == 1` never
+/// reaches the pool.
+size_t RunSegment(const uint32_t* base_ids, uint64_t base_groups,
+                  const kernels::Level* levels, size_t nlevels, size_t n,
+                  RefineScratch& s, uint32_t* out, const uint8_t* live,
+                  uint64_t cells, bool dense) {
   if (s.threads != 1 && n > s.grain) {
     const size_t grain = std::max<size_t>(s.grain, 1);
     const int width = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(util::ResolveThreads(s.threads)),
         (n + grain - 1) / grain));
     if (width > 1) {
-      return ParallelRefinePass(base_ids, base_groups, col, n, s, width, out,
-                                live);
+      return ParallelSegment(base_ids, base_groups, levels, nlevels, n, s,
+                             width, out, live, cells);
     }
   }
-  return RefinePass(base_ids, base_groups, col, n, s, out, live);
+  return SequentialSegment(base_ids, base_groups, levels, nlevels, n, s, out,
+                           live, cells, dense);
+}
+
+/// Runs a whole refinement chain as a sequence of *fused* segments: each
+/// segment combines as many remaining levels as its packed mixed-radix key
+/// affords (see kernels.h) and sweeps the relation once, instead of one
+/// full-relation pass per level. Chains that fit one segment — the common
+/// case for the repair search's 2-4 attribute sets — touch every column
+/// exactly once.
+///
+/// `out == nullptr` is the count-only form: intermediate segments (if the
+/// chain needs more than one) materialize into `s.chain_ids`, and only the
+/// final segment applies `live` — dead rows are skipped there, so the
+/// result counts groups with at least one live row while every
+/// intermediate id stays append-stable over physical rows.
+size_t RunRefineChain(const uint32_t* base_ids, size_t base_groups,
+                      const int* cols, size_t ncols,
+                      const relation::Relation& rel, size_t n,
+                      RefineScratch& s, uint32_t* out, const uint8_t* live) {
+  BuildLevels(rel, cols, ncols, s.levels);
+  uint64_t groups = base_groups;
+  const uint32_t* ids = base_ids;
+  size_t j = 0;
+  while (j < ncols) {
+    uint64_t cells = 0;
+    bool dense = false;
+    const size_t take =
+        PlanSegment(groups, s.levels.data() + j, ncols - j, n, &cells, &dense);
+    const bool last = (j + take == ncols);
+    uint32_t* seg_out = out;
+    if (last) {
+      // Final segment: `out` as requested (possibly null = count-only),
+      // and the only place the tombstone filter may apply.
+      seg_out = out;
+    } else if (out == nullptr) {
+      s.chain_ids.resize(n);
+      seg_out = s.chain_ids.data();
+    }
+    // seg_out may alias `ids` (in-place refinement) — kernels read each
+    // tuple's base id before writing its slot.
+    groups = RunSegment(ids, groups, s.levels.data() + j, take, n, s, seg_out,
+                        last ? live : nullptr, cells, dense);
+    ids = seg_out;
+    j += take;
+  }
+  return static_cast<size_t>(groups);
 }
 
 /// Tombstone bitmap pointer for count-only passes: nullptr when every row
@@ -292,14 +328,8 @@ Grouping GroupBy(const relation::Relation& rel, const relation::AttrSet& attrs,
     return g;
   }
   g.ids.resize(n);
-  const uint32_t* base = nullptr;
-  size_t groups = 1;
-  for (int a : cols) {
-    groups =
-        RunRefinePass(base, groups, rel.column(a), n, scratch, g.ids.data());
-    base = g.ids.data();
-  }
-  g.group_count = groups;
+  g.group_count = RunRefineChain(nullptr, 1, cols.data(), cols.size(), rel, n,
+                                 scratch, g.ids.data(), nullptr);
   return g;
 }
 
@@ -316,8 +346,8 @@ Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
   const size_t n = base.ids.size();
   if (n == 0) return out;
   out.ids.resize(n);
-  out.group_count = RunRefinePass(base.ids.data(), base.group_count,
-                                  rel.column(attr), n, scratch, out.ids.data());
+  out.group_count = RunRefineChain(base.ids.data(), base.group_count, &attr, 1,
+                                   rel, n, scratch, out.ids.data(), nullptr);
   return out;
 }
 
@@ -338,14 +368,9 @@ Grouping RefineBy(const relation::Relation& rel, const Grouping& base,
   }
   Grouping out;
   out.ids.resize(n);
-  const uint32_t* ids = base.ids.data();
-  size_t groups = base.group_count;
-  for (int a : cols) {
-    groups =
-        RunRefinePass(ids, groups, rel.column(a), n, scratch, out.ids.data());
-    ids = out.ids.data();
-  }
-  out.group_count = groups;
+  out.group_count =
+      RunRefineChain(base.ids.data(), base.group_count, cols.data(),
+                     cols.size(), rel, n, scratch, out.ids.data(), nullptr);
   return out;
 }
 
@@ -369,19 +394,13 @@ size_t GroupCountBy(const relation::Relation& rel,
     const auto& col = rel.column(cols[0]);
     return col.dict_size() + (col.has_nulls() ? 1 : 0);
   }
-  // The chain passes materialize over every physical row (dead included —
-  // intermediate ids must stay append-stable); only the final count-only
-  // pass filters, which is what makes the count "groups with a live row".
-  scratch.chain_ids.resize(n);
-  uint32_t* ids = scratch.chain_ids.data();
-  const uint32_t* base = nullptr;
-  size_t groups = 1;
-  for (size_t i = 0; i + 1 < cols.size(); ++i) {
-    groups = RunRefinePass(base, groups, rel.column(cols[i]), n, scratch, ids);
-    base = ids;
-  }
-  return RunRefinePass(base, groups, rel.column(cols.back()), n, scratch,
-                       nullptr, live);
+  // Count-only fused chain: when every level fits one segment — the common
+  // case — this is a single sweep with no id materialization at all. The
+  // tombstone filter applies only to the final segment (see RunRefineChain),
+  // which is what makes the count "groups with a live row" while any
+  // intermediate ids stay append-stable.
+  return RunRefineChain(nullptr, 1, cols.data(), cols.size(), rel, n, scratch,
+                        nullptr, live);
 }
 
 size_t GroupCountBy(const relation::Relation& rel,
@@ -411,19 +430,8 @@ size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
     }
     return groups;
   }
-  const uint32_t* ids = base.ids.data();
-  size_t groups = base.group_count;
-  if (cols.size() > 1) {
-    scratch.chain_ids.resize(n);
-    uint32_t* tmp = scratch.chain_ids.data();
-    for (size_t i = 0; i + 1 < cols.size(); ++i) {
-      groups =
-          RunRefinePass(ids, groups, rel.column(cols[i]), n, scratch, tmp);
-      ids = tmp;
-    }
-  }
-  return RunRefinePass(ids, groups, rel.column(cols.back()), n, scratch,
-                       nullptr, live);
+  return RunRefineChain(base.ids.data(), base.group_count, cols.data(),
+                        cols.size(), rel, n, scratch, nullptr, live);
 }
 
 size_t RefineCountBy(const relation::Relation& rel, const Grouping& base,
@@ -439,14 +447,17 @@ size_t JointGroupCount(const Grouping& a, const Grouping& b) {
   const size_t n = a.ids.size();
   if (n == 0) return 0;
   size_t fresh = 0;
-  if (UseDense(a.group_count, b.group_count, n)) {
-    std::vector<uint32_t> dense(a.group_count * b.group_count, kNoId);
+  const bool dense =
+      b.group_count != 0 &&
+      a.group_count <= DenseLimit(n) / b.group_count;
+  if (dense) {
+    std::vector<uint32_t> dense_map(a.group_count * b.group_count, kNoId);
     for (size_t t = 0; t < n; ++t) {
       if (a.ids[t] >= a.group_count || b.ids[t] >= b.group_count) {
         throw std::invalid_argument("JointGroupCount: group id out of range");
       }
       uint32_t& cell =
-          dense[static_cast<size_t>(a.ids[t]) * b.group_count + b.ids[t]];
+          dense_map[static_cast<size_t>(a.ids[t]) * b.group_count + b.ids[t]];
       if (cell == kNoId) cell = static_cast<uint32_t>(fresh++);
     }
   } else {

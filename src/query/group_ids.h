@@ -1,23 +1,30 @@
 // Dense group-id assignment: the shared primitive behind distinct counting
 // (CB method) and clustering construction (EB baseline).
 //
-// Every refinement pass combines the current group ids with one column's
-// dictionary codes. Three execution paths share that loop:
+// A refinement chain combines the current group ids with the dictionary
+// codes of a sequence of columns. Chains execute as *fused segments*: each
+// segment packs as many consecutive levels as fit into one mixed-radix key
+// (query/kernels.h) and sweeps the relation once — a 3-attribute GroupBy
+// is typically ONE pass, not three. Within a segment, three execution
+// paths share the loop, each provided by the runtime-dispatched SIMD
+// kernel layer (baseline scalar / SSE4.2 / AVX2 / AVX-512, selected once
+// per process by query::kernels::Active()):
 //
-//   * dense — when group_count * (dict_size + has_nulls) is O(tuples), a
-//     direct-indexed scratch array maps (id, code) to the next id with no
-//     hashing at all;
+//   * dense — when the segment radix (group_count * Π strides) is
+//     O(tuples), a direct-indexed scratch array maps the packed key to the
+//     next id with no hashing at all;
 //   * flat  — otherwise an open-addressing table (util::FlatIdTable) keyed
-//     on (id << 32 | code) takes over; no per-node allocation, linear
+//     on the packed u64 key takes over; no per-node allocation, linear
 //     probing, power-of-two capacity;
 //   * parallel — with `RefineScratch::threads > 1` and enough tuples
-//     (more than `RefineScratch::grain`), the pass is range-partitioned across the
-//     shared util::ThreadPool: each chunk assigns *local* first-appearance
-//     ids through its own FlatIdTable partial, a sequential chunk-order
-//     merge maps local ids to global ones, and a second parallel sweep
-//     rewrites the output. Because the merge walks chunks in range order
-//     and each chunk's key list is in local first-appearance order, the
-//     global ids are bit-identical to what the sequential scan assigns.
+//     (more than `RefineScratch::grain`), the segment is range-partitioned
+//     across the shared util::ThreadPool: each chunk assigns *local*
+//     first-appearance ids, a sequential chunk-order merge maps local ids
+//     to global ones, and a second parallel sweep rewrites the output.
+//     Because the merge walks chunks in range order and each chunk's key
+//     list is in local first-appearance order, the global ids are
+//     bit-identical to what the sequential scan assigns — and because the
+//     chunks run SIMD kernels, parallel and vectorized execution stack.
 //
 // All paths assign fresh ids in (logical) scan order, so ids remain
 // deterministic and dense in order of first appearance — regardless of
@@ -31,6 +38,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "query/kernels.h"
 #include "relation/relation.h"
 #include "util/flat_table.h"
 
@@ -66,9 +74,10 @@ struct Grouping {
 /// *chunk* its own `ChunkState`, so internal parallelism never contends on
 /// shared buffers.
 struct RefineScratch {
-  std::vector<uint32_t> dense;     ///< direct-indexed (id * stride + code) map
+  std::vector<uint32_t> dense;     ///< direct-indexed packed-key map
   util::FlatIdTable table;         ///< open-addressing fallback
   std::vector<uint32_t> chain_ids; ///< intermediate ids for count-only chains
+  std::vector<kernels::Level> levels; ///< per-chain kernel level descriptors
 
   /// Execution width for refinement passes over this scratch.
   /// 1 (the default) is the exact sequential code path; 0 resolves to

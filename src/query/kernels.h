@@ -1,0 +1,139 @@
+// Runtime-dispatched vectorized kernels for the partition-refinement hot
+// paths (the DuckDB cpu_feature shape: one function-pointer set per ISA
+// tier, resolved once at startup from util::DetectCpuFeatures()).
+//
+// Every kernel implements the same *fused multi-level* refinement pass: one
+// sweep over a tuple range combines the incoming group ids with a whole
+// chain of column levels at once via a packed mixed-radix key
+//
+//     key(t) = ((id * s_1 + c_1) * s_2 + c_2) ... * s_k + c_k
+//
+// where s_j = dict_size_j + has_nulls_j and c_j is the (NULL-remapped)
+// dictionary code. The packing is injective, and its first-appearance
+// order over tuples equals the final ids of the sequential per-level chain
+// — so a fused segment is bit-identical to k single-level passes while
+// touching the relation once instead of k times. Drivers split a chain
+// into segments whose radix fits the dense array or a u64 flat key
+// (query/group_ids.cpp does the planning; kernels just execute one
+// segment over one range).
+//
+// Identity contract (enforced by tests/query/kernel_tier_fuzz_test.cpp):
+// every tier — baseline scalar, SSE4.2, AVX2, AVX-512 — assigns exactly
+// the same first-appearance ids, records the same key list, and throws the
+// same exception on malformed bases. The SIMD variants may batch the
+// bounds check (an exception fires before any tuple of the offending batch
+// is processed, instead of mid-batch), which is only observable on the
+// exception path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cpu_features.h"
+#include "util/flat_table.h"
+
+// FDEVOLVE_X86_KERNELS is defined (by src/query/CMakeLists.txt, for the
+// query module's TUs only) exactly when the ISA-specific kernel files are
+// compiled with their per-file -m flags: x86-64 with GCC/Clang. Everywhere
+// else the registry holds the baseline set alone. Keeping the macro and
+// the flag condition in one place is what guarantees the registry never
+// references a kernel set that was not built.
+
+namespace fdevolve::query::kernels {
+
+/// One column level of a fused refinement segment.
+struct Level {
+  const uint32_t* codes = nullptr;  ///< dictionary codes, one per tuple
+  uint64_t stride = 0;              ///< dict_size + has_nulls (radix digit)
+  uint32_t null_slot = 0;           ///< code kNullCode remaps to (== dict_size)
+  bool has_nulls = false;           ///< whether kNullCode can appear at all
+};
+
+/// Inputs of one fused refinement pass over the tuple range [lo, hi).
+///
+/// Contracts shared by every kernel:
+///   * `base_ids == nullptr` means the trivial one-group base (id 0).
+///     Otherwise each live tuple's id is bounds-checked against
+///     `base_groups` and a violation throws std::invalid_argument
+///     ("RefinePass: group id out of range") — dead rows are exempt,
+///     exactly like the scalar loop they replace.
+///   * `out` may alias `base_ids`: every slot is read before written.
+///   * `live != nullptr` (tombstone bitmap; 0 = dead row skipped) implies
+///     `out == nullptr` — only count-only passes filter.
+///   * `keys_out`, when set, receives the packed key of every fresh id in
+///     assignment order (the parallel merge consumes this).
+struct RefineArgs {
+  const uint32_t* base_ids = nullptr;
+  uint64_t base_groups = 1;
+  const Level* levels = nullptr;
+  size_t level_count = 0;
+  size_t lo = 0;
+  size_t hi = 0;
+  uint32_t* out = nullptr;
+  const uint8_t* live = nullptr;
+  std::vector<uint64_t>* keys_out = nullptr;
+};
+
+/// Direct-indexed pass: `dense` has one cell per possible packed key,
+/// pre-filled with util::FlatIdTable::kVacant. The caller guarantees the
+/// segment radix (cell count) is <= kDenseCellLimit, which is what lets the
+/// gather-based variants treat keys as signed 32-bit indices. Returns the
+/// updated fresh-id counter.
+using DenseRefineFn = uint32_t (*)(const RefineArgs& args, uint32_t* dense,
+                                   uint32_t fresh);
+
+/// Open-addressing pass through a util::FlatIdTable keyed on the packed
+/// u64 key. Vector tiers batch the Mix64-based hash and feed
+/// FindOrInsertHashed with prefetching. Returns the updated fresh counter.
+using FlatRefineFn = uint32_t (*)(const RefineArgs& args,
+                                  util::FlatIdTable& table, uint32_t fresh);
+
+/// Rewrite pass of the parallel path: ids[t] = remap[ids[t]] over [lo, hi).
+using RemapFn = void (*)(uint32_t* ids, size_t lo, size_t hi,
+                         const uint32_t* remap);
+
+/// One dispatch tier's kernels. Instances are immutable statics; the
+/// registry publishes a pointer to the active one.
+struct KernelSet {
+  util::CpuTier tier;
+  DenseRefineFn dense_refine;
+  FlatRefineFn flat_refine;
+  RemapFn remap;
+};
+
+/// Largest dense array any driver may admit (cells). Bounded by 2^31 so
+/// packed keys stay valid *signed* 32-bit gather indices on every tier.
+constexpr size_t kDenseCellLimit = size_t{1} << 31;
+
+/// \brief The active kernel set.
+///
+/// Resolved once on first use: the host's best tier, optionally lowered by
+/// the FDEVOLVE_CPU_FEATURES environment variable (unknown names throw
+/// std::invalid_argument; names above what the host supports clamp down).
+/// Thread-safe; after the first call this is one atomic load.
+const KernelSet& Active();
+
+/// Best tier the host CPU + OS support (independent of any override).
+util::CpuTier DetectedTier();
+
+/// Tier of the currently active kernel set (after env/CLI overrides).
+util::CpuTier SelectedTier();
+
+/// \brief Forces the active kernel set to `tier`, clamped to what the host
+/// supports; returns the tier actually installed. Used by the
+/// --cpu-features flag, the tier-identity fuzz suite, and bench_kernels.
+/// Not thread-safe against concurrent refinement passes — call at startup
+/// or between passes.
+util::CpuTier ForceTier(util::CpuTier tier);
+
+/// ForceTier by name; throws std::invalid_argument on unknown names
+/// (valid: baseline|sse42|avx2|avx512).
+util::CpuTier ForceTierByName(const std::string& name);
+
+/// Tiers this process can actually run (compiled in AND host-supported),
+/// ascending. Always contains kBaseline.
+std::vector<util::CpuTier> SupportedTiers();
+
+}  // namespace fdevolve::query::kernels
