@@ -11,6 +11,16 @@
 //       --threads=N               (execution width; 0 = all cores, 1 =
 //                                  sequential; results are identical for
 //                                  every value, only wall time changes)
+//       --explain                 (print the repair-search plan — candidate
+//                                  order, cost estimates, cardinality
+//                                  bounds — without running the search)
+//       --budget-ms=X             (wall-clock search budget; best-effort,
+//                                  spent cheap/high-signal-first)
+//       --budget-cost=X           (modeled-cost budget in ms; deterministic
+//                                  truncation point)
+//       --no-planner              (disable cardinality-bound pruning; the
+//                                  repair set is identical either way when
+//                                  no budget is set — only work changes)
 //       --cpu-features=T          (pin the SIMD kernel tier: baseline,
 //                                  sse42, avx2, or avx512; clamped to what
 //                                  the host supports. Results are
@@ -61,6 +71,7 @@
 #include <string>
 #include <vector>
 
+#include "fd/planner.h"
 #include "fd/repair_report.h"
 #include "fd/repair_search.h"
 #include "fd/sampled_monitor.h"
@@ -82,6 +93,7 @@ int Usage(const char* argv0) {
             << " <data.csv|snap.fdsnap> \"A, B -> C\" [--mode=first|all|topk]\n"
                "       [--k=N] [--max-attrs=N] [--target=X]\n"
                "       [--goodness-threshold=N] [--exclude-unique] [--threads=N]\n"
+               "       [--explain] [--budget-ms=X] [--budget-cost=X] [--no-planner]\n"
                "       [--cpu-features=baseline|sse42|avx2|avx512]\n"
                "   or: " << argv0 << " save <data.csv> <out.fdsnap>\n"
                "   or: " << argv0 << " load <snap.fdsnap> [--csv=<out.csv>]\n"
@@ -806,6 +818,7 @@ int main(int argc, char** argv) {
 
   fd::RepairOptions opts;
   opts.mode = fd::SearchMode::kFirstRepair;
+  bool explain_only = false;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
@@ -839,6 +852,19 @@ int main(int argc, char** argv) {
       if (!CheckedInt("threads", value, 0, &opts.threads)) return 2;
     } else if (ParseFlag(arg, "cpu-features", &value)) {
       if (!ApplyCpuFeatures(value)) return 2;
+    } else if (ParseFlag(arg, "budget-ms", &value)) {
+      if (!CheckedDouble("budget-ms", value, 0.0, 1e12, &opts.budget_ms)) {
+        return 2;
+      }
+    } else if (ParseFlag(arg, "budget-cost", &value)) {
+      if (!CheckedDouble("budget-cost", value, 0.0, 1e12,
+                         &opts.budget_cost)) {
+        return 2;
+      }
+    } else if (arg == "--no-planner") {
+      opts.use_planner = false;
+    } else if (arg == "--explain") {
+      explain_only = true;
     } else if (arg == "--exclude-unique") {
       opts.pool.exclude_unique = true;
     } else {
@@ -862,10 +888,18 @@ int main(int argc, char** argv) {
   LogKernelTier();
   std::cout << "Relation: " << csv_path << " (" << rel.tuple_count()
             << " tuples, " << rel.attr_count() << " attributes)\n";
+  if (explain_only) {
+    // Estimates only: render the plan (candidate order, cost estimates,
+    // cardinality bounds, budget) without evaluating anything.
+    std::cout << fd::DescribePlan(fd::PlanRepair(rel, fd, opts),
+                                  rel.schema());
+    return 0;
+  }
   auto res = fd::Extend(rel, fd, opts);
   std::cout << fd::DescribeResult(res, rel.schema());
   std::cout << "search: " << res.stats.candidates_evaluated
-            << " candidates evaluated in " << res.stats.elapsed_ms << " ms"
-            << (res.stats.exhausted ? "" : " (budget hit)") << "\n";
+            << " candidates evaluated, " << res.stats.pruned_by_bound
+            << " pruned by bound, in " << res.stats.elapsed_ms
+            << " ms (stop: " << fd::ToString(res.stats.stop_reason) << ")\n";
   return res.already_exact || res.found() ? 0 : 3;
 }

@@ -100,6 +100,29 @@ SCHEMAS = {
         "determinism_failures": zero,
         "fast": boolean,
     },
+    "BENCH_planner.json": {
+        "rows_small": positive,
+        "rows_mid": positive,
+        "rows_large": positive,
+        "small.candidates_fixed": positive,
+        "small.candidates_planned": positive,
+        "small.pruned_by_bound": positive,
+        "small.first_repair_ms_fixed": positive,
+        "small.first_repair_ms_planned": positive,
+        "mid.candidates_fixed": positive,
+        "mid.candidates_planned": positive,
+        "mid.pruned_by_bound": positive,
+        "large.candidates_fixed": positive,
+        "large.candidates_planned": positive,
+        "large.pruned_by_bound": positive,
+        "large.first_repair_ms_fixed": positive,
+        "large.first_repair_ms_planned": positive,
+        "candidate_reduction": positive,
+        "budget_cost_ms": positive,
+        "budget_spent_ms": non_negative,
+        "identity_gate_failures": zero,
+        "fast": boolean,
+    },
     "BENCH_sampled.json": {
         "rows_small": positive,
         "rows_large": positive,

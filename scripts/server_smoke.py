@@ -5,9 +5,9 @@ Drives build/examples/fdevolve_serverd over a real TCP socket exactly the
 way a human with nc would, and checks the full durability story:
 
   1. scripted session: CREATE / DECLARE FD / INSERT / SELECT, a
-     kind=violated DRIFT push, then the mutation round-trip — DELETE the
-     violating row (kind=recovered push), UPDATE a survivor, an ERR
-     reply, then SHUTDOWN
+     kind=violated DRIFT push, an EXPLAIN REPAIR plan reply, then the
+     mutation round-trip — DELETE the violating row (kind=recovered
+     push), UPDATE a survivor, an ERR reply, then SHUTDOWN
   2. checkpoint-on-shutdown: the .fdev file exists after a clean exit
   3. restart with --resume: tombstoned rows stay deleted, the UPDATE
      survives, and a fresh insert lands
@@ -109,6 +109,12 @@ def main():
     expect(len(drift) == 1 and "table=city" in drift[0]
            and " kind=violated " in drift[0],
            "violated DRIFT push received: " + (drift[0] if drift else "<none>"))
+    # EXPLAIN over TCP: while the FD is violated, the plan reply is a
+    # single PLAN line (newlines folded to " | ") and is not journaled.
+    reply, _ = s.request("EXPLAIN REPAIR zip -> state ON city")
+    expect(reply.startswith("PLAN "), "EXPLAIN REPAIR -> " + reply[:40])
+    expect("repair plan for [zip] -> [state]" in reply and " | " in reply,
+           "plan text renders candidates: " + reply[:72])
     # Mutation round-trip: deleting the violating row restores the FD, so
     # the subscriber gets a kind=recovered push in the same critical
     # section as the OK reply.

@@ -47,7 +47,13 @@ std::string DescribeResult(const RepairResult& result,
   }
   if (result.repairs.empty()) {
     os << "  no repair found";
-    if (!result.stats.exhausted) os << " (search budget exhausted)";
+    // Only truncation causes deserve a caveat: an exhausted search proved
+    // there is nothing, and a top-k stop with no repairs cannot happen.
+    if (result.stats.stop_reason == StopReason::kMaxEvaluations) {
+      os << " (search budget exhausted: max evaluations)";
+    } else if (result.stats.stop_reason == StopReason::kBudget) {
+      os << " (search budget exhausted: latency budget)";
+    }
     os << "\n";
     return os.str();
   }
@@ -56,6 +62,11 @@ std::string DescribeResult(const RepairResult& result,
     os << "  " << i++ << ". " << r.repaired.ToString(schema) << " — "
        << ExplainRepair(r, schema) << "\n";
   }
+  os << "  search stopped: " << ToString(result.stats.stop_reason);
+  if (result.stats.pruned_by_bound > 0) {
+    os << "; " << result.stats.pruned_by_bound << " branches pruned by bound";
+  }
+  os << "\n";
   return os.str();
 }
 

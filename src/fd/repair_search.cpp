@@ -1,9 +1,11 @@
 #include "fd/repair_search.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 
+#include "fd/cost_model.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -48,6 +50,20 @@ FdMeasures MeasuresOf(const Node& n) {
 
 }  // namespace
 
+const char* ToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kExhausted:
+      return "exhausted";
+    case StopReason::kMaxEvaluations:
+      return "max-evaluations";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kTopK:
+      return "top-k";
+  }
+  return "unknown";
+}
+
 RepairResult Extend(const relation::Relation& rel, const Fd& fd,
                     const RepairOptions& opts) {
   relation::RequireNoTombstones(rel, "fd::Extend");
@@ -84,6 +100,27 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
           ? std::min(opts.max_added_attrs, pool.Count())
           : pool.Count();
 
+  // Planner state. The cardinality bound for candidate C = base∪{a} covers
+  // every superset S ⊇ C within the depth limit:
+  //   |π_{X∪S}| ≤ min(n_live, |π_{X∪base}| · slots(a) · products[r])
+  // with r = max_depth − |C|, where products[r] multiplies the r largest
+  // pool slot counts (saturating, so never unsound). |π_{X∪S∪Y}| ≥
+  // |π_{X∪base∪Y}| by monotonicity, so when the bound cannot reach the
+  // target no superset of C is acceptable and the whole branch is skipped
+  // without evaluation. Pruning never changes answers: an acceptable set
+  // has no prunable subset (the bound would contradict its acceptability),
+  // so its evaluation chain survives, and surviving candidates keep their
+  // relative seq order — the repair list stays bit-identical to the
+  // unplanned search.
+  std::optional<CostModel> model;
+  std::vector<size_t> reach_products;
+  if (opts.use_planner || opts.budget_cost > 0.0) {
+    model.emplace(rel);
+    reach_products = model->TopSlotProducts(pool, max_depth);
+  }
+  const bool budgeted =
+      model && (opts.budget_ms > 0.0 || opts.budget_cost > 0.0);
+
   std::priority_queue<Node, std::vector<Node>, NodeWorse> frontier;
   std::unordered_set<relation::AttrSet, relation::AttrSetHash> visited;
   std::vector<relation::AttrSet> found_sets;
@@ -107,24 +144,78 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
   std::vector<FdMeasures> batch_measures;
 
   // Evaluates the candidates `base_added ∪ {a}` for each `a` of `attrs`
-  // in order; returns false when the evaluation budget stopped the batch.
+  // in order; `base_x`/`base_xy` are the parent's |π_XU| and |π_XUY|
+  // counts, which seed the planner's bounds. Returns false when a budget
+  // stopped the batch.
+  std::vector<int> budget_order;
   auto evaluate_batch = [&](const relation::AttrSet& base_added,
-                            const std::vector<int>& attrs) -> bool {
+                            const std::vector<int>& attrs, size_t base_x,
+                            size_t base_xy) -> bool {
     batch_sets.clear();
     batch_attrs.clear();
     bool budget_hit = false;
-    for (int a : attrs) {
-      // Budget check before dedup, per candidate — the order the
+    const int depth = base_added.Count() + 1;
+    const size_t reach =
+        model && depth <= max_depth
+            ? reach_products[static_cast<size_t>(max_depth - depth)]
+            : 0;
+    const std::vector<int>* order = &attrs;
+    if (budgeted) {
+      // A budget is spent cheap/high-signal-first: reorder the batch by
+      // reachable-cardinality bound descending (closer to |π_XUY| = more
+      // confidence available), modeled cost ascending, then attribute
+      // index. Reordering shifts seq tie-breaks, so budgeted runs trade
+      // the bit-identity guarantee for better use of the budget.
+      budget_order = attrs;
+      std::stable_sort(
+          budget_order.begin(), budget_order.end(), [&](int a, int b) {
+            const size_t ba = model->ReachableDistinctBound(base_x, a, reach);
+            const size_t bb = model->ReachableDistinctBound(base_x, b, reach);
+            if (ba != bb) return ba > bb;
+            const double ca = model->CandidateCostMs(a);
+            const double cb = model->CandidateCostMs(b);
+            if (ca != cb) return ca < cb;
+            return a < b;
+          });
+      order = &budget_order;
+    }
+    for (int a : *order) {
+      // Budget checks before dedup, per candidate — the order the
       // sequential evaluate-and-push used.
       if (opts.max_evaluations != 0 &&
           result.stats.candidates_evaluated + batch_sets.size() >=
               opts.max_evaluations) {
-        result.stats.exhausted = false;
+        result.stats.stop_reason = StopReason::kMaxEvaluations;
+        budget_hit = true;
+        break;
+      }
+      if (opts.budget_ms > 0.0 && timer.ElapsedMs() >= opts.budget_ms) {
+        result.stats.stop_reason = StopReason::kBudget;
+        budget_hit = true;
+        break;
+      }
+      const double cost = model ? model->CandidateCostMs(a) : 0.0;
+      if (opts.budget_cost > 0.0 &&
+          result.stats.planned_cost_ms + cost > opts.budget_cost) {
+        result.stats.stop_reason = StopReason::kBudget;
         budget_hit = true;
         break;
       }
       relation::AttrSet added = base_added.With(a);
       if (!visited.insert(added).second) continue;  // duplicate set
+      if (opts.use_planner && model) {
+        const size_t ub = model->ReachableDistinctBound(base_x, a, reach);
+        const bool reachable =
+            target >= 1.0 ? ub >= base_xy
+                          : static_cast<double>(ub) /
+                                    static_cast<double>(base_xy) >=
+                                target;
+        if (!reachable) {  // no acceptable set below this branch
+          ++result.stats.pruned_by_bound;
+          continue;
+        }
+      }
+      result.stats.planned_cost_ms += cost;
       batch_sets.push_back(std::move(added));
       batch_attrs.push_back(a);
     }
@@ -185,7 +276,9 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
   // line 1: ExtendByOne on the original FD). A budget hit here still falls
   // through to the main loop: already-evaluated exact seeds are accepted
   // before the first expansion attempt stops the search.
-  evaluate_batch(relation::AttrSet(), pool.ToVector());
+  evaluate_batch(relation::AttrSet(), pool.ToVector(),
+                 result.original_measures.distinct_x,
+                 result.original_measures.distinct_xy);
 
   const bool has_threshold = opts.goodness_threshold >= 0;
   const auto threshold = static_cast<uint64_t>(
@@ -243,12 +336,21 @@ RepairResult Extend(const relation::Relation& rel, const Fd& fd,
     ++result.stats.nodes_expanded;
     if (node.added.Count() >= max_depth) continue;
 
-    if (!evaluate_batch(node.added, pool.Minus(node.added).ToVector())) break;
+    if (!evaluate_batch(node.added, pool.Minus(node.added).ToVector(),
+                        node.distinct_x, node.distinct_xy)) {
+      break;
+    }
   }
 
-  if (opts.max_evaluations != 0 &&
-      result.stats.candidates_evaluated >= opts.max_evaluations) {
-    result.stats.exhausted = false;
+  if (result.stats.stop_reason == StopReason::kExhausted) {
+    if (opts.max_evaluations != 0 &&
+        result.stats.candidates_evaluated >= opts.max_evaluations) {
+      result.stats.stop_reason = StopReason::kMaxEvaluations;
+    } else if (!frontier.empty()) {
+      // The loop left work behind, so done() stopped it: the requested
+      // repair count (kFirstRepair / kTopK) was reached.
+      result.stats.stop_reason = StopReason::kTopK;
+    }
   }
 
   // With a goodness threshold, order within-threshold repairs first,

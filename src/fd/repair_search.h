@@ -27,6 +27,18 @@ enum class SearchMode {
   kTopK,         ///< stop after `top_k` repairs
 };
 
+/// \brief Why a search returned (SearchStats::stop_reason).
+enum class StopReason {
+  kExhausted,       ///< frontier drained: every reachable candidate considered
+  kMaxEvaluations,  ///< RepairOptions::max_evaluations cap hit
+  kBudget,          ///< latency/cost budget (budget_ms / budget_cost) spent
+  kTopK,            ///< requested repair count reached (kFirstRepair / kTopK)
+};
+
+/// Short token for logs and EXPLAIN: "exhausted", "max-evaluations",
+/// "budget", "top-k".
+const char* ToString(StopReason reason);
+
 /// \brief Tuning knobs for one Extend run.
 struct RepairOptions {
   SearchMode mode = SearchMode::kAllRepairs;
@@ -67,6 +79,26 @@ struct RepairOptions {
   /// therefore bit-identical for every thread count.
   int threads = 0;
 
+  /// Statistics-driven planning (fd::CostModel): candidates whose sound
+  /// cardinality bound proves that no extension of the branch can reach
+  /// `target_confidence` are skipped without evaluation (counted in
+  /// SearchStats::pruned_by_bound). Planning changes order and work, never
+  /// answers: with no budget configured, the repair set and its measures
+  /// are bit-identical to the fixed-rank search (use_planner = false) at
+  /// every thread count.
+  bool use_planner = true;
+
+  /// Wall-clock latency budget in milliseconds; 0 = unlimited. Checked
+  /// between candidate evaluations, so it is best-effort and
+  /// timing-dependent: two runs may truncate at different candidates.
+  /// When a budget is set the planner spends it cheap/high-signal-first.
+  double budget_ms = 0.0;
+
+  /// Modeled-cost budget in milliseconds (CostModel::CandidateCostMs
+  /// units); 0 = unlimited. Unlike budget_ms this is deterministic: the
+  /// same (rel, fd, opts) always truncates at the same candidate.
+  double budget_cost = 0.0;
+
   PoolOptions pool;
 };
 
@@ -89,7 +121,14 @@ struct SearchStats {
   size_t candidates_evaluated = 0;  ///< measure computations performed
   size_t frontier_peak = 0;         ///< max queue size
   size_t pruned_supersets = 0;      ///< skipped supersets of found repairs
-  bool exhausted = true;            ///< false if a limit stopped the search
+  size_t pruned_by_bound = 0;       ///< skipped by the planner's cardinality bound
+  /// Why the search returned. kExhausted means the full reachable space
+  /// was considered; anything else means a limit truncated it.
+  StopReason stop_reason = StopReason::kExhausted;
+  /// Modeled cost (CostModel::CandidateCostMs) of the evaluations actually
+  /// performed; 0 when no cost model was in play (planner off, no
+  /// budget_cost).
+  double planned_cost_ms = 0.0;
   double elapsed_ms = 0.0;
 };
 

@@ -98,7 +98,197 @@ inline uint32_t FixupMisses16(uint32_t* dense, __m512i key, __m512i* id,
   return fresh;
 }
 
+/// Single-level specialization of the dense loop — the AVX-512 twin of
+/// the AVX2 tier's Dense1Level8. Refine-by-one-attribute is the hottest
+/// shape the repair search produces, and the generic loop's
+/// RefineArgs/Level indirection plus the (cold-path) push_back call make
+/// GCC re-load every field and re-test every runtime flag per 16-tuple
+/// batch. This version hoists all batch constants into locals before the
+/// loop and resolves the masked/count-only/keys shape at compile time, so
+/// the steady-state body is load + gather + opmask compare.
+template <bool kMasked, bool kCountOnly, bool kKeys>
+uint32_t Dense1Level16(const RefineArgs& a, uint32_t* dense, uint32_t fresh) {
+  const uint32_t* const base = a.base_ids;
+  const uint8_t* const live = a.live;
+  uint32_t* const out = a.out;
+  std::vector<uint64_t>* const keys_out = a.keys_out;
+  const Level lv = a.levels[0];
+  const uint32_t* const codes = lv.codes;
+  const bool check = base != nullptr && a.base_groups <= 0xffffffffull;
+  const bool has_nulls = lv.has_nulls;
+  const __m512i vgroups = _mm512_set1_epi32(static_cast<int>(a.base_groups));
+  const __m512i vstride = _mm512_set1_epi32(static_cast<int>(lv.stride));
+  const __m512i vnull =
+      _mm512_set1_epi32(static_cast<int>(relation::kNullCode));
+  const __m512i vslot = _mm512_set1_epi32(static_cast<int>(lv.null_slot));
+  const __m512i vvacant = _mm512_set1_epi32(-1);
+
+  // One batch's key vector: base ids (bounds-checked on live lanes) *
+  // stride + NULL-remapped codes. Everything it reads is a local.
+  const auto keys_at = [&](size_t t, __mmask16 m) {
+    __m512i key;
+    if (base != nullptr) {
+      key = _mm512_loadu_si512(base + t);
+      if (check) {
+        const __mmask16 liveness = kMasked ? m : static_cast<__mmask16>(0xffff);
+        if (_mm512_mask_cmpge_epu32_mask(liveness, key, vgroups) != 0) {
+          detail::ThrowBadId();
+        }
+      }
+    } else {
+      key = _mm512_setzero_si512();
+    }
+    __m512i c = _mm512_loadu_si512(codes + t);
+    if (has_nulls) {
+      const __mmask16 isnull = _mm512_cmpeq_epi32_mask(c, vnull);
+      c = _mm512_mask_mov_epi32(c, isnull, vslot);
+    }
+    return _mm512_add_epi32(_mm512_mullo_epi32(key, vstride), c);
+  };
+
+  size_t t = a.lo;
+  // 2x unrolled: both gathers in flight before either fixup (latency
+  // hiding); batch 1's stale-vacant reads self-correct because the fixup
+  // re-reads each missed cell, strictly in tuple order.
+  for (; t + 32 <= a.hi; t += 32) {
+    __mmask16 m0 = 0xffff;
+    __mmask16 m1 = 0xffff;
+    if (kMasked) {
+      const __m256i bytes =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(live + t));
+      const __mmask32 lm =
+          _mm256_cmpneq_epi8_mask(bytes, _mm256_setzero_si256());
+      m0 = static_cast<__mmask16>(lm);
+      m1 = static_cast<__mmask16>(lm >> 16);
+    }
+    const __m512i key0 = keys_at(t, m0);
+    const __m512i key1 = keys_at(t + 16, m1);
+    __m512i id0 = kMasked
+                      ? _mm512_mask_i32gather_epi32(vvacant, m0, key0, dense, 4)
+                      : _mm512_i32gather_epi32(key0, dense, 4);
+    __m512i id1 = kMasked
+                      ? _mm512_mask_i32gather_epi32(vvacant, m1, key1, dense, 4)
+                      : _mm512_i32gather_epi32(key1, dense, 4);
+    const __mmask16 miss0 = kMasked
+                                ? _mm512_mask_cmpeq_epi32_mask(m0, id0, vvacant)
+                                : _mm512_cmpeq_epi32_mask(id0, vvacant);
+    const __mmask16 miss1 = kMasked
+                                ? _mm512_mask_cmpeq_epi32_mask(m1, id1, vvacant)
+                                : _mm512_cmpeq_epi32_mask(id1, vvacant);
+    if ((miss0 | miss1) != 0) {
+      // Inline fixup over the combined 32-lane spill: ctz-walk in lane
+      // (= tuple) order with a per-cell re-read, so duplicates within and
+      // across the pair still get first-appearance ids. `kKeys == false`
+      // removes the only call in the loop body, letting every batch
+      // constant live in a register across iterations.
+      alignas(64) uint32_t kk[32];
+      _mm512_store_si512(kk, key0);
+      _mm512_store_si512(kk + 16, key1);
+      uint32_t bits = static_cast<uint32_t>(miss0) |
+                      (static_cast<uint32_t>(miss1) << 16);
+      if (kCountOnly) {
+        while (bits != 0) {
+          const int l = __builtin_ctz(bits);
+          bits &= bits - 1;
+          const uint32_t cell = kk[l];
+          if (dense[cell] == kVacant) {
+            dense[cell] = fresh++;
+            if (kKeys) keys_out->push_back(cell);
+          }
+        }
+      } else {
+        alignas(64) uint32_t ii[32];
+        _mm512_store_si512(ii, id0);
+        _mm512_store_si512(ii + 16, id1);
+        while (bits != 0) {
+          const int l = __builtin_ctz(bits);
+          bits &= bits - 1;
+          const uint32_t cell = kk[l];
+          uint32_t cur = dense[cell];
+          if (cur == kVacant) {
+            cur = fresh++;
+            dense[cell] = cur;
+            if (kKeys) keys_out->push_back(cell);
+          }
+          ii[l] = cur;
+        }
+        id0 = _mm512_load_si512(ii);
+        id1 = _mm512_load_si512(ii + 16);
+      }
+    }
+    if (!kCountOnly) {
+      _mm512_storeu_si512(out + t, id0);
+      _mm512_storeu_si512(out + t + 16, id1);
+    }
+  }
+  for (; t + 16 <= a.hi; t += 16) {
+    __mmask16 m = 0xffff;
+    if (kMasked) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(live + t));
+      m = _mm_cmpneq_epi8_mask(bytes, _mm_setzero_si128());
+      if (m == 0) continue;
+    }
+    const __m512i key = keys_at(t, m);
+    __m512i id = kMasked
+                     ? _mm512_mask_i32gather_epi32(vvacant, m, key, dense, 4)
+                     : _mm512_i32gather_epi32(key, dense, 4);
+    uint32_t bits = kMasked ? _mm512_mask_cmpeq_epi32_mask(m, id, vvacant)
+                            : _mm512_cmpeq_epi32_mask(id, vvacant);
+    if (bits != 0) {
+      alignas(64) uint32_t kk[16];
+      _mm512_store_si512(kk, key);
+      if (kCountOnly) {
+        while (bits != 0) {
+          const int l = __builtin_ctz(bits);
+          bits &= bits - 1;
+          const uint32_t cell = kk[l];
+          if (dense[cell] == kVacant) {
+            dense[cell] = fresh++;
+            if (kKeys) keys_out->push_back(cell);
+          }
+        }
+      } else {
+        alignas(64) uint32_t ii[16];
+        _mm512_store_si512(ii, id);
+        while (bits != 0) {
+          const int l = __builtin_ctz(bits);
+          bits &= bits - 1;
+          const uint32_t cell = kk[l];
+          uint32_t cur = dense[cell];
+          if (cur == kVacant) {
+            cur = fresh++;
+            dense[cell] = cur;
+            if (kKeys) keys_out->push_back(cell);
+          }
+          ii[l] = cur;
+        }
+        id = _mm512_load_si512(ii);
+      }
+    }
+    if (!kCountOnly) _mm512_storeu_si512(out + t, id);
+  }
+  return detail::DenseRefineRange(a, dense, fresh, t, a.hi);
+}
+
+template <bool kMasked, bool kCountOnly>
+uint32_t Dense1Level16K(const RefineArgs& a, uint32_t* dense, uint32_t fresh) {
+  return a.keys_out != nullptr
+             ? Dense1Level16<kMasked, kCountOnly, true>(a, dense, fresh)
+             : Dense1Level16<kMasked, kCountOnly, false>(a, dense, fresh);
+}
+
 uint32_t Avx512Dense(const RefineArgs& a, uint32_t* dense, uint32_t fresh) {
+  if (a.level_count == 1) {
+    const bool masked = a.live != nullptr;
+    const bool count_only = a.out == nullptr;
+    if (masked) {
+      return count_only ? Dense1Level16K<true, true>(a, dense, fresh)
+                        : Dense1Level16K<true, false>(a, dense, fresh);
+    }
+    return count_only ? Dense1Level16K<false, true>(a, dense, fresh)
+                      : Dense1Level16K<false, false>(a, dense, fresh);
+  }
   const __m512i vvacant = _mm512_set1_epi32(-1);
   const bool count_only = a.out == nullptr;
   size_t t = a.lo;

@@ -96,6 +96,10 @@ Client::Reply Client::Request(const std::string& statement) {
         reply.ok = true;
         reply.value = parsed->value;
         return reply;
+      case ParsedReply::Kind::kPlan:
+        reply.ok = true;
+        reply.plan = parsed->text;
+        return reply;
       case ParsedReply::Kind::kError:
         reply.error = parsed->text;
         return reply;

@@ -32,11 +32,13 @@ class Client {
     bool ok = false;
     uint64_t value = 0;  ///< OK payload
     std::string error;   ///< ERR message, or transport failure
+    std::string plan;    ///< PLAN payload (EXPLAIN REPAIR), flattened form
     std::vector<std::string> drift;  ///< DRIFT lines drained on the way
   };
 
-  /// Sends one statement line and blocks for its OK/ERR reply. DRIFT
-  /// pushes read along the way land in Reply::drift.
+  /// Sends one statement line and blocks for its OK/ERR/PLAN reply. DRIFT
+  /// pushes read along the way land in Reply::drift; a PLAN reply sets
+  /// ok = true and carries the plan text in Reply::plan.
   Reply Request(const std::string& statement);
 
   /// Blocks up to `timeout_ms` for one DRIFT push line (between

@@ -33,6 +33,21 @@ std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
   return line;
 }
 
+std::string FormatPlan(const std::string& plan_text) {
+  std::string flat;
+  flat.reserve(plan_text.size());
+  for (size_t i = 0; i < plan_text.size(); ++i) {
+    const char c = plan_text[i];
+    if (c == '\r') continue;
+    if (c == '\n') {
+      if (i + 1 < plan_text.size()) flat += " | ";  // drop the trailing one
+      continue;
+    }
+    flat.push_back(c);
+  }
+  return "PLAN " + flat;
+}
+
 std::optional<ParsedReply> ParseReply(const std::string& line) {
   ParsedReply reply;
   if (line.rfind("OK ", 0) == 0) {
@@ -45,6 +60,11 @@ std::optional<ParsedReply> ParseReply(const std::string& line) {
   if (line.rfind("ERR ", 0) == 0) {
     reply.kind = ParsedReply::Kind::kError;
     reply.text = line.substr(4);
+    return reply;
+  }
+  if (line.rfind("PLAN ", 0) == 0) {
+    reply.kind = ParsedReply::Kind::kPlan;
+    reply.text = line.substr(5);
     return reply;
   }
   if (line.rfind("DRIFT ", 0) == 0) {

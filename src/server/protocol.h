@@ -4,12 +4,15 @@
 // stripped so `nc -C` and telnet-style clients work). Empty lines are
 // ignored. The dialect is the full sql/ grammar: SELECT COUNT, INSERT,
 // DELETE, UPDATE, CREATE TABLE, DECLARE FD ... ON t [EVERY n],
-// SUBSCRIBE DRIFT ON t, CHECKPOINT, SHUTDOWN.
+// EXPLAIN REPAIR ... ON t, SUBSCRIBE DRIFT ON t, CHECKPOINT, SHUTDOWN.
 //
 // Replies: exactly one line per request —
 //
 //   OK <uint64>      statement succeeded; the value is the count for
 //                    SELECT, rows inserted for INSERT, 0 otherwise
+//   PLAN <text>      EXPLAIN REPAIR succeeded; <text> is the rendered
+//                    repair-search plan with its newlines flattened to
+//                    " | " so the reply stays one frame
 //   ERR <message>    parse or execution error (single line; embedded
 //                    newlines in the message are flattened to spaces)
 //
@@ -56,12 +59,16 @@ std::string FormatError(const std::string& message);
 std::string FormatDrift(const std::string& table, const fd::DriftEvent& event,
                         const std::string& fd_text);
 
+/// Formats the one-line EXPLAIN REPAIR reply: the plan's newlines are
+/// flattened to " | " separators so the reply stays a single frame.
+std::string FormatPlan(const std::string& plan_text);
+
 /// A reply or push line, decoded.
 struct ParsedReply {
-  enum class Kind { kOk, kError, kDrift };
+  enum class Kind { kOk, kError, kDrift, kPlan };
   Kind kind = Kind::kError;
   uint64_t value = 0;     ///< OK payload
-  std::string text;       ///< ERR message, or the raw DRIFT line
+  std::string text;       ///< ERR message, raw DRIFT line, or PLAN payload
 };
 
 /// Decodes one reply/push line; std::nullopt if the line matches none of

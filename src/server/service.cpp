@@ -176,6 +176,16 @@ Service::Result Service::ExecuteLine(SessionId id, const std::string& line) {
           FormatOk(sql::Execute(*q, static_cast<const sql::Database&>(db_)));
       return res;
     }
+    if (const auto* explain = std::get_if<sql::ExplainRepairStatement>(&stmt)) {
+      // Read-only like a SELECT: a shared table lock keeps writers out
+      // while the planner computes stats and measures over the live rows.
+      std::shared_lock cat(catalog_mutex_);
+      TableEntry* entry = FindEntry(explain->table);
+      std::shared_lock table(entry->mutex);
+      res.reply = FormatPlan(
+          sql::Execute(*explain, static_cast<const sql::Database&>(db_)));
+      return res;
+    }
     if (const auto* ins = std::get_if<sql::InsertStatement>(&stmt)) {
       std::shared_lock cat(catalog_mutex_);
       TableEntry* entry = FindEntry(ins->table);

@@ -180,6 +180,22 @@ std::string DeclareFdStatement::ToString() const {
   return os.str();
 }
 
+std::string ExplainRepairStatement::ToString() const {
+  std::ostringstream os;
+  os << "EXPLAIN REPAIR ";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(lhs[i]);
+  }
+  os << " -> ";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(rhs[i]);
+  }
+  os << " ON " << QuoteIdentifier(table);
+  return os.str();
+}
+
 std::string CheckpointStatement::ToString() const { return "CHECKPOINT"; }
 
 std::string ShutdownStatement::ToString() const { return "SHUTDOWN"; }

@@ -6,7 +6,7 @@
 // statements the FD-monitoring server multiplexes over one catalog):
 //
 //   statement  := query | insert | delete | update | create | declare_fd
-//               | checkpoint | shutdown | subscribe
+//               | explain | checkpoint | shutdown | subscribe
 //   query      := SELECT COUNT '(' (DISTINCT columns | '*') ')'
 //                 FROM identifier [WHERE condition (AND condition)*]
 //   insert     := INSERT INTO identifier VALUES row (',' row)*
@@ -19,6 +19,7 @@
 //                 '(' identifier type (',' identifier type)* ')'
 //   declare_fd := DECLARE FD columns '->' columns ON identifier
 //                 [EVERY number] [SAMPLE number [SEED number]]
+//   explain    := EXPLAIN REPAIR columns '->' columns ON identifier
 //   checkpoint := CHECKPOINT
 //   shutdown   := SHUTDOWN
 //   subscribe  := SUBSCRIBE DRIFT ON identifier
@@ -136,6 +137,19 @@ struct DeclareFdStatement {
   std::string ToString() const;
 };
 
+/// EXPLAIN REPAIR a, b -> c ON t — renders the repair-search plan for the
+/// FD on the table's current live instance: original measures, column
+/// statistics, the planner's candidate order with cost estimates and
+/// cardinality bounds, and which branches the bound prunes. Estimates
+/// only — no candidate is evaluated and the relation is not modified.
+struct ExplainRepairStatement {
+  std::string table;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+
+  std::string ToString() const;
+};
+
 /// CHECKPOINT — persist the server's state to its configured snapshot
 /// path. Only meaningful in a server session.
 struct CheckpointStatement {
@@ -159,7 +173,8 @@ struct SubscribeStatement {
 /// Any parsable statement (see ParseStatement in parser.h).
 using Statement =
     std::variant<CountQuery, InsertStatement, DeleteStatement, UpdateStatement,
-                 CreateTableStatement, DeclareFdStatement, CheckpointStatement,
+                 CreateTableStatement, DeclareFdStatement,
+                 ExplainRepairStatement, CheckpointStatement,
                  ShutdownStatement, SubscribeStatement>;
 
 }  // namespace fdevolve::sql

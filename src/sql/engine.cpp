@@ -1,5 +1,6 @@
 #include "sql/engine.h"
 
+#include "fd/planner.h"
 #include "sql/parser.h"
 #include "util/flat_table.h"
 
@@ -257,6 +258,14 @@ uint64_t Execute(const DeclareFdStatement& declare, Database& db) {
   return 0;
 }
 
+std::string Execute(const ExplainRepairStatement& explain,
+                    const Database& db) {
+  const relation::Relation& rel = db.Get(explain.table);
+  fd::Fd fd(rel.schema().Resolve(explain.lhs),
+            rel.schema().Resolve(explain.rhs));
+  return fd::DescribePlan(fd::PlanRepair(rel, fd), rel.schema());
+}
+
 uint64_t Execute(const Statement& stmt, Database& db) {
   if (const auto* q = std::get_if<CountQuery>(&stmt)) {
     return Execute(*q, static_cast<const Database&>(db));
@@ -275,6 +284,13 @@ uint64_t Execute(const Statement& stmt, Database& db) {
   }
   if (const auto* declare = std::get_if<DeclareFdStatement>(&stmt)) {
     return Execute(*declare, db);
+  }
+  if (const auto* explain = std::get_if<ExplainRepairStatement>(&stmt)) {
+    // The plan text is discarded in this overload (callers wanting it use
+    // the ExplainRepairStatement overload directly); executing it here
+    // still validates the FD against the catalog.
+    Execute(*explain, static_cast<const Database&>(db));
+    return 0;
   }
   // CHECKPOINT / SHUTDOWN / SUBSCRIBE DRIFT need a server session: they
   // act on the serving process (durability, lifecycle, push channels),

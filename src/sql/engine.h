@@ -52,6 +52,13 @@ uint64_t Execute(const CreateTableStatement& create, Database& db);
 /// executing against a bare Database ignores it.
 uint64_t Execute(const DeclareFdStatement& declare, Database& db);
 
+/// Executes a parsed EXPLAIN REPAIR: resolves the FD against the table's
+/// schema, builds the repair-search plan (fd::PlanRepair) over the current
+/// live instance, and returns fd::DescribePlan's multi-line rendering.
+/// Read-only — no candidate is evaluated and the relation is unchanged.
+/// Throws std::invalid_argument on unknown table/columns or an invalid FD.
+std::string Execute(const ExplainRepairStatement& explain, const Database& db);
+
 /// Executes any parsed statement (reads need only const access; this
 /// overload exists for writes). CHECKPOINT / SHUTDOWN / SUBSCRIBE DRIFT
 /// only make sense against a server session and throw

@@ -13,7 +13,8 @@ const std::unordered_set<std::string>& Keywords() {
       "IS",      "NOT",     "NULL",       "AS",       "INSERT",    "INTO",
       "VALUES",  "CREATE",  "TABLE",      "DECLARE",  "FD",        "ON",
       "EVERY",   "CHECKPOINT", "SHUTDOWN", "SUBSCRIBE", "DRIFT",
-      "DELETE",  "UPDATE",  "SET",        "SAMPLE",    "SEED"};
+      "DELETE",  "UPDATE",  "SET",        "SAMPLE",    "SEED",
+      "EXPLAIN", "REPAIR"};
   return kw;
 }
 

@@ -38,6 +38,11 @@ class Parser {
       ExpectEnd();
       return declare;
     }
+    if (Peek().IsKeyword("EXPLAIN")) {
+      ExplainRepairStatement explain = ParseExplainRepair();
+      ExpectEnd();
+      return explain;
+    }
     if (Peek().IsKeyword("CHECKPOINT")) {
       Advance();
       ExpectEnd();
@@ -240,6 +245,26 @@ class Parser {
       }
     }
     return declare;
+  }
+
+  ExplainRepairStatement ParseExplainRepair() {
+    ExplainRepairStatement explain;
+    ExpectKeyword("EXPLAIN");
+    ExpectKeyword("REPAIR");
+    explain.lhs.push_back(ExpectIdentifier());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      explain.lhs.push_back(ExpectIdentifier());
+    }
+    ExpectSymbol("->");
+    explain.rhs.push_back(ExpectIdentifier());
+    while (Peek().IsSymbol(",")) {
+      Advance();
+      explain.rhs.push_back(ExpectIdentifier());
+    }
+    ExpectKeyword("ON");
+    explain.table = ExpectIdentifier();
+    return explain;
   }
 
   SubscribeStatement ParseSubscribe() {

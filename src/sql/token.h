@@ -11,7 +11,8 @@ namespace fdevolve::sql {
 enum class TokenType {
   kKeyword,     // SELECT, COUNT, DISTINCT, FROM, WHERE, AND, IS, NOT, NULL,
                 // AS, INSERT, INTO, VALUES, CREATE, TABLE, DECLARE, FD, ON,
-                // EVERY, CHECKPOINT, SHUTDOWN, SUBSCRIBE, DRIFT
+                // EVERY, CHECKPOINT, SHUTDOWN, SUBSCRIBE, DRIFT, DELETE,
+                // UPDATE, SET, SAMPLE, SEED, EXPLAIN, REPAIR
   kIdentifier,  // table / column names (optionally "quoted"; "" escapes a
                 // literal quote inside a quoted identifier)
   kNumber,      // integer or decimal literal

@@ -117,7 +117,7 @@ TEST(ExtendTest, TopKZeroMeansUnlimited) {
   for (size_t i = 0; i < res_all.repairs.size(); ++i) {
     EXPECT_EQ(res_k.repairs[i].added, res_all.repairs[i].added) << i;
   }
-  EXPECT_TRUE(res_k.stats.exhausted);
+  EXPECT_EQ(res_k.stats.stop_reason, StopReason::kExhausted);
   EXPECT_EQ(res_k.stats.candidates_evaluated,
             res_all.stats.candidates_evaluated);
 }
@@ -146,7 +146,7 @@ TEST(ExtendTest, MaxEvaluationsBudget) {
   opts.max_evaluations = 20;
   RepairResult res = Extend(rel, SyntheticFd(rel.schema()), opts);
   EXPECT_LE(res.stats.candidates_evaluated, 20u);
-  EXPECT_FALSE(res.stats.exhausted);
+  EXPECT_EQ(res.stats.stop_reason, StopReason::kMaxEvaluations);
 }
 
 TEST(ExtendTest, UnrepairableInstanceFindsNothing) {
@@ -162,11 +162,24 @@ TEST(ExtendTest, UnrepairableInstanceFindsNothing) {
                      .Build();
   RepairOptions opts;
   opts.mode = SearchMode::kAllRepairs;
-  RepairResult res = Extend(rel, Fd(AttrSet::Of({0}), AttrSet::Of({1})), opts);
+  Fd f(AttrSet::Of({0}), AttrSet::Of({1}));
+  // The planner's cardinality bound proves it up front: x is constant, so
+  // |π_xS| ≤ ndv(a)·ndv(b) = 1 < |π_xy| = 2 for every extension — nothing
+  // is worth evaluating.
+  RepairResult res = Extend(rel, f, opts);
   EXPECT_FALSE(res.found());
-  EXPECT_TRUE(res.stats.exhausted);  // searched the whole space
-  // The search evaluated every subset of {a,b}: 2 singles + 1 pair.
-  EXPECT_EQ(res.stats.candidates_evaluated, 3u);
+  EXPECT_EQ(res.stats.stop_reason, StopReason::kExhausted);
+  EXPECT_EQ(res.stats.candidates_evaluated, 0u);
+  EXPECT_EQ(res.stats.pruned_by_bound, 2u);  // both seed branches
+  // The fixed-rank search reaches the same (empty) answer the hard way:
+  // it evaluates every subset of {a,b} — 2 singles + 1 pair.
+  RepairOptions unplanned = opts;
+  unplanned.use_planner = false;
+  RepairResult res_off = Extend(rel, f, unplanned);
+  EXPECT_FALSE(res_off.found());
+  EXPECT_EQ(res_off.stats.stop_reason, StopReason::kExhausted);
+  EXPECT_EQ(res_off.stats.candidates_evaluated, 3u);
+  EXPECT_EQ(res_off.stats.pruned_by_bound, 0u);
 }
 
 TEST(ExtendTest, FirstRepairEvaluatesNoMoreThanAllRepairs) {

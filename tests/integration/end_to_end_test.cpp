@@ -31,7 +31,7 @@ TEST(EndToEndTest, PlacesFullPipeline) {
     EXPECT_FALSE(r.already_exact);
     if (r.original == datagen::PlacesF3(s)) {
       EXPECT_FALSE(r.found());
-      EXPECT_TRUE(r.stats.exhausted);
+      EXPECT_EQ(r.stats.stop_reason, fd::StopReason::kExhausted);
       continue;
     }
     ASSERT_TRUE(r.found()) << r.original.ToString(s);

@@ -91,7 +91,9 @@ void ExpectSameResult(const fd::RepairResult& expected,
       << "threads=" << threads;
   EXPECT_EQ(got.stats.pruned_supersets, expected.stats.pruned_supersets)
       << "threads=" << threads;
-  EXPECT_EQ(got.stats.exhausted, expected.stats.exhausted)
+  EXPECT_EQ(got.stats.pruned_by_bound, expected.stats.pruned_by_bound)
+      << "threads=" << threads;
+  EXPECT_EQ(got.stats.stop_reason, expected.stats.stop_reason)
       << "threads=" << threads;
 }
 

@@ -154,7 +154,7 @@ TEST(StressTest, ManyDuplicateTuplesCompressWell) {
   fd::RepairOptions opts;
   opts.mode = fd::SearchMode::kAllRepairs;
   auto res = fd::Extend(rel, f, opts);
-  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_EQ(res.stats.stop_reason, fd::StopReason::kExhausted);
   for (const auto& r : res.repairs) {
     EXPECT_TRUE(fd::Satisfies(rel, r.repaired));
   }

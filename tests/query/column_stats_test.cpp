@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace fdevolve::query {
 namespace {
 
@@ -77,6 +79,58 @@ TEST(ColumnStatsTest, StatsCoverLiveRowsOnly) {
     EXPECT_EQ(stats[i].is_unique, compacted[i].is_unique) << i;
   }
   EXPECT_EQ(UniqueAttrs(rel), UniqueAttrs(rel.CompactedCopy()));
+}
+
+TEST(ColumnStatsTest, MaxGroupRowsTracksHeaviestGroup) {
+  auto stats = ComputeColumnStats(MakeRel());
+  EXPECT_EQ(stats[0].max_group_rows, 1u);  // all distinct
+  EXPECT_EQ(stats[1].max_group_rows, 2u);  // "a" twice
+  EXPECT_EQ(stats[2].max_group_rows, 1u);  // {1, NULL, 2}
+}
+
+TEST(ColumnStatsTest, MaxGroupRowsCountsNullsAsOneGroup) {
+  // Two NULLs in an otherwise-distinct column: the NULL group is the
+  // heaviest (the paper's NULL semantics treat NULL = NULL for grouping).
+  Schema schema({{"n", DataType::kInt64}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({Value::Null()})
+                     .Row({int64_t{7}})
+                     .Row({Value::Null()})
+                     .Build();
+  auto stats = ComputeColumnStats(rel);
+  EXPECT_EQ(stats[0].distinct_count, 1u);
+  EXPECT_EQ(stats[0].null_count, 2u);
+  EXPECT_EQ(stats[0].max_group_rows, 2u);
+  EXPECT_EQ(stats[0].group_slots(), 2u);  // one value + the NULL slot
+}
+
+TEST(ColumnStatsTest, MaxGroupRowsIgnoresDeadRows) {
+  Schema schema({{"v", DataType::kString}});
+  Relation rel = RelationBuilder("t", schema)
+                     .Row({"x"})
+                     .Row({"x"})
+                     .Row({"x"})
+                     .Row({"y"})
+                     .Build();
+  rel.DeleteRow(0);
+  rel.DeleteRow(1);
+  auto stats = ComputeColumnStats(rel);
+  EXPECT_EQ(stats[0].max_group_rows, 1u);  // live: {"x", "y"}
+  auto compacted = ComputeColumnStats(rel.CompactedCopy());
+  EXPECT_EQ(stats[0].max_group_rows, compacted[0].max_group_rows);
+}
+
+TEST(ColumnStatsTest, ProjectionUpperBoundIsSoundAndSaturates) {
+  auto stats = ComputeColumnStats(MakeRel());
+  // |pi_{dup}| = 2, adding uniq (3 slots): bound = min(3, 2*3) = 3 live.
+  EXPECT_EQ(ProjectionUpperBound(2, stats[0], 3), 3u);
+  // Adding nully (2 values + NULL slot = 3 slots) with plenty of rows.
+  EXPECT_EQ(stats[2].group_slots(), 3u);
+  EXPECT_EQ(ProjectionUpperBound(2, stats[2], 100), 6u);
+  // Saturating arithmetic: a huge base never wraps around.
+  const size_t big = SIZE_MAX / 2;
+  EXPECT_EQ(SaturatingMul(big, 3), SIZE_MAX);
+  EXPECT_EQ(ProjectionUpperBound(big, stats[0], SIZE_MAX), SIZE_MAX);
 }
 
 TEST(ColumnStatsTest, AllRowsDeletedMeansNoUniqueColumns) {

@@ -52,6 +52,31 @@ TEST(ServiceTest, ErrorsComeBackAsErrReplies) {
   EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "CHECKPOINT")));
 }
 
+TEST(ServiceTest, ExplainRepairRepliesWithPlan) {
+  Service svc;
+  auto s = svc.OpenSession(nullptr);
+  svc.ExecuteLine(s, "CREATE TABLE t (a INT64, b INT64, c INT64)");
+  // a=1 maps to two b values: a -> b is violated, c is the pool.
+  svc.ExecuteLine(s, "INSERT INTO t VALUES (1, 1, 1), (1, 2, 2), (2, 1, 3)");
+  Service::Result res = svc.ExecuteLine(s, "EXPLAIN REPAIR a -> b ON t");
+  auto parsed = ParseReply(res.reply);
+  ASSERT_TRUE(parsed.has_value()) << res.reply;
+  EXPECT_EQ(parsed->kind, ParsedReply::Kind::kPlan) << res.reply;
+  EXPECT_EQ(res.reply.rfind("PLAN ", 0), 0u) << res.reply;
+  // Newlines are flattened into the single reply line.
+  EXPECT_EQ(res.reply.find('\n'), std::string::npos);
+  EXPECT_NE(parsed->text.find("repair plan for [a] -> [b]"),
+            std::string::npos)
+      << parsed->text;
+  EXPECT_NE(parsed->text.find(" | "), std::string::npos) << parsed->text;
+  EXPECT_NE(parsed->text.find("+c"), std::string::npos) << parsed->text;
+  // EXPLAIN is a read: it is not journaled.
+  EXPECT_EQ(svc.Journal("t").size(), 2u);
+  // Unknown table or column comes back as ERR, not a dropped session.
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "EXPLAIN REPAIR a -> b ON ghost")));
+  EXPECT_TRUE(IsErr(svc.ExecuteLine(s, "EXPLAIN REPAIR a -> ghost ON t")));
+}
+
 TEST(ServiceTest, ShutdownSetsFlag) {
   Service svc;
   auto s = svc.OpenSession(nullptr);

@@ -3,6 +3,7 @@
 #include "datagen/places.h"
 #include "query/distinct.h"
 #include "sql/engine.h"
+#include "sql/parser.h"
 
 namespace fdevolve::sql {
 namespace {
@@ -219,6 +220,40 @@ TEST(EngineTest, InsertRejectsBadRowsAllOrNothing) {
 TEST(EngineTest, InsertUnknownTableThrows) {
   Database db = MakeDb();
   EXPECT_THROW(ExecuteSql("INSERT INTO nope VALUES (1)", db),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, ExplainRepairRendersPlan) {
+  Database db = MakeDb();
+  // b -> c drifts on t ('x' maps to 10 and 20); the only pool candidate
+  // is a.
+  const Database& cdb = db;
+  const auto stmt = std::get<ExplainRepairStatement>(
+      ParseStatement("EXPLAIN REPAIR b -> c ON t"));
+  const std::string plan = Execute(stmt, cdb);
+  EXPECT_NE(plan.find("repair plan for [b] -> [c]"), std::string::npos);
+  EXPECT_NE(plan.find("+a"), std::string::npos);
+  EXPECT_NE(plan.find("4 live rows"), std::string::npos);
+  // The generic statement path validates and returns 0 (no count to
+  // report).
+  EXPECT_EQ(ExecuteSql("EXPLAIN REPAIR b -> c ON t", db), 0u);
+  // An exact FD explains to the short-circuit form.
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  db.AddRelation(RelationBuilder("exact", schema)
+                     .Row({int64_t{1}, int64_t{10}})
+                     .Row({int64_t{2}, int64_t{20}})
+                     .Build());
+  const auto exact = std::get<ExplainRepairStatement>(
+      ParseStatement("EXPLAIN REPAIR k -> v ON exact"));
+  EXPECT_NE(Execute(exact, cdb).find("already meets target"),
+            std::string::npos);
+}
+
+TEST(EngineTest, ExplainRepairUnknownNamesThrow) {
+  Database db = MakeDb();
+  EXPECT_THROW(ExecuteSql("EXPLAIN REPAIR b -> c ON nope", db),
+               std::invalid_argument);
+  EXPECT_THROW(ExecuteSql("EXPLAIN REPAIR nope -> c ON t", db),
                std::invalid_argument);
 }
 

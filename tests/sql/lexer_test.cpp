@@ -15,6 +15,15 @@ TEST(LexerTest, KeywordsUppercasedAndRecognised) {
   EXPECT_EQ(tokens[4].text, "a");
 }
 
+TEST(LexerTest, ExplainRepairAreKeywords) {
+  auto tokens = Lex("explain repair a -> b on t");
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_TRUE(tokens[0].IsKeyword("EXPLAIN"));
+  EXPECT_TRUE(tokens[1].IsKeyword("REPAIR"));
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+  EXPECT_TRUE(tokens[5].IsKeyword("ON"));
+}
+
 TEST(LexerTest, IdentifiersKeepCase) {
   auto tokens = Lex("AreaCode ph_no _x9");
   EXPECT_EQ(tokens[0].text, "AreaCode");

@@ -194,6 +194,33 @@ TEST(ParserTest, DeclareFd) {
   EXPECT_THROW(ParseStatement("DECLARE FD a -> b"), SqlError);
 }
 
+TEST(ParserTest, ExplainRepair) {
+  const auto explain = std::get<ExplainRepairStatement>(
+      ParseStatement("EXPLAIN REPAIR city, state -> zip ON addresses"));
+  EXPECT_EQ(explain.table, "addresses");
+  ASSERT_EQ(explain.lhs.size(), 2u);
+  EXPECT_EQ(explain.lhs[0], "city");
+  EXPECT_EQ(explain.lhs[1], "state");
+  ASSERT_EQ(explain.rhs.size(), 1u);
+  EXPECT_EQ(explain.rhs[0], "zip");
+
+  EXPECT_THROW(ParseStatement("EXPLAIN REPAIR a -> ON t"), SqlError);
+  EXPECT_THROW(ParseStatement("EXPLAIN REPAIR -> b ON t"), SqlError);
+  EXPECT_THROW(ParseStatement("EXPLAIN REPAIR a -> b"), SqlError);
+  EXPECT_THROW(ParseStatement("EXPLAIN FD a -> b ON t"), SqlError);
+  EXPECT_THROW(ParseStatement("EXPLAIN REPAIR a -> b ON t EXTRA"), SqlError);
+}
+
+TEST(ParserTest, ExplainRepairToStringRoundTrips) {
+  const auto explain = std::get<ExplainRepairStatement>(
+      ParseStatement("explain repair \"odd name\", b -> c ON \"my table\""));
+  const auto reparsed =
+      std::get<ExplainRepairStatement>(ParseStatement(explain.ToString()));
+  EXPECT_EQ(explain.ToString(), reparsed.ToString());
+  EXPECT_EQ(reparsed.table, "my table");
+  EXPECT_EQ(reparsed.lhs[0], "odd name");
+}
+
 TEST(ParserTest, DeleteStatement) {
   const auto del = std::get<DeleteStatement>(
       ParseStatement("DELETE FROM t WHERE a = 1 AND b IS NULL"));
